@@ -1,0 +1,53 @@
+"""A1 — address-generation ablation: power-of-two rounding vs. multiplier.
+
+Section 3 rounds each partition's memory block up to a power of two so that
+address generation is a concatenation instead of a multiplication, trading
+wasted memory (and hence a possibly smaller k) for a smaller/faster address
+generator.  The bench quantifies both sides of the trade for the DCT's
+partitions.
+"""
+
+from __future__ import annotations
+
+from repro.fission import analyse_fission
+from repro.memmap import addressing_tradeoff, build_memory_map
+
+
+def test_addressing_tradeoff(benchmark, case_study):
+    def run():
+        plain = analyse_fission(
+            case_study.partitioning, case_study.system.memory_capacity_words,
+            round_blocks_to_power_of_two=False,
+        )
+        rounded = analyse_fission(
+            case_study.partitioning, case_study.system.memory_capacity_words,
+            round_blocks_to_power_of_two=True,
+        )
+        memory_map = build_memory_map(case_study.partitioning)
+        trades = {
+            index: addressing_tradeoff(memory_map.block(index))
+            for index in memory_map.partition_indices
+        }
+        return plain, rounded, trades
+
+    plain, rounded, trades = benchmark(run)
+
+    print()
+    for index, trade in trades.items():
+        print(
+            f"  P{index}: block {trade['natural_words']}w -> {trade['rounded_words']}w "
+            f"(waste {trade['wasted_words']}w); address generator "
+            f"{trade['concatenation_area_clbs']} CLBs (concat) vs "
+            f"{trade['multiplier_area_clbs']} CLBs (multiplier)"
+        )
+    print(f"  k without rounding: {plain.computations_per_run}, with rounding: "
+          f"{rounded.computations_per_run}")
+
+    # The concatenation generator is always smaller and faster.
+    for trade in trades.values():
+        assert trade["concatenation_area_clbs"] < trade["multiplier_area_clbs"]
+        assert trade["concatenation_delay"] < trade["multiplier_delay"]
+    # Rounding can only shrink k (here it does not, because the limiting
+    # 32-word block is already a power of two).
+    assert rounded.computations_per_run <= plain.computations_per_run
+    assert rounded.computations_per_run == 2048

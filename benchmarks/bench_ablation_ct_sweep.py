@@ -1,0 +1,54 @@
+"""A3 — reconfiguration-time sweep: how the IDH advantage depends on CT.
+
+Sweeps the reconfiguration overhead from the Time-Multiplexed-FPGA regime
+(100 ns) to the WildForce regime (100 ms) for the largest workload, showing
+the improvement rising monotonically from the Table-2 value (~42 %) towards
+the compute-only bound (~47 %), and collapsing for small workloads when CT is
+large — the core message of Section 2.2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import reconfiguration_sweep
+from repro.fission import SequencingStrategy, compare_static_vs_rtr
+from repro.units import ms, ns, us
+
+SWEEP = [ms(100), ms(10), ms(1), us(500), us(50), us(5), ns(100)]
+
+
+def test_reconfiguration_time_sweep(benchmark, case_study):
+    rows = benchmark(lambda: reconfiguration_sweep(case_study, SWEEP))
+
+    print()
+    for row in rows:
+        print(
+            f"  CT = {row['reconfiguration_time'] * 1e6:10.1f} us -> "
+            f"improvement {row['improvement'] * 100:5.1f}%"
+        )
+    improvements = [row["improvement"] for row in rows]
+    assert improvements == sorted(improvements)
+    assert improvements[0] > 0.35          # 100 ms: the Table-2 regime
+    assert improvements[-1] < 0.50         # bounded by the compute-only gap
+
+
+def test_small_workload_sensitivity_to_ct(benchmark, case_study):
+    """With CT = 100 ms a 2048-block image loses badly; at 500 us it wins."""
+
+    def run():
+        slow = compare_static_vs_rtr(
+            SequencingStrategy.IDH, case_study.static_spec, case_study.rtr_spec,
+            2048, case_study.system,
+        )
+        fast_system = case_study.system.with_reconfiguration_time(us(500))
+        fast = compare_static_vs_rtr(
+            SequencingStrategy.IDH, case_study.static_spec, case_study.rtr_spec,
+            2048, fast_system,
+        )
+        return slow, fast
+
+    slow, fast = benchmark(run)
+    print()
+    print(f"  2048 blocks @ CT=100ms: improvement {slow.improvement * 100:.1f}%")
+    print(f"  2048 blocks @ CT=500us: improvement {fast.improvement * 100:.1f}%")
+    assert not slow.rtr_wins
+    assert fast.rtr_wins

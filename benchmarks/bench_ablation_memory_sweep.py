@@ -1,0 +1,68 @@
+"""A5 — on-board memory-size sweep: how much memory would FDH need?
+
+Table 1's negative result is a consequence of the 64K-word memory: it caps a
+run at k = 2,048 blocks, far below the ~40k blocks needed to absorb the
+``N*CT`` reconfiguration cost of every batch.  This ablation re-runs the
+fission analysis and both strategies while sweeping the memory size, showing
+
+* k growing linearly with the memory,
+* the FDH deficit shrinking and finally flipping to a win once a single batch
+  is large enough, and
+* IDH being almost insensitive to the memory size (its reconfiguration cost is
+  paid once regardless).
+"""
+
+from __future__ import annotations
+
+from repro.arch import paper_case_study_system
+from repro.fission import SequencingStrategy, analyse_fission, compare_static_vs_rtr, rtr_timing_spec
+from repro.units import kilowords
+
+MEMORY_SIZES_KWORDS = [64, 256, 1024, 4096, 16384]
+WORKLOAD_BLOCKS = 245_760
+
+
+def test_memory_size_sweep(benchmark, case_study):
+    def run():
+        rows = []
+        for kwords in MEMORY_SIZES_KWORDS:
+            words = kilowords(kwords)
+            system = paper_case_study_system(memory_words=words)
+            analysis = analyse_fission(case_study.partitioning, words)
+            spec = rtr_timing_spec(case_study.partitioning, analysis)
+            fdh = compare_static_vs_rtr(
+                SequencingStrategy.FDH, case_study.static_spec, spec, WORKLOAD_BLOCKS, system
+            )
+            idh = compare_static_vs_rtr(
+                SequencingStrategy.IDH, case_study.static_spec, spec, WORKLOAD_BLOCKS, system
+            )
+            rows.append(
+                {
+                    "memory_kwords": kwords,
+                    "k": analysis.computations_per_run,
+                    "fdh_improvement": fdh.improvement,
+                    "idh_improvement": idh.improvement,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+
+    print()
+    for row in rows:
+        print(
+            f"  {row['memory_kwords']:>6}K words: k = {row['k']:>7}, "
+            f"FDH {row['fdh_improvement'] * 100:6.1f}%, IDH {row['idh_improvement'] * 100:5.1f}%"
+        )
+
+    # k grows linearly with the memory (32 words per block computation).
+    for row in rows:
+        assert row["k"] == kilowords(row["memory_kwords"]) // 32
+    # FDH improves monotonically with memory and eventually wins.
+    fdh_improvements = [row["fdh_improvement"] for row in rows]
+    assert fdh_improvements == sorted(fdh_improvements)
+    assert fdh_improvements[0] < 0          # the paper's 64K case: FDH loses
+    assert fdh_improvements[-1] > 0         # with enough memory FDH wins too
+    # IDH is nearly insensitive to the memory size (within a couple of points).
+    idh_improvements = [row["idh_improvement"] for row in rows]
+    assert max(idh_improvements) - min(idh_improvements) < 0.05

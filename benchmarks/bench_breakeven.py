@@ -1,0 +1,54 @@
+"""E6 — breakeven analyses for the FDH strategy.
+
+The paper remarks that "roughly 42,553 blocks of DCT [would have to] be
+computed in each temporal partition" for the reconfiguration overhead to be
+absorbed, but the 64K memory caps a run at k = 2,048 blocks, so FDH never wins
+on this board.  The bench computes
+
+* the reconfiguration-absorption point (blocks per run whose execution time
+  equals ``N*CT``), which should land in the paper's ballpark, and
+* the FDH and IDH workload breakeven points against the static design.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_constants as paper
+from repro.fission import SequencingStrategy, breakeven_computations, reconfiguration_absorption_point
+
+
+def test_fdh_absorption_point(benchmark, case_study):
+    blocks = benchmark(
+        lambda: reconfiguration_absorption_point(case_study.rtr_spec, case_study.system)
+    )
+    print()
+    print(f"  reconfiguration absorbed at {blocks} blocks/run "
+          f"(paper: ~{paper.FDH_BREAKEVEN_BLOCKS}); memory caps a run at k="
+          f"{case_study.computations_per_run}")
+    assert 0.5 * paper.FDH_BREAKEVEN_BLOCKS < blocks < 1.5 * paper.FDH_BREAKEVEN_BLOCKS
+    assert blocks > case_study.computations_per_run  # why FDH cannot win
+
+
+def test_workload_breakeven_points(benchmark, case_study):
+    def run():
+        fdh = breakeven_computations(
+            SequencingStrategy.FDH,
+            case_study.static_spec,
+            case_study.rtr_spec,
+            case_study.system,
+            upper_bound=1 << 26,
+        )
+        idh = breakeven_computations(
+            SequencingStrategy.IDH,
+            case_study.static_spec,
+            case_study.rtr_spec,
+            case_study.system,
+        )
+        return fdh, idh
+
+    fdh_breakeven, idh_breakeven = benchmark(run)
+    print()
+    print(f"  FDH breakeven workload: {fdh_breakeven} (None = never wins)")
+    print(f"  IDH breakeven workload: {idh_breakeven} blocks")
+    assert fdh_breakeven is None
+    assert idh_breakeven is not None
+    assert idh_breakeven < paper.LARGEST_WORKLOAD_BLOCKS

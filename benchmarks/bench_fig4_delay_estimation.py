@@ -1,0 +1,20 @@
+"""Figure 4 — per-partition delay estimation on the worked example.
+
+Recomputes the partition delays of the reconstructed Figure-4 graph: the three
+root-to-leaf path prefixes mapped to partition 1 have delays 350/400/150 ns,
+so partition 1's delay is 400 ns; partition 2's is 300 ns.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import reproduce_figure4
+
+
+def test_figure4_delay_estimation(benchmark):
+    result = benchmark(reproduce_figure4)
+    print()
+    print(f"  partition-1 path delays: {sorted(result.partition1_path_delays_ns)} ns")
+    print(f"  partition delays: {result.partition_delays_ns} ns")
+    assert result.matches_paper()
+    assert sorted(round(d) for d in result.partition1_path_delays_ns) == [150, 350, 400]
+    assert [round(d) for d in result.partition_delays_ns] == [400, 300]

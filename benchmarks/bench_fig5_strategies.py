@@ -1,0 +1,46 @@
+"""Figure 5 — the two host-sequencing strategies compared.
+
+Figure 5 illustrates how FDH re-walks the configuration sequence for every
+batch of k computations while IDH configures each partition exactly once.
+The bench evaluates both the configuration-load counts and the paper's
+overhead formulas for the largest workload (N*CT*I_sw vs.
+N*CT + 2*k*I_sw*D_tr*m_temp), and additionally simulates both schedules to
+confirm the sequencing order.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import reproduce_figure5
+from repro.fission import SequencingStrategy
+from repro.simulate import RtrExecutionSimulator, configuration_sequence
+
+
+def test_figure5_strategy_overheads(benchmark, case_study):
+    result = benchmark(lambda: reproduce_figure5(case_study))
+    print()
+    print(f"  I_sw = {result.software_loop_count}")
+    print(f"  FDH: {result.fdh_configuration_loads} configuration loads, "
+          f"reconfiguration overhead {result.fdh_reconfiguration_overhead:.1f} s")
+    print(f"  IDH: {result.idh_configuration_loads} configuration loads, "
+          f"overhead (N*CT + host transfers) {result.idh_overhead:.3f} s")
+    assert result.fdh_configuration_loads == 360
+    assert result.idh_configuration_loads == 3
+    assert result.fdh_reconfiguration_overhead > 30
+    assert result.idh_overhead < 1.0
+
+
+def test_figure5_sequencing_order(benchmark, case_study):
+    simulator = RtrExecutionSimulator(case_study.system)
+
+    def run():
+        fdh = simulator.simulate(
+            case_study.rtr_spec, SequencingStrategy.FDH, 3 * 2048, keep_events=True
+        )
+        idh = simulator.simulate(
+            case_study.rtr_spec, SequencingStrategy.IDH, 3 * 2048, keep_events=True
+        )
+        return configuration_sequence(fdh.events), configuration_sequence(idh.events)
+
+    fdh_sequence, idh_sequence = benchmark(run)
+    assert fdh_sequence == [1, 2, 3] * 3       # reconfigure every batch (Fig. 5b)
+    assert idh_sequence == [1, 2, 3]           # configure each partition once (Fig. 5c)

@@ -1,0 +1,29 @@
+"""Figure 8 — construction and structure of the DCT task graph.
+
+Times the task-graph builder and asserts the structure Figure 8 describes:
+32 vector-product tasks (16 T1 + 16 T2), four collections of eight tasks (one
+per output row), each T2 task consuming the four T1 results of its row, and
+the DSS-estimated costs of 70/180 CLBs per task type.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import reproduce_figure8
+from repro.jpeg import build_dct_task_graph
+
+
+def test_figure8_task_graph(benchmark, case_study):
+    graph = benchmark(build_dct_task_graph)
+    structure = reproduce_figure8(case_study)
+    print()
+    print(f"  {structure.task_count} tasks = {structure.t1_count} T1 + {structure.t2_count} T2, "
+          f"{structure.collections} collections of {2 * structure.tasks_per_collection // 2} tasks, "
+          f"fan-in {structure.fan_in_per_t2}")
+    assert len(graph) == 32
+    assert structure.t1_count == 16 and structure.t2_count == 16
+    assert structure.collections == 4
+    assert structure.fan_in_per_t2 == 4
+    assert graph.task("t1_r0c0").clbs == 70
+    assert graph.task("t2_r0c0").clbs == 180
+    # Total area (4000 CLBs) exceeds the XC4044: the reason partitioning is needed.
+    assert graph.total_resources()["clb"] == 4000

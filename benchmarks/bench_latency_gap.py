@@ -1,0 +1,39 @@
+"""E4 — per-block latency gap between the static and RTR designs.
+
+The paper: "If we ignore the reconfiguration overhead this is a RTR design
+takes 7560 ns less than the static design on a single 4x4 DCT computation"
+(static: 160 cycles @ 100 ns = 16,000 ns; RTR: 68 cycles @ 50 ns + 2 x 36
+cycles @ 70 ns = 8,440 ns).  The bench times the flow stage that produces the
+RTR block latency (partitioning artefacts -> timing spec) and asserts the gap.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_constants as paper
+from repro.fission import analyse_fission, rtr_timing_spec
+from repro.jpeg import static_design_delay
+from repro.memmap import build_memory_map
+from repro.units import ns
+
+
+def test_latency_gap(benchmark, case_study):
+    def run():
+        memory_map = build_memory_map(case_study.partitioning)
+        fission = analyse_fission(
+            case_study.partitioning, case_study.system.memory_capacity_words, memory_map
+        )
+        return rtr_timing_spec(case_study.partitioning, fission, memory_map)
+
+    spec = benchmark(run)
+    static_delay = static_design_delay()
+    gap = static_delay - spec.block_delay
+
+    print()
+    print(
+        f"  static {static_delay * 1e9:.0f} ns/block, RTR {spec.block_delay * 1e9:.0f} ns/block, "
+        f"gap {gap * 1e9:.0f} ns"
+    )
+
+    assert abs(spec.block_delay - paper.RTR_BLOCK_LATENCY) < 1e-12
+    assert abs(static_delay - paper.STATIC_BLOCK_LATENCY) < 1e-12
+    assert abs(gap - ns(7560)) < 1e-12

@@ -1,0 +1,49 @@
+"""E3 (comparison) — list-based baseline vs. the ILP partitioner on the DCT.
+
+The paper argues that a list-based temporal partitioner would top partition 1
+up with T2 tasks (it has 480 unused CLBs), lengthening the partition's
+critical path and hence the overall latency.  This bench measures both
+partitioners and asserts exactly that relationship: the list baseline lands on
+10,960 ns (3,400 + 2,520 added to partition 1) against the ILP's 8,440 ns.
+"""
+
+from __future__ import annotations
+
+from repro.partition import (
+    IlpTemporalPartitioner,
+    ListTemporalPartitioner,
+    compare_partitionings,
+)
+from repro.units import ns
+
+
+def test_list_partitioner_baseline(benchmark, dct_problem, dct_graph):
+    result = benchmark(lambda: ListTemporalPartitioner().partition(dct_problem))
+
+    print()
+    print(result.describe())
+
+    # The heuristic mixes two T2 tasks into partition 1 (1600 - 16*70 = 480 CLBs free).
+    first = result.tasks_in_partition(1)
+    t2_in_first = [name for name in first if dct_graph.task(name).task_type == "T2"]
+    assert len(t2_in_first) == 2
+    assert abs(result.computation_latency - ns(10960)) < 1e-12
+
+
+def test_ilp_vs_list_improvement(benchmark, dct_problem):
+    def run():
+        ilp = IlpTemporalPartitioner().partition(dct_problem)
+        heuristic = ListTemporalPartitioner().partition(dct_problem)
+        return compare_partitionings(heuristic, ilp)
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        f"  list latency {comparison.baseline_computation_latency * 1e9:.0f} ns, "
+        f"ILP latency {comparison.candidate_computation_latency * 1e9:.0f} ns, "
+        f"computation-latency improvement "
+        f"{comparison.computation_latency_improvement * 100:.1f}%"
+    )
+    assert comparison.candidate_wins
+    # 8440 vs 10960 ns -> ~23 % lower computation latency.
+    assert 0.20 < comparison.computation_latency_improvement < 0.26

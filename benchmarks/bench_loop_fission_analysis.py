@@ -1,0 +1,41 @@
+"""E5 — loop-fission memory analysis (Eq. 9): k = 64K / max(32, 16, 16) = 2048.
+
+Times the memory-map construction plus the Eq. 9 analysis for the partitioned
+DCT and asserts the paper's numbers: partition 1 stores 32 words per block
+computation (16 inputs + 16 intermediate results), the later partitions 16
+words of input/output each, and 2,048 block computations fit in the 64K-word
+memory per board invocation.
+"""
+
+from __future__ import annotations
+
+from repro.fission import analyse_fission
+from repro.memmap import SegmentKind, build_memory_map
+
+
+def test_loop_fission_analysis(benchmark, case_study):
+    def run():
+        memory_map = build_memory_map(case_study.partitioning)
+        return memory_map, analyse_fission(
+            case_study.partitioning,
+            case_study.system.memory_capacity_words,
+            memory_map=memory_map,
+        )
+
+    memory_map, analysis = benchmark(run)
+
+    print()
+    print("  " + analysis.describe())
+
+    assert analysis.computations_per_run == 2048
+    assert analysis.limiting_partition == 1
+    assert analysis.max_per_iteration_words == 32
+    # The paper's per-partition counts (inputs + outputs, ignoring pass-through).
+    block1 = memory_map.block(1)
+    assert block1.input_words() + block1.output_words() == 32
+    for index in (2, 3):
+        block = memory_map.block(index)
+        io_words = block.input_words() + block.output_words()
+        assert io_words == 16
+    # Software loop count for the largest image: ceil(245760 / 2048) = 120.
+    assert analysis.software_loop_count(245_760) == 120

@@ -1,0 +1,19 @@
+"""The complete reproduction in one benchmark.
+
+Runs every experiment driver (Tables 1-2, the in-text claims, the figure
+checks) through :func:`repro.experiments.reproduction_report` and asserts that
+every paper claim lands inside its expectation band.  This is the single
+benchmark to run for a yes/no answer to "does the reproduction hold?".
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_reproduction_report, reproduction_report
+
+
+def test_full_reproduction_report(benchmark, case_study):
+    report = benchmark(lambda: reproduction_report(case_study))
+    print()
+    print(format_reproduction_report(report))
+    assert report.all_ok, f"claims outside expectation bands: {report.failed()}"
+    assert len(report.checks) >= 12

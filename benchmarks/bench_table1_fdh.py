@@ -1,0 +1,37 @@
+"""Table 1 — DCT execution time under the FDH strategy (static vs. RTR).
+
+Regenerates every row of the paper's Table 1: for each image of the workload
+ladder, the total execution time of the static design and of the RTR design
+sequenced with the Final-Data-to-Host strategy, together with the software
+loop count ``I_sw``.
+
+Paper findings reproduced and asserted here:
+
+* FDH never beats the static design on the case-study board, for any image
+  size up to 245,760 blocks;
+* ``I_sw`` = 120 for the largest image (245,760 / 2,048);
+* the deficit is dominated by the ``N * CT * I_sw`` reconfiguration term.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import reproduce_table1
+from repro.experiments.table1 import paper_comparison
+
+
+def test_table1_fdh(benchmark, case_study):
+    result = benchmark(lambda: reproduce_table1(case_study))
+
+    print()
+    print(result.formatted())
+    print()
+    for row in paper_comparison(result):
+        print(f"  {row['quantity']}: paper={row['paper']}  measured={row['measured']}")
+
+    # Shape assertions (the paper's findings).
+    assert len(result.rows) == 8
+    assert not result.fdh_ever_improves
+    largest = result.rows[0]
+    assert largest["blocks"] == 245_760
+    assert largest["I_sw"] == 120
+    assert largest["rtr_fdh_seconds"] > largest["static_seconds"]

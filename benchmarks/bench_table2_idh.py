@@ -1,0 +1,32 @@
+"""Table 2 — DCT execution time under the IDH strategy (static vs. RTR).
+
+Regenerates every row of the paper's Table 2 and the two headline claims:
+
+* the IDH improvement grows with the image size;
+* at 245,760 blocks the RTR design is ~42 % faster than the static design.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_constants as paper
+from repro.experiments import reproduce_table2
+from repro.experiments.table2 import paper_comparison
+
+
+def test_table2_idh(benchmark, case_study):
+    result = benchmark(lambda: reproduce_table2(case_study))
+
+    print()
+    print(result.formatted())
+    print()
+    for row in paper_comparison(result):
+        print(f"  {row['quantity']}: paper={row['paper']}  measured={row['measured']}")
+
+    assert len(result.rows) == 8
+    assert result.improvements_monotonic
+    assert result.rows[0]["blocks"] == paper.LARGEST_WORKLOAD_BLOCKS
+    assert abs(result.improvement_at_largest - paper.IDH_IMPROVEMENT_AT_LARGEST) <= (
+        paper.IDH_IMPROVEMENT_TOLERANCE
+    )
+    # Small images lose: the 300 ms of reconfigurations is not amortised.
+    assert result.rows[-1]["improvement_fraction"] < 0

@@ -1,0 +1,22 @@
+"""E7 — the XC6000 conjecture: CT = 500 us raises the IDH improvement to ~47 %.
+
+The paper's closing remark re-evaluates the largest workload on a device with
+a 500 us reconfiguration overhead and predicts a 47 % improvement.  The bench
+performs the same substitution (only the reconfiguration time changes) and
+checks the resulting improvement.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_constants as paper
+from repro.experiments.table2 import xc6000_conjecture
+
+
+def test_xc6000_conjecture(benchmark, case_study):
+    improvement = benchmark(lambda: xc6000_conjecture(case_study))
+    print()
+    print(
+        f"  IDH improvement at CT=500us: {improvement * 100:.1f}% "
+        f"(paper: {paper.XC6000_IMPROVEMENT * 100:.0f}%)"
+    )
+    assert abs(improvement - paper.XC6000_IMPROVEMENT) <= paper.XC6000_IMPROVEMENT_TOLERANCE

@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates (a piece of) the paper's evaluation; the fixtures
+here build the expensive artefacts once per session so the timed portions
+measure exactly the stage named by each benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import paper_case_study_system
+from repro.experiments import build_case_study
+from repro.jpeg import build_dct_task_graph
+from repro.partition import PartitionProblem
+
+
+@pytest.fixture(scope="session")
+def paper_system():
+    """The case-study board/host system."""
+    return paper_case_study_system()
+
+
+@pytest.fixture(scope="session")
+def dct_graph():
+    """The 32-task DCT task graph with the paper's costs."""
+    return build_dct_task_graph()
+
+
+@pytest.fixture(scope="session")
+def dct_problem(dct_graph, paper_system):
+    """The temporal-partitioning problem of the case study."""
+    return PartitionProblem.from_system(dct_graph, paper_system)
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The full case study built from the paper's reference assignment.
+
+    Benchmarks that time the ILP itself build their own partitioner runs; for
+    everything downstream the reference assignment avoids paying the solve
+    time in every fixture consumer.
+    """
+    return build_case_study(use_ilp=False)

@@ -1,0 +1,99 @@
+"""Partitioning a custom DSP application with the library's own estimator.
+
+Run with::
+
+    python examples/fir_filterbank_partitioning.py
+
+The paper's technique is not DCT-specific: any loop-enclosed DSP task graph
+can be temporally partitioned and loop-fissioned.  This example builds a
+four-channel FIR filter bank followed by an energy detector — a typical
+front-end for a software-radio style application — describes each task by its
+operation-level data-flow graph, lets the library's HLS estimator derive
+``R(t)``/``D(t)`` for a mid-size FPGA, and then runs the complete flow on a
+board whose reconfiguration overhead is 10 ms.
+"""
+
+from __future__ import annotations
+
+from repro.arch import generic_system
+from repro.dfg import fir_tap_dfg, sum_of_products_dfg, vector_product_dfg
+from repro.fission import SequencingStrategy, compare_static_vs_rtr, static_timing_spec
+from repro.partition import compute_metrics
+from repro.synth import DesignFlow, FlowOptions
+from repro.taskgraph import Task, TaskGraph
+from repro.units import format_time, ms, ns
+
+
+def build_filterbank_graph(channels: int = 4, taps: int = 8) -> TaskGraph:
+    """A *channels*-channel FIR filter bank with per-channel energy detectors.
+
+    Every task carries its operation-level DFG; costs are filled in by the
+    HLS estimator inside the design flow.
+    """
+    graph = TaskGraph("fir_filterbank")
+    graph.add_task(
+        Task("window", dfg=vector_product_dfg(8, input_width=12, coefficient_width=12,
+                                              name="window"), task_type="window"),
+        env_input_words=taps,
+    )
+    for channel in range(channels):
+        fir_name = f"fir{channel}"
+        graph.add_task(
+            Task(fir_name, dfg=fir_tap_dfg(taps, input_width=12, coefficient_width=12,
+                                           name=fir_name), task_type="fir"),
+        )
+        graph.add_edge("window", fir_name, words=taps)
+        energy_name = f"energy{channel}"
+        graph.add_task(
+            Task(energy_name, dfg=sum_of_products_dfg(4, width=16, name=energy_name),
+                 task_type="energy"),
+            env_output_words=1,
+        )
+        graph.add_edge(fir_name, energy_name, words=4)
+    return graph
+
+
+def main() -> None:
+    graph = build_filterbank_graph()
+    system = generic_system(
+        clb_capacity=900,
+        memory_words=16384,
+        reconfiguration_time=ms(10),
+    )
+    print("Target system")
+    print(system.describe())
+    print()
+
+    flow = DesignFlow(system, FlowOptions(max_clock_period=ns(80)))
+    design = flow.build(graph)
+    print(design.describe())
+    print()
+
+    metrics = compute_metrics(design.partitioning, system.resource_capacity)
+    print(f"Mean device utilisation across partitions: {metrics.mean_utilisation * 100:.0f}%")
+    print(f"Largest inter-partition transfer: {metrics.max_boundary_words} words")
+    print()
+
+    # A hypothetical static design: the whole bank shares one datapath, so it
+    # is slower per sample window but needs no reconfiguration.  Here we use
+    # the estimator's composite estimate via the flow's estimated costs.
+    static_delay = sum(design.partitioning.partition_delays) * 1.9
+    static = static_timing_spec(
+        block_delay=static_delay,
+        env_input_words=graph.total_env_input_words(),
+        env_output_words=graph.total_env_output_words(),
+    )
+    print(f"Assumed static design delay per window: {format_time(static_delay)}")
+    for windows in (1_000, 100_000, 1_000_000):
+        comparison = compare_static_vs_rtr(
+            SequencingStrategy.IDH, static, design.timing_spec, windows, system
+        )
+        verdict = "RTR wins" if comparison.rtr_wins else "static wins"
+        print(
+            f"  {windows:>9} windows: static {comparison.static.total:8.3f} s, "
+            f"RTR(IDH) {comparison.rtr.total:8.3f} s ({comparison.improvement * 100:+.1f}%, {verdict})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: partition the paper's DCT task graph and compare sequencing strategies.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script walks the complete flow of the paper on the case-study board:
+
+1. build the behaviour specification (the 32-task DCT graph of Figure 8);
+2. run the design flow: ILP temporal partitioning, loop fission, memory
+   mapping and host-code generation;
+3. compare the resulting RTR design against the static design under the FDH
+   and IDH sequencing strategies for the largest workload of Tables 1-2.
+"""
+
+from __future__ import annotations
+
+from repro.arch import paper_case_study_system
+from repro.fission import SequencingStrategy, compare_static_vs_rtr
+from repro.jpeg import build_dct_task_graph, static_design_delay
+from repro.synth import DesignFlow, static_design_from_parameters
+from repro.units import format_time, ns
+
+
+def main() -> None:
+    # 1. Target architecture and behaviour specification.
+    system = paper_case_study_system()
+    graph = build_dct_task_graph()
+    print("Target system")
+    print(system.describe())
+    print()
+    print(f"Behaviour spec: {len(graph)} tasks, {graph.edge_count()} edges, "
+          f"{graph.total_resources()['clb']} CLBs if synthesised flat")
+    print()
+
+    # 2. The automated flow: estimation -> ILP partitioning -> loop fission.
+    design = DesignFlow(system).build(graph)
+    print(design.describe())
+    print()
+    print("Generated host sequencing code (IDH):")
+    print(design.host_code_for(SequencingStrategy.IDH))
+
+    # 3. Compare against the paper's static design for the largest image.
+    static = static_design_from_parameters(
+        "static-dct", clbs=1600, cycles_per_block=160, clock_period=ns(100),
+        env_input_words=16, env_output_words=16,
+    )
+    print(f"Static design:  {format_time(static.block_delay)} per 4x4 block")
+    print(f"RTR design:     {format_time(design.block_delay)} per 4x4 block "
+          f"(ignoring reconfiguration)")
+    print()
+
+    blocks = 245_760
+    for strategy in (SequencingStrategy.FDH, SequencingStrategy.IDH):
+        comparison = compare_static_vs_rtr(
+            strategy, static.timing_spec(), design.timing_spec, blocks, system
+        )
+        verdict = "RTR wins" if comparison.rtr_wins else "static wins"
+        print(
+            f"{strategy.value.upper():>3} on {blocks} blocks: "
+            f"static {comparison.static.total:7.2f} s, "
+            f"RTR {comparison.rtr.total:7.2f} s  "
+            f"({comparison.improvement * 100:+.1f}%, {verdict})"
+        )
+
+    delta = static_design_delay() - design.block_delay
+    print()
+    print(f"Per-block latency advantage of the RTR design: {format_time(delta)} "
+          "(the paper's 7560 ns)")
+
+
+if __name__ == "__main__":
+    main()

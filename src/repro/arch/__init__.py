@@ -1,0 +1,58 @@
+"""Target architecture models: FPGA devices, memories, buses, boards, hosts.
+
+The objects in this package carry the three architecture constraints of the
+paper's Section 2.1 — ``R_max`` (FPGA resource capacity), ``M_max`` (on-board
+memory size) and ``CT`` (reconfiguration time) — plus the host-link timing
+(``D_tr`` and handshake cost) needed by the loop-fission analysis and the
+execution simulator.
+"""
+
+from .board import ReconfigurableBoard, RtrSystem
+from .bus import HostLink, pci_link
+from .catalog import (
+    DEFAULT_HANDSHAKE_TIME,
+    PCI_WORD_TRANSFER_TIME,
+    SYSTEM_PRESETS,
+    generic_system,
+    paper_case_study_board,
+    paper_case_study_system,
+    pentium_host,
+    system_by_name,
+    time_multiplexed_fpga,
+    wildforce_link,
+    xc4044,
+    xc6200,
+    xc6200_system,
+)
+from .device import CLB, FpgaDevice, ResourceVector, clbs, make_device
+from .host import HostSpec
+from .memory import MemoryBank, MemorySubsystem, single_bank
+
+__all__ = [
+    "CLB",
+    "DEFAULT_HANDSHAKE_TIME",
+    "FpgaDevice",
+    "HostLink",
+    "HostSpec",
+    "MemoryBank",
+    "MemorySubsystem",
+    "PCI_WORD_TRANSFER_TIME",
+    "ReconfigurableBoard",
+    "ResourceVector",
+    "RtrSystem",
+    "SYSTEM_PRESETS",
+    "clbs",
+    "generic_system",
+    "make_device",
+    "paper_case_study_board",
+    "paper_case_study_system",
+    "pci_link",
+    "pentium_host",
+    "single_bank",
+    "system_by_name",
+    "time_multiplexed_fpga",
+    "wildforce_link",
+    "xc4044",
+    "xc6200",
+    "xc6200_system",
+]

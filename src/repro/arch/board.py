@@ -1,0 +1,127 @@
+"""Reconfigurable board and full RTR system models.
+
+A *board* couples one FPGA device with an on-board memory subsystem and the
+link back to the host (Figure 1 of the paper).  An *RTR system* is the board
+plus the host.  These objects are the single source of the architectural
+parameters consumed by the temporal partitioner (``R_max``, ``M_max``, ``CT``),
+the loop-fission analysis (``D_tr``, handshake cost), and the execution
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ArchitectureError
+from .bus import HostLink
+from .device import FpgaDevice, ResourceVector
+from .host import HostSpec
+from .memory import MemorySubsystem
+
+
+@dataclass(frozen=True)
+class ReconfigurableBoard:
+    """An FPGA board with on-board memory, reachable from a host over a link."""
+
+    name: str
+    fpga: FpgaDevice
+    memory: MemorySubsystem
+    link: HostLink
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ArchitectureError("board name must not be empty")
+
+    # -- The three architecture constraints of Section 2.1 -----------------
+
+    @property
+    def resource_capacity(self) -> ResourceVector:
+        """``R_max`` — resource capacity of the FPGA."""
+        return self.fpga.capacity
+
+    @property
+    def memory_capacity_words(self) -> int:
+        """``M_max`` — temporary on-board memory size in words."""
+        return self.memory.total_words
+
+    @property
+    def reconfiguration_time(self) -> float:
+        """``CT`` — reconfiguration time for the FPGA in seconds."""
+        return self.fpga.reconfiguration_time
+
+    @property
+    def word_transfer_time(self) -> float:
+        """``D_tr`` — host <-> board-memory transfer time per word, seconds."""
+        return self.link.word_transfer_time
+
+    def with_fpga(self, fpga: FpgaDevice) -> "ReconfigurableBoard":
+        """Copy of this board with a different FPGA (e.g. for CT sweeps)."""
+        return ReconfigurableBoard(
+            name=self.name, fpga=fpga, memory=self.memory, link=self.link
+        )
+
+    def with_reconfiguration_time(self, reconfiguration_time: float) -> "ReconfigurableBoard":
+        """Copy of this board with the FPGA's ``CT`` replaced."""
+        return self.with_fpga(self.fpga.with_reconfiguration_time(reconfiguration_time))
+
+    def describe(self) -> str:
+        """Multi-line human readable summary."""
+        return "\n".join(
+            [
+                f"board {self.name}",
+                f"  fpga:   {self.fpga.describe()}",
+                f"  memory: {self.memory.describe()}",
+                f"  link:   {self.link.describe()}",
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class RtrSystem:
+    """The complete run-time reconfigured system: host + board (Figure 1)."""
+
+    board: ReconfigurableBoard
+    host: HostSpec
+
+    # Convenience pass-throughs so most call sites only carry an RtrSystem.
+
+    @property
+    def fpga(self) -> FpgaDevice:
+        """The board's FPGA device."""
+        return self.board.fpga
+
+    @property
+    def resource_capacity(self) -> ResourceVector:
+        """``R_max`` of the board's FPGA."""
+        return self.board.resource_capacity
+
+    @property
+    def memory_capacity_words(self) -> int:
+        """``M_max`` of the board's memory subsystem."""
+        return self.board.memory_capacity_words
+
+    @property
+    def reconfiguration_time(self) -> float:
+        """``CT`` of the board's FPGA."""
+        return self.board.reconfiguration_time
+
+    @property
+    def word_transfer_time(self) -> float:
+        """``D_tr`` of the host link."""
+        return self.board.word_transfer_time
+
+    @property
+    def handshake_time(self) -> float:
+        """Per-invocation host handshake cost of the link."""
+        return self.board.link.handshake_time
+
+    def with_reconfiguration_time(self, reconfiguration_time: float) -> "RtrSystem":
+        """Copy of this system with the FPGA's ``CT`` replaced."""
+        return RtrSystem(
+            board=self.board.with_reconfiguration_time(reconfiguration_time),
+            host=self.host,
+        )
+
+    def describe(self) -> str:
+        """Multi-line human readable summary."""
+        return self.board.describe() + f"\n  host:   {self.host.describe()}"

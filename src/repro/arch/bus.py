@@ -1,0 +1,104 @@
+"""Host <-> board interconnect model.
+
+The paper's host communicates with the reconfigurable board "by
+reading/writing data on the board memory, using a simple handshaking protocol
+through the PCI bus running at 33 MHz".  The quantity the loop-fission
+analysis needs is ``D_tr`` — "delay in communicating 1 memory element between
+the host and the memory of the FPGA" — plus a fixed per-invocation handshake
+cost (start signal / wait for finish), which is what makes batching k
+computations per invocation worthwhile even before reconfiguration overhead is
+considered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ArchitectureError
+from ..units import period_from_frequency, us
+
+
+@dataclass(frozen=True)
+class HostLink:
+    """Timing model of the host <-> board data path.
+
+    Parameters
+    ----------
+    name:
+        Link name, e.g. ``"PCI-33"``.
+    word_transfer_time:
+        ``D_tr``: seconds to move one memory word between host and board
+        memory (includes per-word protocol overhead).
+    handshake_time:
+        Fixed cost per board invocation: writing the start signal and polling
+        / waiting for the finish signal.
+    configuration_load_time:
+        Extra host-side cost per configuration load beyond the device's own
+        reconfiguration time ``CT`` (e.g. reading the bitstream from disk).
+        The paper folds everything into the 100 ms figure, so the default is
+        zero.
+    """
+
+    name: str
+    word_transfer_time: float
+    handshake_time: float = 0.0
+    configuration_load_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.word_transfer_time < 0:
+            raise ArchitectureError("word_transfer_time must be non-negative")
+        if self.handshake_time < 0:
+            raise ArchitectureError("handshake_time must be non-negative")
+        if self.configuration_load_time < 0:
+            raise ArchitectureError("configuration_load_time must be non-negative")
+
+    def transfer_time(self, words: int) -> float:
+        """Time in seconds to move *words* memory words across the link."""
+        if words < 0:
+            raise ArchitectureError(f"cannot transfer a negative word count: {words}")
+        return words * self.word_transfer_time
+
+    def invocation_overhead(self) -> float:
+        """Fixed host-side cost of starting the board and awaiting completion."""
+        return self.handshake_time
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"{self.name}: D_tr={self.word_transfer_time * 1e9:.1f} ns/word, "
+            f"handshake={self.handshake_time * 1e6:.2f} us"
+        )
+
+
+def pci_link(
+    frequency_hz: float = 33_000_000.0,
+    words_per_cycle: float = 1.0,
+    protocol_overhead_factor: float = 1.0,
+    handshake_time: float = us(2.0),
+    name: str = "PCI-33",
+) -> HostLink:
+    """Build a :class:`HostLink` describing a PCI-style bus.
+
+    The per-word transfer time is derived from the bus clock: a 33 MHz, 32-bit
+    PCI bus moves one word per cycle in burst mode, i.e. ~30 ns per word.  The
+    *protocol_overhead_factor* scales this to account for non-burst accesses
+    and driver overhead.
+
+    The default 2 us handshake reflects a programmed-I/O start/finish exchange
+    across PCI on a mid-1990s host, which is what makes the per-invocation
+    batching of loop fission profitable; it can be set to zero to model an
+    idealised link.
+    """
+    if frequency_hz <= 0:
+        raise ArchitectureError("bus frequency must be positive")
+    if words_per_cycle <= 0:
+        raise ArchitectureError("words_per_cycle must be positive")
+    if protocol_overhead_factor < 1.0:
+        raise ArchitectureError("protocol_overhead_factor must be >= 1")
+    cycle = period_from_frequency(frequency_hz)
+    word_time = cycle / words_per_cycle * protocol_overhead_factor
+    return HostLink(
+        name=name,
+        word_transfer_time=word_time,
+        handshake_time=handshake_time,
+    )

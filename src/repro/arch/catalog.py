@@ -1,0 +1,186 @@
+"""Named presets for devices, boards and systems.
+
+The most important preset is :func:`paper_case_study_system`, which models the
+board used in the paper's JPEG case study:
+
+* a single Xilinx XC4044 FPGA with 1600 CLBs,
+* a single 64K x 32-bit on-board memory bank,
+* 100 ms per reconfiguration,
+* a 200 MHz Pentium host attached over a 33 MHz PCI bus.
+
+A second preset models the hypothetical XC6200-class device with a 500 us
+reconfiguration time used for the paper's closing conjecture.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import ArchitectureError
+from ..units import kilowords, ms, ns, us
+from .board import ReconfigurableBoard, RtrSystem
+from .bus import HostLink, pci_link
+from .device import FpgaDevice, clbs, make_device
+from .host import HostSpec
+
+#: Default per-word transfer time over the paper's PCI link (seconds).
+#: One 32-bit word per 33 MHz cycle, ~30 ns.
+PCI_WORD_TRANSFER_TIME = 1.0 / 33_000_000.0
+
+#: Default host handshake time per board invocation (seconds).
+DEFAULT_HANDSHAKE_TIME = us(2.0)
+
+
+def xc4044(reconfiguration_time: float = ms(100)) -> FpgaDevice:
+    """The Xilinx XC4044 used in the case study: 1600 CLBs, 100 ms reconfig."""
+    return FpgaDevice(
+        name="XC4044",
+        family="xc4000",
+        capacity=clbs(1600),
+        reconfiguration_time=reconfiguration_time,
+        min_clock_period=ns(20),
+        max_clock_period=ns(1000),
+    )
+
+
+def xc6200(reconfiguration_time: float = us(500)) -> FpgaDevice:
+    """An XC6200-class device with a 500 us reconfiguration overhead.
+
+    This models the paper's closing conjecture ("For a XC6000 series FPGA,
+    with a reconfiguration overhead of for eg., 500 us ...").  Resource
+    capacity is kept at the XC4044 level so the same partitioning is reused
+    and only the reconfiguration overhead changes.
+    """
+    return FpgaDevice(
+        name="XC6200",
+        family="xc6200",
+        capacity=clbs(1600),
+        reconfiguration_time=reconfiguration_time,
+        min_clock_period=ns(20),
+        max_clock_period=ns(1000),
+    )
+
+
+def time_multiplexed_fpga(reconfiguration_time: float = ns(100)) -> FpgaDevice:
+    """A Time-Multiplexed-FPGA-class device with nanosecond reconfiguration.
+
+    The paper cites Trimberger's Time-Multiplexed FPGA as the fast end of the
+    reconfiguration-overhead spectrum; this preset is used by the
+    reconfiguration-time ablation sweep.
+    """
+    return FpgaDevice(
+        name="TM-FPGA",
+        family="tmfpga",
+        capacity=clbs(1600),
+        reconfiguration_time=reconfiguration_time,
+        min_clock_period=ns(20),
+        max_clock_period=ns(1000),
+    )
+
+
+def wildforce_link(
+    handshake_time: float = DEFAULT_HANDSHAKE_TIME,
+    word_transfer_time: float = PCI_WORD_TRANSFER_TIME,
+) -> HostLink:
+    """The WildForce-style PCI link of the case-study board."""
+    return HostLink(
+        name="PCI-33",
+        word_transfer_time=word_transfer_time,
+        handshake_time=handshake_time,
+    )
+
+
+def pentium_host() -> HostSpec:
+    """The 200 MHz Pentium host of the case study."""
+    return HostSpec(name="Pentium-200", clock_hz=200_000_000.0)
+
+
+def paper_case_study_board(
+    reconfiguration_time: float = ms(100),
+    memory_words: int = kilowords(64),
+    handshake_time: float = DEFAULT_HANDSHAKE_TIME,
+    word_transfer_time: float = PCI_WORD_TRANSFER_TIME,
+) -> ReconfigurableBoard:
+    """The reconfigurable board of Section 4 (XC4044 + 64K x 32 memory + PCI)."""
+    from .memory import single_bank
+
+    return ReconfigurableBoard(
+        name="wildforce-xc4044",
+        fpga=xc4044(reconfiguration_time),
+        memory=single_bank(memory_words, word_bits=32),
+        link=wildforce_link(handshake_time, word_transfer_time),
+    )
+
+
+def paper_case_study_system(
+    reconfiguration_time: float = ms(100),
+    memory_words: int = kilowords(64),
+    handshake_time: float = DEFAULT_HANDSHAKE_TIME,
+    word_transfer_time: float = PCI_WORD_TRANSFER_TIME,
+) -> RtrSystem:
+    """The complete case-study system: paper board + Pentium-200 host."""
+    return RtrSystem(
+        board=paper_case_study_board(
+            reconfiguration_time=reconfiguration_time,
+            memory_words=memory_words,
+            handshake_time=handshake_time,
+            word_transfer_time=word_transfer_time,
+        ),
+        host=pentium_host(),
+    )
+
+
+def xc6200_system() -> RtrSystem:
+    """The case-study system with the XC6200-class device (CT = 500 us)."""
+    base = paper_case_study_board()
+    return RtrSystem(board=base.with_fpga(xc6200()), host=pentium_host())
+
+
+def generic_system(
+    clb_capacity: int = 1000,
+    memory_words: int = 32768,
+    reconfiguration_time: float = ms(10),
+    word_transfer_time: float = PCI_WORD_TRANSFER_TIME,
+    handshake_time: float = DEFAULT_HANDSHAKE_TIME,
+) -> RtrSystem:
+    """A parameterisable single-FPGA system for synthetic experiments."""
+    from .memory import single_bank
+
+    device = make_device(
+        "GENERIC",
+        clb_capacity=clb_capacity,
+        reconfiguration_time=reconfiguration_time,
+    )
+    board = ReconfigurableBoard(
+        name="generic-board",
+        fpga=device,
+        memory=single_bank(memory_words),
+        link=HostLink(
+            name="generic-link",
+            word_transfer_time=word_transfer_time,
+            handshake_time=handshake_time,
+        ),
+    )
+    return RtrSystem(board=board, host=HostSpec(name="generic-host"))
+
+
+#: Registry of named system presets, for CLI-ish / string-driven selection.
+SYSTEM_PRESETS: Dict[str, Callable[[], RtrSystem]] = {
+    "paper-xc4044": paper_case_study_system,
+    "paper-xc6200": xc6200_system,
+    "generic": generic_system,
+}
+
+
+def system_by_name(name: str) -> RtrSystem:
+    """Instantiate one of the named system presets.
+
+    >>> system_by_name("paper-xc4044").fpga.name
+    'XC4044'
+    """
+    try:
+        factory = SYSTEM_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(SYSTEM_PRESETS))
+        raise ArchitectureError(f"unknown system preset {name!r}; known: {known}")
+    return factory()

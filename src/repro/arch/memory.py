@@ -1,0 +1,136 @@
+"""On-board memory models.
+
+The RTR architecture of the paper (Figure 1) places a memory bank next to the
+FPGA.  Data flowing between temporal partitions is stored there, and the host
+reads/writes it over the system bus.  The temporal partitioner only needs the
+capacity ``M_max`` in words; the memory mapper and the simulator additionally
+use the word width and (optionally) an access time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ArchitectureError
+from ..units import format_words
+
+
+@dataclass(frozen=True)
+class MemoryBank:
+    """A single on-board memory bank.
+
+    Parameters
+    ----------
+    name:
+        Bank name, e.g. ``"bank0"``.
+    capacity_words:
+        Number of addressable words (the paper's board has a 64K bank).
+    word_bits:
+        Width of each word in bits (32 on the paper's board).
+    access_time:
+        Time for one word access from the FPGA side, in seconds.  Only used by
+        the cycle-accurate portions of the simulator; the paper folds memory
+        access into the task delay estimates.
+    """
+
+    name: str
+    capacity_words: int
+    word_bits: int = 32
+    access_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_words <= 0:
+            raise ArchitectureError(
+                f"memory bank {self.name!r} must have positive capacity"
+            )
+        if self.word_bits <= 0:
+            raise ArchitectureError(
+                f"memory bank {self.name!r} must have positive word width"
+            )
+        if self.access_time < 0:
+            raise ArchitectureError(
+                f"memory bank {self.name!r} has negative access time"
+            )
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Capacity in bytes (word width rounded up to whole bytes)."""
+        return self.capacity_words * ((self.word_bits + 7) // 8)
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"{self.name}: {format_words(self.capacity_words)} x {self.word_bits} bit"
+        )
+
+
+@dataclass(frozen=True)
+class MemorySubsystem:
+    """The collection of memory banks attached to the reconfigurable device.
+
+    The paper's case-study board has a single 64K x 32 bank; other boards (and
+    our synthetic architectures) may have several.  The temporal partitioner
+    treats the subsystem as a single pool of ``M_max`` words, which matches the
+    paper's single-constraint formulation; the memory mapper is the component
+    that knows about individual banks.
+    """
+
+    banks: tuple
+
+    def __post_init__(self) -> None:
+        if not self.banks:
+            raise ArchitectureError("memory subsystem must have at least one bank")
+        names = [bank.name for bank in self.banks]
+        if len(names) != len(set(names)):
+            raise ArchitectureError(f"duplicate memory bank names: {names}")
+        widths = {bank.word_bits for bank in self.banks}
+        if len(widths) > 1:
+            raise ArchitectureError(
+                f"all banks must share a word width, got {sorted(widths)}"
+            )
+
+    @property
+    def total_words(self) -> int:
+        """Total capacity across all banks, the paper's ``M_max``."""
+        return sum(bank.capacity_words for bank in self.banks)
+
+    @property
+    def word_bits(self) -> int:
+        """Word width shared by all banks."""
+        return self.banks[0].word_bits
+
+    @property
+    def bank_names(self) -> List[str]:
+        """Names of the banks in declaration order."""
+        return [bank.name for bank in self.banks]
+
+    def bank(self, name: str) -> MemoryBank:
+        """Look up a bank by name."""
+        for bank in self.banks:
+            if bank.name == name:
+                return bank
+        raise ArchitectureError(f"unknown memory bank {name!r}")
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        return "; ".join(bank.describe() for bank in self.banks)
+
+
+def single_bank(
+    capacity_words: int,
+    word_bits: int = 32,
+    name: str = "bank0",
+    access_time: float = 0.0,
+) -> MemorySubsystem:
+    """A memory subsystem consisting of one bank (the common case)."""
+    return MemorySubsystem(
+        banks=(
+            MemoryBank(
+                name=name,
+                capacity_words=capacity_words,
+                word_bits=word_bits,
+                access_time=access_time,
+            ),
+        )
+    )

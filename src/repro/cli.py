@@ -1,0 +1,275 @@
+"""Command-line interface for the library.
+
+The CLI exposes the flows a downstream user most commonly wants without
+writing Python:
+
+* ``repro partition <taskgraph.json>`` — temporally partition a task graph
+  (ILP or a heuristic) on a named or custom system and print the result;
+* ``repro flow <taskgraph.json>`` — run the complete Figure-2 flow (partition,
+  loop fission, memory map, host code);
+* ``repro table1`` / ``repro table2`` — regenerate the paper's tables;
+* ``repro case-study`` — print the full case-study summary (partitioning,
+  fission analysis, headline comparisons);
+* ``repro systems`` — list the named system presets.
+
+Run ``python -m repro.cli --help`` (or ``repro --help`` once installed with
+entry points) for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .arch import SYSTEM_PRESETS, generic_system, system_by_name
+from .errors import ReproError
+from .experiments import (
+    build_case_study,
+    format_reproduction_report,
+    reproduce_table1,
+    reproduce_table2,
+    reproduction_report,
+)
+from .experiments.table2 import xc6000_conjecture
+from .fission import SequencingStrategy, compare_static_vs_rtr
+from .jpeg import build_dct_task_graph, static_design_delay
+from .partition import (
+    IlpTemporalPartitioner,
+    LevelClusteringPartitioner,
+    ListTemporalPartitioner,
+    PartitionProblem,
+    assert_valid,
+    compute_metrics,
+)
+from .synth import DesignFlow, FlowOptions
+from .taskgraph import load as load_taskgraph
+from .units import format_time
+
+
+def _make_system(args: argparse.Namespace):
+    """Build the target system from --system / --clbs / --memory / --ct."""
+    if args.system != "custom":
+        system = system_by_name(args.system)
+        if args.ct is not None:
+            system = system.with_reconfiguration_time(args.ct / 1000.0)
+        return system
+    return generic_system(
+        clb_capacity=args.clbs,
+        memory_words=args.memory,
+        reconfiguration_time=(args.ct if args.ct is not None else 10.0) / 1000.0,
+    )
+
+
+def _load_graph(path: Optional[str]):
+    """Load a task graph from JSON, or default to the case-study DCT graph."""
+    if path is None or path == "dct":
+        return build_dct_task_graph()
+    return load_taskgraph(path)
+
+
+# ---------------------------------------------------------------------------
+# Sub-command implementations
+# ---------------------------------------------------------------------------
+
+def cmd_systems(args: argparse.Namespace) -> int:
+    print("Available system presets:")
+    for name in sorted(SYSTEM_PRESETS):
+        system = system_by_name(name)
+        print(f"  {name:<14} {system.fpga.describe()}")
+    print("  custom         use --clbs/--memory/--ct to define an ad-hoc system")
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.taskgraph)
+    system = _make_system(args)
+    problem = PartitionProblem.from_system(graph, system)
+    if args.partitioner == "ilp":
+        partitioner = IlpTemporalPartitioner(backend=args.backend)
+    elif args.partitioner == "list":
+        partitioner = ListTemporalPartitioner()
+    else:
+        partitioner = LevelClusteringPartitioner()
+    result = partitioner.partition(problem)
+    assert_valid(problem, result)
+    print(result.describe())
+    metrics = compute_metrics(result, problem.resource_capacity)
+    print(f"mean utilisation: {metrics.mean_utilisation * 100:.0f}%  "
+          f"max boundary transfer: {metrics.max_boundary_words} words")
+    if args.partitioner == "ilp" and partitioner.last_report is not None:
+        report = partitioner.last_report
+        print(f"ILP: {report.model_variables} variables, {report.model_constraints} "
+              f"constraints, solved in {report.solve_time:.2f} s "
+              f"(bounds tried: {report.attempted_bounds})")
+    return 0
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.taskgraph)
+    system = _make_system(args)
+    options = FlowOptions(
+        partitioner=args.partitioner,
+        round_memory_blocks=args.round_blocks,
+    )
+    design = DesignFlow(system, options).build(graph)
+    print(design.describe())
+    print()
+    print(design.memory_map.describe())
+    print()
+    strategy = SequencingStrategy(args.strategy)
+    print(f"--- host sequencing code ({strategy.value.upper()}) ---")
+    print(design.host_code_for(strategy))
+    if args.blocks:
+        static_spec = None
+        if args.static_block_delay_ns:
+            from .fission import static_timing_spec
+
+            static_spec = static_timing_spec(
+                args.static_block_delay_ns * 1e-9,
+                graph.total_env_input_words(),
+                graph.total_env_output_words(),
+            )
+        if static_spec is not None:
+            comparison = compare_static_vs_rtr(
+                strategy, static_spec, design.timing_spec, args.blocks, system
+            )
+            verdict = "RTR wins" if comparison.rtr_wins else "static wins"
+            print(f"{args.blocks} computations: static {comparison.static.total:.3f} s, "
+                  f"RTR {comparison.rtr.total:.3f} s ({comparison.improvement * 100:+.1f}%, {verdict})")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    study = build_case_study(use_ilp=not args.no_ilp)
+    result = reproduce_table1(study)
+    print(result.formatted())
+    print(f"\nFDH ever beats the static design: {result.fdh_ever_improves} (paper: never)")
+    print(f"Reconfiguration-absorption point: {result.breakeven_blocks} blocks/run "
+          "(paper: ~42,553)")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    study = build_case_study(use_ilp=not args.no_ilp)
+    result = reproduce_table2(study)
+    print(result.formatted())
+    print(f"\nIDH improvement at 245,760 blocks: {result.improvement_at_largest * 100:.1f}% "
+          "(paper: 42%)")
+    print(f"XC6000 conjecture (CT = 500 us): {result.xc6000_improvement * 100:.1f}% (paper: 47%)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    report = reproduction_report(use_ilp=not args.no_ilp)
+    print(format_reproduction_report(report))
+    return 0 if report.all_ok else 1
+
+
+def cmd_case_study(args: argparse.Namespace) -> int:
+    study = build_case_study(use_ilp=not args.no_ilp)
+    print(study.system.describe())
+    print()
+    print(study.partitioning.describe())
+    print(study.fission.describe())
+    print()
+    gap = static_design_delay() - study.rtr_spec.block_delay
+    print(f"Per-block latency: static {format_time(static_design_delay())}, "
+          f"RTR {format_time(study.rtr_spec.block_delay)} (gap {format_time(gap)})")
+    for strategy in SequencingStrategy:
+        comparison = compare_static_vs_rtr(
+            strategy, study.static_spec, study.rtr_spec, 245_760, study.system
+        )
+        verdict = "RTR wins" if comparison.rtr_wins else "static wins"
+        print(f"  {strategy.value.upper()}: improvement {comparison.improvement * 100:+.1f}% ({verdict})")
+    print(f"  XC6000 conjecture: {xc6000_conjecture(study) * 100:.1f}%")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--system", default="paper-xc4044",
+        choices=sorted(SYSTEM_PRESETS) + ["custom"],
+        help="target system preset (default: the paper's XC4044 board)",
+    )
+    parser.add_argument("--clbs", type=int, default=1000,
+                        help="CLB capacity for --system custom")
+    parser.add_argument("--memory", type=int, default=32768,
+                        help="on-board memory in words for --system custom")
+    parser.add_argument("--ct", type=float, default=None,
+                        help="reconfiguration time in milliseconds (overrides the preset)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Temporal partitioning and loop fission for RTR FPGA synthesis "
+                    "(DAC 1999 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    systems = subparsers.add_parser("systems", help="list the named system presets")
+    systems.set_defaults(handler=cmd_systems)
+
+    partition = subparsers.add_parser("partition", help="temporally partition a task graph")
+    partition.add_argument("taskgraph", nargs="?", default="dct",
+                           help="task-graph JSON file, or 'dct' for the case study (default)")
+    partition.add_argument("--partitioner", default="ilp", choices=["ilp", "list", "level"])
+    partition.add_argument("--backend", default="scipy",
+                           choices=["scipy", "branch-and-bound"],
+                           help="ILP solver backend")
+    _add_system_arguments(partition)
+    partition.set_defaults(handler=cmd_partition)
+
+    flow = subparsers.add_parser("flow", help="run the complete design flow")
+    flow.add_argument("taskgraph", nargs="?", default="dct")
+    flow.add_argument("--partitioner", default="ilp", choices=["ilp", "list", "level"])
+    flow.add_argument("--strategy", default="idh", choices=["fdh", "idh"])
+    flow.add_argument("--round-blocks", action="store_true",
+                      help="round memory blocks to powers of two (concatenation addressing)")
+    flow.add_argument("--blocks", type=int, default=0,
+                      help="workload size for a static-vs-RTR comparison")
+    flow.add_argument("--static-block-delay-ns", type=float, default=0.0,
+                      help="per-computation delay of the static baseline, in ns")
+    _add_system_arguments(flow)
+    flow.set_defaults(handler=cmd_flow)
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table 1 (FDH)")
+    table1.add_argument("--no-ilp", action="store_true",
+                        help="use the paper's reference assignment instead of solving the ILP")
+    table1.set_defaults(handler=cmd_table1)
+
+    table2 = subparsers.add_parser("table2", help="regenerate Table 2 (IDH)")
+    table2.add_argument("--no-ilp", action="store_true")
+    table2.set_defaults(handler=cmd_table2)
+
+    case_study = subparsers.add_parser("case-study", help="print the full case-study summary")
+    case_study.add_argument("--no-ilp", action="store_true")
+    case_study.set_defaults(handler=cmd_case_study)
+
+    report = subparsers.add_parser(
+        "report", help="compare every paper claim against the reproduction"
+    )
+    report.add_argument("--no-ilp", action="store_true")
+    report.set_defaults(handler=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""Builders for common DSP data-flow graphs.
+
+The most important builder is :func:`vector_product_dfg`, which constructs the
+multiply/accumulate tree of the paper's Figure 8 — the DCT in the case study
+is a collection of 32 such vector products.  Additional builders (FIR taps,
+sum-of-products, butterflies, expression chains) are used by the synthetic
+benchmarks and the random task-graph generator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import SpecificationError
+from .graph import DataFlowGraph
+from .operations import OpKind, Operation, result_width
+
+
+class DfgBuilder:
+    """Small fluent helper that keeps track of unique node names."""
+
+    def __init__(self, name: str) -> None:
+        self.dfg = DataFlowGraph(name)
+        self._counter = 0
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def input(self, name: Optional[str] = None, width: int = 16) -> str:
+        """Add an INPUT node and return its name."""
+        node = name or self._fresh("in")
+        self.dfg.add_operation(Operation(node, OpKind.INPUT, width=width))
+        return node
+
+    def const(self, value: float, name: Optional[str] = None, width: int = 16) -> str:
+        """Add a CONST node and return its name."""
+        node = name or self._fresh("const")
+        self.dfg.add_operation(Operation(node, OpKind.CONST, width=width, value=value))
+        return node
+
+    def op(
+        self,
+        kind: OpKind,
+        inputs: Sequence[str],
+        name: Optional[str] = None,
+        width: Optional[int] = None,
+    ) -> str:
+        """Add a compute node fed by *inputs* and return its name."""
+        node = name or self._fresh(kind.value)
+        input_widths = tuple(self.dfg.operation(i).width for i in inputs)
+        out_width = width if width is not None else result_width(kind, input_widths)
+        self.dfg.add_operation(Operation(node, kind, width=out_width))
+        for producer in inputs:
+            self.dfg.add_dependency(producer, node)
+        return node
+
+    def add(self, a: str, b: str, name: Optional[str] = None, width: Optional[int] = None) -> str:
+        """Add an ADD node."""
+        return self.op(OpKind.ADD, [a, b], name=name, width=width)
+
+    def mul(self, a: str, b: str, name: Optional[str] = None, width: Optional[int] = None) -> str:
+        """Add a MUL node."""
+        return self.op(OpKind.MUL, [a, b], name=name, width=width)
+
+    def output(self, source: str, name: Optional[str] = None, width: Optional[int] = None) -> str:
+        """Add an OUTPUT node fed by *source* and return its name."""
+        node = name or self._fresh("out")
+        out_width = width if width is not None else self.dfg.operation(source).width
+        self.dfg.add_operation(Operation(node, OpKind.OUTPUT, width=out_width))
+        self.dfg.add_dependency(source, node)
+        return node
+
+    def build(self) -> DataFlowGraph:
+        """Validate and return the constructed DFG."""
+        self.dfg.validate()
+        return self.dfg
+
+
+def vector_product_dfg(
+    length: int = 4,
+    input_width: int = 8,
+    coefficient_width: int = 8,
+    name: str = "vector_product",
+) -> DataFlowGraph:
+    """The vector-product DFG of the paper's Figure 8.
+
+    Computes ``sum_i x[i] * c[i]`` for *length* elements: *length* parallel
+    multiplications feeding a balanced adder tree.  The case-study DCT tasks
+    are 4-element vector products; T1 tasks use 8/9-bit operands and T2 tasks
+    use wider (17-bit) operands, which is expressed through *input_width* and
+    *coefficient_width*.
+    """
+    if length < 1:
+        raise SpecificationError(f"vector product length must be >= 1, got {length}")
+    builder = DfgBuilder(name)
+    products: List[str] = []
+    for index in range(length):
+        x_node = builder.input(f"x{index}", width=input_width)
+        c_node = builder.const(0.0, f"c{index}", width=coefficient_width)
+        products.append(builder.mul(x_node, c_node, name=f"m{index}"))
+    # Balanced adder tree over the products.
+    frontier = products
+    level = 0
+    while len(frontier) > 1:
+        next_frontier: List[str] = []
+        for pair_index in range(0, len(frontier) - 1, 2):
+            node = builder.add(
+                frontier[pair_index],
+                frontier[pair_index + 1],
+                name=f"a{level}_{pair_index // 2}",
+            )
+            next_frontier.append(node)
+        if len(frontier) % 2:
+            next_frontier.append(frontier[-1])
+        frontier = next_frontier
+        level += 1
+    builder.output(frontier[0], name="y")
+    return builder.build()
+
+
+def fir_tap_dfg(
+    taps: int = 4,
+    input_width: int = 12,
+    coefficient_width: int = 12,
+    name: str = "fir",
+) -> DataFlowGraph:
+    """A *taps*-tap FIR filter slice: transposed-form MAC chain.
+
+    Unlike the balanced tree of :func:`vector_product_dfg`, this builder
+    produces a sequential accumulate chain, which exercises a different
+    schedule shape (long critical path, little parallelism).
+    """
+    if taps < 1:
+        raise SpecificationError(f"FIR tap count must be >= 1, got {taps}")
+    builder = DfgBuilder(name)
+    accumulator: Optional[str] = None
+    for index in range(taps):
+        x_node = builder.input(f"x{index}", width=input_width)
+        c_node = builder.const(0.0, f"c{index}", width=coefficient_width)
+        product = builder.mul(x_node, c_node, name=f"m{index}")
+        if accumulator is None:
+            accumulator = product
+        else:
+            accumulator = builder.add(accumulator, product, name=f"acc{index}")
+    builder.output(accumulator, name="y")
+    return builder.build()
+
+
+def butterfly_dfg(width: int = 16, name: str = "butterfly") -> DataFlowGraph:
+    """A radix-2 FFT butterfly: two inputs, a twiddle multiply, sum and diff."""
+    builder = DfgBuilder(name)
+    a = builder.input("a", width=width)
+    b = builder.input("b", width=width)
+    twiddle = builder.const(0.0, "w", width=width)
+    scaled = builder.mul(b, twiddle, name="bw")
+    builder.output(builder.add(a, scaled, name="sum"), name="y0")
+    builder.output(builder.op(OpKind.SUB, [a, scaled], name="diff"), name="y1")
+    return builder.build()
+
+
+def sum_of_products_dfg(
+    terms: int = 3,
+    width: int = 16,
+    name: str = "sum_of_products",
+) -> DataFlowGraph:
+    """``sum_i a[i]*b[i]`` with both operands being live inputs (no constants)."""
+    if terms < 1:
+        raise SpecificationError(f"terms must be >= 1, got {terms}")
+    builder = DfgBuilder(name)
+    accumulator: Optional[str] = None
+    for index in range(terms):
+        a_node = builder.input(f"a{index}", width=width)
+        b_node = builder.input(f"b{index}", width=width)
+        product = builder.mul(a_node, b_node, name=f"p{index}")
+        if accumulator is None:
+            accumulator = product
+        else:
+            accumulator = builder.add(accumulator, product, name=f"s{index}")
+    builder.output(accumulator, name="y")
+    return builder.build()
+
+
+def chain_dfg(
+    length: int = 4,
+    kind: OpKind = OpKind.ADD,
+    width: int = 16,
+    name: str = "chain",
+) -> DataFlowGraph:
+    """A purely sequential chain of *length* identical binary operations.
+
+    Useful for delay-model unit tests: the latency of the chain must equal
+    ``length`` times the component delay (plus register overhead) regardless
+    of how many functional units are allocated.
+    """
+    if length < 1:
+        raise SpecificationError(f"chain length must be >= 1, got {length}")
+    builder = DfgBuilder(name)
+    left = builder.input("x0", width=width)
+    for index in range(length):
+        right = builder.input(f"x{index + 1}", width=width)
+        left = builder.op(kind, [left, right], name=f"n{index}", width=width)
+    builder.output(left, name="y")
+    return builder.build()

@@ -1,0 +1,198 @@
+"""Operation-level data-flow graph container.
+
+A :class:`DataFlowGraph` is a directed acyclic graph of :class:`Operation`
+nodes.  Edges carry no data-volume annotation (each edge is a single scalar
+value of the producer's bit-width); data volumes live at the *task graph*
+level, which is the granularity the temporal partitioner works at.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import CycleError, GraphError
+from .operations import OpKind, Operation
+
+
+class DataFlowGraph:
+    """A directed acyclic graph of operations describing one task's behaviour."""
+
+    def __init__(self, name: str = "dfg") -> None:
+        if not name:
+            raise GraphError("data-flow graph name must not be empty")
+        self.name = name
+        self._graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_operation(self, operation: Operation) -> Operation:
+        """Add an operation node.  Names must be unique within the graph."""
+        if operation.name in self._graph:
+            raise GraphError(
+                f"duplicate operation name {operation.name!r} in DFG {self.name!r}"
+            )
+        self._graph.add_node(operation.name, operation=operation)
+        return operation
+
+    def add_dependency(self, producer: str, consumer: str) -> None:
+        """Add a data dependency edge from *producer* to *consumer*."""
+        for node in (producer, consumer):
+            if node not in self._graph:
+                raise GraphError(
+                    f"unknown operation {node!r} in DFG {self.name!r}"
+                )
+        if producer == consumer:
+            raise GraphError(f"self dependency on operation {producer!r}")
+        self._graph.add_edge(producer, consumer)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(producer, consumer)
+            raise CycleError(
+                f"adding edge {producer!r} -> {consumer!r} creates a cycle in "
+                f"DFG {self.name!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def operation(self, name: str) -> Operation:
+        """The :class:`Operation` stored under *name*."""
+        try:
+            return self._graph.nodes[name]["operation"]
+        except KeyError:
+            raise GraphError(f"unknown operation {name!r} in DFG {self.name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def operations(self) -> Iterator[Operation]:
+        """Iterate over all operations in insertion order."""
+        for name in self._graph.nodes:
+            yield self._graph.nodes[name]["operation"]
+
+    def operation_names(self) -> List[str]:
+        """Names of all operations in insertion order."""
+        return list(self._graph.nodes)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All dependency edges as (producer, consumer) name pairs."""
+        return list(self._graph.edges)
+
+    def predecessors(self, name: str) -> List[str]:
+        """Names of operations feeding *name*."""
+        self.operation(name)
+        return list(self._graph.predecessors(name))
+
+    def successors(self, name: str) -> List[str]:
+        """Names of operations consuming *name*'s result."""
+        self.operation(name)
+        return list(self._graph.successors(name))
+
+    def inputs(self) -> List[Operation]:
+        """All :attr:`OpKind.INPUT` operations."""
+        return [op for op in self.operations() if op.kind is OpKind.INPUT]
+
+    def outputs(self) -> List[Operation]:
+        """All :attr:`OpKind.OUTPUT` operations."""
+        return [op for op in self.operations() if op.kind is OpKind.OUTPUT]
+
+    def constants(self) -> List[Operation]:
+        """All :attr:`OpKind.CONST` operations."""
+        return [op for op in self.operations() if op.kind is OpKind.CONST]
+
+    def compute_operations(self) -> List[Operation]:
+        """Operations that consume a functional unit (non-zero-cost nodes)."""
+        return [op for op in self.operations() if not op.is_zero_cost]
+
+    def operation_counts(self) -> Dict[OpKind, int]:
+        """Histogram of operation kinds (useful for software-cost estimates)."""
+        counts: Dict[OpKind, int] = {}
+        for op in self.operations():
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Structure / analysis
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> List[str]:
+        """Operation names in a topological order."""
+        return list(nx.topological_sort(self._graph))
+
+    def validate(self) -> None:
+        """Check structural invariants, raising :class:`GraphError` on failure.
+
+        * the graph is acyclic (guaranteed by construction, rechecked here);
+        * INPUT and CONST nodes have no predecessors;
+        * OUTPUT nodes have no successors and exactly one predecessor;
+        * every non-source operation has at least one predecessor.
+        """
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise CycleError(f"DFG {self.name!r} contains a cycle")
+        for op in self.operations():
+            preds = self.predecessors(op.name)
+            succs = self.successors(op.name)
+            if op.kind in (OpKind.INPUT, OpKind.CONST) and preds:
+                raise GraphError(
+                    f"{op.kind.value} operation {op.name!r} must not have "
+                    f"predecessors (has {preds})"
+                )
+            if op.kind is OpKind.OUTPUT:
+                if succs:
+                    raise GraphError(
+                        f"output operation {op.name!r} must not have successors"
+                    )
+                if len(preds) != 1:
+                    raise GraphError(
+                        f"output operation {op.name!r} must have exactly one "
+                        f"predecessor, has {len(preds)}"
+                    )
+            if op.kind not in (OpKind.INPUT, OpKind.CONST) and not preds:
+                raise GraphError(
+                    f"operation {op.name!r} of kind {op.kind.value!r} has no inputs"
+                )
+
+    def longest_path_length(self) -> int:
+        """Number of compute operations on the longest dependency chain."""
+        lengths: Dict[str, int] = {}
+        for name in self.topological_order():
+            op = self.operation(name)
+            own = 0 if op.is_zero_cost else 1
+            best_pred = max(
+                (lengths[p] for p in self.predecessors(name)), default=0
+            )
+            lengths[name] = best_pred + own
+        return max(lengths.values(), default=0)
+
+    def subgraph_copy(self, names: Iterable[str], name: Optional[str] = None) -> "DataFlowGraph":
+        """A new DFG containing only the named operations and induced edges."""
+        selected = set(names)
+        result = DataFlowGraph(name or f"{self.name}-sub")
+        for node in self._graph.nodes:
+            if node in selected:
+                result.add_operation(self.operation(node))
+        for producer, consumer in self._graph.edges:
+            if producer in selected and consumer in selected:
+                result.add_dependency(producer, consumer)
+        return result
+
+    def copy(self, name: Optional[str] = None) -> "DataFlowGraph":
+        """A shallow copy (operations are immutable, so sharing is safe)."""
+        return self.subgraph_copy(self._graph.nodes, name or self.name)
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying :class:`networkx.DiGraph`."""
+        return self._graph.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"DataFlowGraph(name={self.name!r}, operations={len(self)}, "
+            f"edges={self._graph.number_of_edges()})"
+        )

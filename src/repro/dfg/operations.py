@@ -1,0 +1,170 @@
+"""Operation vocabulary for operation-level data-flow graphs.
+
+Each task in the behaviour specification is internally a small data-flow graph
+of arithmetic/logic operations annotated with bit-widths.  The HLS estimator
+maps these operations onto library components to estimate area and delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from ..errors import SpecificationError, UnknownOperationError
+
+
+class OpKind(str, Enum):
+    """Kinds of operations supported by the data-flow graph and HLS library."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    CONST = "const"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MAC = "mac"
+    SHIFT_LEFT = "shl"
+    SHIFT_RIGHT = "shr"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    COMPARE = "cmp"
+    MUX = "mux"
+    REGISTER = "reg"
+    MEMORY_READ = "mem_read"
+    MEMORY_WRITE = "mem_write"
+
+    @classmethod
+    def from_string(cls, text: str) -> "OpKind":
+        """Parse an operation kind from its string value.
+
+        >>> OpKind.from_string("add") is OpKind.ADD
+        True
+        """
+        try:
+            return cls(text)
+        except ValueError:
+            known = ", ".join(kind.value for kind in cls)
+            raise UnknownOperationError(
+                f"unknown operation kind {text!r}; known kinds: {known}"
+            )
+
+
+#: Operation kinds that do not consume a functional unit (pure dataflow
+#: endpoints); they contribute neither area nor combinational delay.
+ZERO_COST_KINDS = frozenset({OpKind.INPUT, OpKind.OUTPUT, OpKind.CONST})
+
+#: Operation kinds that read or write the on-board memory.
+MEMORY_KINDS = frozenset({OpKind.MEMORY_READ, OpKind.MEMORY_WRITE})
+
+#: Expected number of data inputs per operation kind (None = variable).
+_ARITY = {
+    OpKind.INPUT: 0,
+    OpKind.CONST: 0,
+    OpKind.OUTPUT: 1,
+    OpKind.NOT: 1,
+    OpKind.REGISTER: 1,
+    OpKind.SHIFT_LEFT: 1,
+    OpKind.SHIFT_RIGHT: 1,
+    OpKind.MEMORY_READ: 1,
+    OpKind.MEMORY_WRITE: 2,
+    OpKind.ADD: 2,
+    OpKind.SUB: 2,
+    OpKind.MUL: 2,
+    OpKind.AND: 2,
+    OpKind.OR: 2,
+    OpKind.XOR: 2,
+    OpKind.COMPARE: 2,
+    OpKind.MUX: 3,
+    OpKind.MAC: 3,
+}
+
+
+def expected_arity(kind: OpKind) -> int:
+    """Number of data inputs an operation of *kind* expects."""
+    return _ARITY[kind]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single operation node in a data-flow graph.
+
+    Parameters
+    ----------
+    name:
+        Unique node name within the owning DFG.
+    kind:
+        The :class:`OpKind` of the operation.
+    width:
+        Output bit-width of the operation.  The component library uses this
+        to pick a characterised component (e.g. a 9-bit vs. 17-bit
+        multiplier).
+    value:
+        Constant value for :attr:`OpKind.CONST` nodes, ignored otherwise.
+    """
+
+    name: str
+    kind: OpKind
+    width: int = 16
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("operation name must not be empty")
+        if self.width <= 0:
+            raise SpecificationError(
+                f"operation {self.name!r} must have a positive bit width, "
+                f"got {self.width}"
+            )
+
+    @property
+    def is_zero_cost(self) -> bool:
+        """Whether the operation consumes no functional unit."""
+        return self.kind in ZERO_COST_KINDS
+
+    @property
+    def is_memory_access(self) -> bool:
+        """Whether the operation reads or writes the on-board memory."""
+        return self.kind in MEMORY_KINDS
+
+    @property
+    def arity(self) -> int:
+        """Number of data inputs the operation expects."""
+        return expected_arity(self.kind)
+
+    def describe(self) -> str:
+        """Compact human-readable description, e.g. ``"mul m3 (17b)"``."""
+        return f"{self.kind.value} {self.name} ({self.width}b)"
+
+
+def make_operation(
+    name: str, kind: str, width: int = 16, value: float = 0.0
+) -> Operation:
+    """Build an :class:`Operation` from plain strings (convenience helper)."""
+    return Operation(name=name, kind=OpKind.from_string(kind), width=width, value=value)
+
+
+def result_width(kind: OpKind, input_widths: Tuple[int, ...]) -> int:
+    """Natural output width of an operation given its input widths.
+
+    This implements the usual bit-growth rules for fixed-point arithmetic:
+    addition grows by one bit, multiplication produces the sum of the input
+    widths, and everything else keeps the widest input.  Builders use it to
+    propagate widths automatically; the user can always override.
+    """
+    widest = max(input_widths) if input_widths else 1
+    if kind in (OpKind.ADD, OpKind.SUB):
+        return widest + 1
+    if kind == OpKind.MUL:
+        if len(input_widths) >= 2:
+            return input_widths[0] + input_widths[1]
+        return widest * 2
+    if kind == OpKind.MAC:
+        if len(input_widths) >= 2:
+            return max(input_widths[0] + input_widths[1], widest) + 1
+        return widest * 2 + 1
+    if kind == OpKind.COMPARE:
+        return 1
+    return widest

@@ -1,0 +1,49 @@
+"""Experiment drivers that regenerate the paper's tables, figures and claims."""
+
+from . import paper_constants
+from .case_study import CaseStudy, build_case_study
+from .figures import (
+    Figure4Result,
+    Figure5Result,
+    Figure8Result,
+    reproduce_figure4,
+    reproduce_figure5,
+    reproduce_figure8,
+)
+from .report import comparison_row, format_table, percentage, seconds_column
+from .summary import (
+    ClaimCheck,
+    ReproductionReport,
+    format_reproduction_report,
+    reproduction_report,
+)
+from .table1 import Table1Result, breakeven_fdh_blocks, fdh_breakeven_workload, reproduce_table1
+from .table2 import Table2Result, reconfiguration_sweep, reproduce_table2, xc6000_conjecture
+
+__all__ = [
+    "CaseStudy",
+    "ClaimCheck",
+    "ReproductionReport",
+    "format_reproduction_report",
+    "reproduction_report",
+    "Figure4Result",
+    "Figure5Result",
+    "Figure8Result",
+    "Table1Result",
+    "Table2Result",
+    "breakeven_fdh_blocks",
+    "build_case_study",
+    "comparison_row",
+    "fdh_breakeven_workload",
+    "format_table",
+    "paper_constants",
+    "percentage",
+    "reconfiguration_sweep",
+    "reproduce_figure4",
+    "reproduce_figure5",
+    "reproduce_figure8",
+    "reproduce_table1",
+    "reproduce_table2",
+    "seconds_column",
+    "xc6000_conjecture",
+]

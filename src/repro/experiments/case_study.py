@@ -1,0 +1,127 @@
+"""Shared setup for the JPEG/DCT case-study experiments.
+
+Builds the complete case study once — task graph, ILP temporal partitioning,
+memory map, loop-fission analysis, timing specs for the static and RTR
+designs — so the Table-1/Table-2/figure drivers and the benches all run from
+exactly the same artefacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..arch.board import RtrSystem
+from ..arch.catalog import paper_case_study_system
+from ..errors import ExperimentError
+from ..fission.analysis import FissionAnalysis, analyse_fission
+from ..fission.strategies import RtrTimingSpec, StaticTimingSpec
+from ..fission.throughput import rtr_timing_spec, static_timing_spec
+from ..jpeg.taskgraph_builder import (
+    build_dct_task_graph,
+    expected_paper_partitioning,
+    static_design_delay,
+)
+from ..memmap.mapper import MemoryMap, build_memory_map
+from ..partition.ilp_partitioner import IlpTemporalPartitioner
+from ..partition.result import TemporalPartitioning
+from ..partition.spec import PartitionProblem
+from ..partition.validate import assert_valid
+from ..taskgraph.graph import TaskGraph
+from . import paper_constants as paper
+
+
+@dataclass
+class CaseStudy:
+    """Everything the case-study experiments need, built once."""
+
+    system: RtrSystem
+    graph: TaskGraph
+    partitioning: TemporalPartitioning
+    memory_map: MemoryMap
+    fission: FissionAnalysis
+    rtr_spec: RtrTimingSpec
+    static_spec: StaticTimingSpec
+    partitioner_solve_time: float = 0.0
+
+    @property
+    def computations_per_run(self) -> int:
+        """The paper's ``k``."""
+        return self.fission.computations_per_run
+
+
+def build_case_study(
+    use_ilp: bool = True,
+    system: Optional[RtrSystem] = None,
+    backend: str = "scipy",
+) -> CaseStudy:
+    """Construct the case study.
+
+    With *use_ilp* (the default) the temporal partitioning is produced by the
+    library's ILP partitioner, exactly as the paper's flow would; setting it
+    to ``False`` uses the paper's reported assignment directly, which is
+    useful for benches that should not pay the solve time.
+    """
+    system = system or paper_case_study_system()
+    graph = build_dct_task_graph()
+    problem = PartitionProblem.from_system(graph, system)
+    solve_time = 0.0
+    if use_ilp:
+        partitioner = IlpTemporalPartitioner(backend=backend)
+        partitioning = partitioner.partition(problem)
+        solve_time = partitioner.last_report.solve_time if partitioner.last_report else 0.0
+    else:
+        assignment = expected_paper_partitioning(graph)
+        partitioning = TemporalPartitioning(
+            graph=graph,
+            assignment=assignment,
+            partition_count=max(assignment.values()),
+            reconfiguration_time=system.reconfiguration_time,
+            method="paper-reference",
+        )
+    assert_valid(problem, partitioning)
+    memory_map = build_memory_map(partitioning)
+    fission = analyse_fission(
+        partitioning, system.memory_capacity_words, memory_map=memory_map
+    )
+    rtr = rtr_timing_spec(partitioning, fission, memory_map)
+    static = static_timing_spec(
+        block_delay=static_design_delay(),
+        env_input_words=paper.BLOCK_INPUT_WORDS,
+        env_output_words=paper.BLOCK_OUTPUT_WORDS,
+        blocks_per_invocation=1,
+    )
+    study = CaseStudy(
+        system=system,
+        graph=graph,
+        partitioning=partitioning,
+        memory_map=memory_map,
+        fission=fission,
+        rtr_spec=rtr,
+        static_spec=static,
+        partitioner_solve_time=solve_time,
+    )
+    _sanity_check(study)
+    return study
+
+
+def _sanity_check(study: CaseStudy) -> None:
+    """Fail fast if the constructed case study does not match the paper's shape."""
+    if study.partitioning.partition_count != paper.EXPECTED_PARTITIONS:
+        raise ExperimentError(
+            f"case study produced {study.partitioning.partition_count} partitions, "
+            f"expected {paper.EXPECTED_PARTITIONS}"
+        )
+    sizes = tuple(
+        sorted((info.task_count for info in study.partitioning.partitions), reverse=True)
+    )
+    if sizes != tuple(sorted(paper.EXPECTED_PARTITION_TASKS, reverse=True)):
+        raise ExperimentError(
+            f"case study partition sizes {sizes} do not match the paper's "
+            f"{paper.EXPECTED_PARTITION_TASKS}"
+        )
+    if study.computations_per_run != paper.EXPECTED_COMPUTATIONS_PER_RUN:
+        raise ExperimentError(
+            f"loop fission produced k={study.computations_per_run}, expected "
+            f"{paper.EXPECTED_COMPUTATIONS_PER_RUN}"
+        )

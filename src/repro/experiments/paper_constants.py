@@ -1,0 +1,114 @@
+"""Every quantitative claim of the paper's evaluation, in one place.
+
+These constants are what the benches compare their measured values against and
+what EXPERIMENTS.md reports.  They come from Section 4 (the case study) and
+the closing remarks of Section 2.2.
+"""
+
+from __future__ import annotations
+
+from ..jpeg.taskgraph_builder import (
+    PARTITION1_CLOCK,
+    PARTITION1_CYCLES,
+    PARTITION23_CLOCK,
+    PARTITION23_CYCLES,
+    STATIC_CLOCK,
+    STATIC_CYCLES,
+    T1_CLBS,
+    T2_CLBS,
+)
+from ..units import ms, ns, us
+
+# ---------------------------------------------------------------------------
+# Target architecture (Section 4)
+# ---------------------------------------------------------------------------
+
+#: CLB capacity of the Xilinx XC4044 used in the case study.
+XC4044_CLBS = 1600
+#: On-board memory: a single 64K bank of 32-bit words.
+MEMORY_WORDS = 64 * 1024
+MEMORY_WORD_BITS = 32
+#: Reconfiguration time of the board.
+RECONFIGURATION_TIME = ms(100)
+#: PCI bus frequency between host and board.
+PCI_FREQUENCY_HZ = 33_000_000
+#: Host processor clock.
+HOST_CLOCK_HZ = 200_000_000
+
+# ---------------------------------------------------------------------------
+# Task estimates and partitioning result (Section 4, re-exported)
+# ---------------------------------------------------------------------------
+
+#: CLBs of the two task types as estimated by the authors' DSS tool.
+T1_TASK_CLBS = T1_CLBS
+T2_TASK_CLBS = T2_CLBS
+#: Number of temporal partitions the ILP produced.
+EXPECTED_PARTITIONS = 3
+#: Task counts per partition (16 T1, 8 T2, 8 T2).
+EXPECTED_PARTITION_TASKS = (16, 8, 8)
+#: CPLEX solve time reported by the paper, in seconds.
+PAPER_ILP_SOLVE_TIME = 3.5
+
+#: Post-synthesis schedules.
+STATIC_DESIGN_CYCLES = STATIC_CYCLES
+STATIC_DESIGN_CLOCK = STATIC_CLOCK
+RTR_PARTITION1_CYCLES = PARTITION1_CYCLES
+RTR_PARTITION1_CLOCK = PARTITION1_CLOCK
+RTR_PARTITION23_CYCLES = PARTITION23_CYCLES
+RTR_PARTITION23_CLOCK = PARTITION23_CLOCK
+
+#: Latency of the static design per 4x4 block (160 cycles @ 100 ns).
+STATIC_BLOCK_LATENCY = STATIC_CYCLES * STATIC_CLOCK
+#: Latency of the RTR design per 4x4 block, ignoring reconfiguration.
+RTR_BLOCK_LATENCY = (
+    PARTITION1_CYCLES * PARTITION1_CLOCK + 2 * PARTITION23_CYCLES * PARTITION23_CLOCK
+)
+#: The in-text claim: the RTR design is 7 560 ns faster per block.
+LATENCY_GAP = ns(7560)
+
+# ---------------------------------------------------------------------------
+# Loop-fission analysis (Section 4)
+# ---------------------------------------------------------------------------
+
+#: Words stored per block computation in each partition (paper counts inputs
+#: plus outputs; pass-through data is not counted by the paper).
+PAPER_PARTITION_BLOCK_WORDS = (32, 16, 16)
+#: k = 64K / max(32, 16, 16).
+EXPECTED_COMPUTATIONS_PER_RUN = 2048
+#: Environment I/O of one 4x4 DCT block: 16 input words, 16 output words.
+BLOCK_INPUT_WORDS = 16
+BLOCK_OUTPUT_WORDS = 16
+
+# ---------------------------------------------------------------------------
+# Tables 1 and 2
+# ---------------------------------------------------------------------------
+
+#: Largest workload in the tables (stated in the text): 245 760 DCT blocks.
+LARGEST_WORKLOAD_BLOCKS = 245_760
+#: I_sw for the largest workload (245 760 / 2 048).
+LARGEST_WORKLOAD_SOFTWARE_LOOPS = 120
+#: The paper's FDH finding: no improvement for any image size tried.
+FDH_EVER_IMPROVES = False
+#: The paper's IDH finding for the largest image: 42 % improvement.
+IDH_IMPROVEMENT_AT_LARGEST = 0.42
+#: Tolerance band we accept when reproducing the 42 % figure (the paper's
+#: host/driver overheads are not published, so a few points of slack is fair).
+IDH_IMPROVEMENT_TOLERANCE = 0.06
+
+#: Breakeven figure quoted for FDH: roughly 42 553 blocks per partition run
+#: would be needed for the reconfiguration overhead to be absorbed.
+FDH_BREAKEVEN_BLOCKS = 42_553
+
+#: The closing conjecture: on an XC6000-class device with a 500 us
+#: reconfiguration overhead the improvement for the large file becomes ~47 %.
+XC6000_RECONFIGURATION_TIME = us(500)
+XC6000_IMPROVEMENT = 0.47
+XC6000_IMPROVEMENT_TOLERANCE = 0.05
+
+# ---------------------------------------------------------------------------
+# Figure 4 (delay-estimation example)
+# ---------------------------------------------------------------------------
+
+#: Path delays of partition 1 in Figure 4 and the resulting partition delays.
+FIGURE4_PARTITION1_PATH_DELAYS_NS = (350, 400, 150)
+FIGURE4_PARTITION_DELAYS_NS = (400, 300)

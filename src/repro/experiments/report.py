@@ -1,0 +1,73 @@
+"""Plain-text table formatting for experiment drivers and benches."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..units import format_time
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render a list of dictionaries as an aligned plain-text table.
+
+    Column order follows *columns* when given, otherwise the key order of the
+    first row.  Floats are rendered with four significant decimals; everything
+    else uses ``str``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table: List[List[str]] = [list(columns)]
+    for row in rows:
+        table.append([render(row.get(column, "")) for column in columns])
+    widths = [max(len(line[index]) for line in table) for index in range(len(columns))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(col.ljust(widths[i]) for i, col in enumerate(table[0])))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in table[1:]:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def seconds_column(rows: Sequence[Dict[str, object]], keys: Sequence[str]) -> List[Dict[str, object]]:
+    """Copy *rows* with the named float columns formatted as readable times."""
+    formatted: List[Dict[str, object]] = []
+    for row in rows:
+        clone = dict(row)
+        for key in keys:
+            if key in clone and isinstance(clone[key], (int, float)):
+                clone[key] = format_time(float(clone[key]))
+        formatted.append(clone)
+    return formatted
+
+
+def comparison_row(
+    paper_value: object,
+    measured_value: object,
+    label: str,
+    note: str = "",
+) -> Dict[str, object]:
+    """A single paper-vs-measured row for EXPERIMENTS.md style summaries."""
+    return {
+        "quantity": label,
+        "paper": paper_value,
+        "measured": measured_value,
+        "note": note,
+    }
+
+
+def percentage(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string (0.42 -> '42.0%')."""
+    return f"{100.0 * value:.{digits}f}%"

@@ -1,0 +1,190 @@
+"""One-shot reproduction report: every paper claim vs. the measured value.
+
+:func:`reproduction_report` runs the whole evaluation (Tables 1-2, the in-text
+claims E3-E7 and the figure checks) and returns a list of comparison rows;
+:func:`format_reproduction_report` renders them as the text report printed by
+``repro report`` and checked by the reporting tests.  This is the programmatic
+counterpart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..units import to_ns
+from . import paper_constants as paper
+from .case_study import CaseStudy, build_case_study
+from .figures import reproduce_figure4, reproduce_figure5, reproduce_figure8
+from .report import format_table, percentage
+from .table1 import breakeven_fdh_blocks, reproduce_table1
+from .table2 import reproduce_table2, xc6000_conjecture
+
+
+@dataclass
+class ClaimCheck:
+    """One paper claim compared against the reproduction."""
+
+    experiment: str
+    quantity: str
+    paper_value: object
+    measured_value: object
+    within_expectation: bool
+    note: str = ""
+
+    def as_row(self) -> Dict[str, object]:
+        """Row for :func:`repro.experiments.report.format_table`."""
+        return {
+            "experiment": self.experiment,
+            "quantity": self.quantity,
+            "paper": self.paper_value,
+            "measured": self.measured_value,
+            "ok": "yes" if self.within_expectation else "NO",
+            "note": self.note,
+        }
+
+
+@dataclass
+class ReproductionReport:
+    """All claim checks plus the case study they were computed from."""
+
+    checks: List[ClaimCheck] = field(default_factory=list)
+    study: Optional[CaseStudy] = None
+
+    @property
+    def all_ok(self) -> bool:
+        """Whether every claim lands within its expectation band."""
+        return all(check.within_expectation for check in self.checks)
+
+    def failed(self) -> List[ClaimCheck]:
+        """Claims that fell outside their expectation bands."""
+        return [check for check in self.checks if not check.within_expectation]
+
+
+def reproduction_report(study: Optional[CaseStudy] = None, use_ilp: bool = True) -> ReproductionReport:
+    """Run every experiment and compare against the paper's reported values."""
+    study = study or build_case_study(use_ilp=use_ilp)
+    report = ReproductionReport(study=study)
+    checks = report.checks
+
+    # --- E3: partitioning structure -------------------------------------
+    sizes = tuple(sorted((i.task_count for i in study.partitioning.partitions), reverse=True))
+    checks.append(ClaimCheck(
+        "E3", "temporal partitions", paper.EXPECTED_PARTITIONS,
+        study.partitioning.partition_count,
+        study.partitioning.partition_count == paper.EXPECTED_PARTITIONS,
+    ))
+    checks.append(ClaimCheck(
+        "E3", "tasks per partition (sorted)",
+        tuple(sorted(paper.EXPECTED_PARTITION_TASKS, reverse=True)), sizes,
+        sizes == tuple(sorted(paper.EXPECTED_PARTITION_TASKS, reverse=True)),
+    ))
+
+    # --- E4: per-block latencies -----------------------------------------
+    checks.append(ClaimCheck(
+        "E4", "RTR latency per block [ns]",
+        round(to_ns(paper.RTR_BLOCK_LATENCY)), round(to_ns(study.rtr_spec.block_delay)),
+        abs(study.rtr_spec.block_delay - paper.RTR_BLOCK_LATENCY) < 1e-12,
+    ))
+    checks.append(ClaimCheck(
+        "E4", "latency gap vs static [ns]",
+        round(to_ns(paper.LATENCY_GAP)),
+        round(to_ns(study.static_spec.block_delay - study.rtr_spec.block_delay)),
+        abs(
+            (study.static_spec.block_delay - study.rtr_spec.block_delay)
+            - paper.LATENCY_GAP
+        ) < 1e-12,
+    ))
+
+    # --- E5: fission analysis ---------------------------------------------
+    checks.append(ClaimCheck(
+        "E5", "computations per run k",
+        paper.EXPECTED_COMPUTATIONS_PER_RUN, study.computations_per_run,
+        study.computations_per_run == paper.EXPECTED_COMPUTATIONS_PER_RUN,
+    ))
+    i_sw = study.fission.software_loop_count(paper.LARGEST_WORKLOAD_BLOCKS)
+    checks.append(ClaimCheck(
+        "E5", "I_sw at 245,760 blocks",
+        paper.LARGEST_WORKLOAD_SOFTWARE_LOOPS, i_sw,
+        i_sw == paper.LARGEST_WORKLOAD_SOFTWARE_LOOPS,
+    ))
+
+    # --- Table 1 ------------------------------------------------------------
+    table1 = reproduce_table1(study)
+    checks.append(ClaimCheck(
+        "Table 1", "FDH ever beats static", False, table1.fdh_ever_improves,
+        table1.fdh_ever_improves is False,
+    ))
+
+    # --- E6: breakeven remark ------------------------------------------------
+    absorption = breakeven_fdh_blocks(study)
+    checks.append(ClaimCheck(
+        "E6", "FDH reconfiguration-absorption blocks",
+        paper.FDH_BREAKEVEN_BLOCKS, absorption,
+        0.5 * paper.FDH_BREAKEVEN_BLOCKS < absorption < 1.5 * paper.FDH_BREAKEVEN_BLOCKS,
+        note="same order of magnitude expected",
+    ))
+
+    # --- Table 2 ---------------------------------------------------------------
+    table2 = reproduce_table2(study)
+    checks.append(ClaimCheck(
+        "Table 2", "IDH improvement at 245,760 blocks",
+        percentage(paper.IDH_IMPROVEMENT_AT_LARGEST),
+        percentage(table2.improvement_at_largest),
+        abs(table2.improvement_at_largest - paper.IDH_IMPROVEMENT_AT_LARGEST)
+        <= paper.IDH_IMPROVEMENT_TOLERANCE,
+    ))
+    checks.append(ClaimCheck(
+        "Table 2", "improvement grows with image size", True, table2.improvements_monotonic,
+        table2.improvements_monotonic,
+    ))
+
+    # --- E7: XC6000 conjecture ---------------------------------------------------
+    xc6000 = xc6000_conjecture(study)
+    checks.append(ClaimCheck(
+        "E7", "IDH improvement at CT=500us",
+        percentage(paper.XC6000_IMPROVEMENT), percentage(xc6000),
+        abs(xc6000 - paper.XC6000_IMPROVEMENT) <= paper.XC6000_IMPROVEMENT_TOLERANCE,
+    ))
+
+    # --- Figures -------------------------------------------------------------------
+    figure4 = reproduce_figure4()
+    checks.append(ClaimCheck(
+        "Figure 4", "partition delays [ns]",
+        list(paper.FIGURE4_PARTITION_DELAYS_NS),
+        [round(d) for d in figure4.partition_delays_ns],
+        figure4.matches_paper(),
+    ))
+    figure5 = reproduce_figure5(study)
+    checks.append(ClaimCheck(
+        "Figure 5", "configuration loads FDH vs IDH",
+        (3 * paper.LARGEST_WORKLOAD_SOFTWARE_LOOPS, 3),
+        (figure5.fdh_configuration_loads, figure5.idh_configuration_loads),
+        figure5.fdh_configuration_loads == 3 * paper.LARGEST_WORKLOAD_SOFTWARE_LOOPS
+        and figure5.idh_configuration_loads == 3,
+    ))
+    figure8 = reproduce_figure8(study)
+    checks.append(ClaimCheck(
+        "Figure 8", "task graph structure (tasks, T1, T2, collections)",
+        (32, 16, 16, 4),
+        (figure8.task_count, figure8.t1_count, figure8.t2_count, figure8.collections),
+        (figure8.task_count, figure8.t1_count, figure8.t2_count, figure8.collections)
+        == (32, 16, 16, 4),
+    ))
+    return report
+
+
+def format_reproduction_report(report: ReproductionReport) -> str:
+    """Render a :class:`ReproductionReport` as an aligned text table."""
+    rows = [check.as_row() for check in report.checks]
+    table = format_table(
+        rows,
+        columns=["experiment", "quantity", "paper", "measured", "ok", "note"],
+        title="Reproduction report: paper-reported vs. measured",
+    )
+    verdict = (
+        "All claims reproduced within their expectation bands."
+        if report.all_ok
+        else f"{len(report.failed())} claim(s) OUTSIDE their expectation bands."
+    )
+    return table + "\n\n" + verdict

@@ -1,0 +1,134 @@
+"""Table 2 — DCT execution time under the IDH strategy, plus the XC6000 conjecture.
+
+For each image of the workload ladder the driver reports the static and RTR
+(IDH) totals and the improvement.  The paper's findings reproduced here:
+
+* the improvement grows with the image size (the ``N*CT`` term is amortised
+  over more and more blocks);
+* at 245 760 blocks the improvement is about 42 %;
+* with a 500 us reconfiguration time (XC6000-class device) the improvement for
+  the same workload rises to about 47 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..fission.strategies import SequencingStrategy
+from ..fission.throughput import compare_static_vs_rtr, reconfiguration_time_sweep
+from ..jpeg.workload import table_workloads
+from . import paper_constants as paper
+from .case_study import CaseStudy, build_case_study
+from .report import format_table, percentage
+
+
+@dataclass
+class Table2Result:
+    """Rows of the reproduced Table 2 plus the headline findings."""
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    improvement_at_largest: float = 0.0
+    improvements_monotonic: bool = True
+    xc6000_improvement: float = 0.0
+    study: Optional[CaseStudy] = None
+
+    def formatted(self) -> str:
+        """The table as aligned text."""
+        return format_table(
+            self.rows,
+            columns=[
+                "image",
+                "blocks",
+                "I_sw",
+                "static_seconds",
+                "rtr_idh_seconds",
+                "improvement",
+            ],
+            title="Table 2: DCT execution time, IDH strategy (static vs. RTR)",
+        )
+
+
+def reproduce_table2(study: Optional[CaseStudy] = None, use_ilp: bool = True) -> Table2Result:
+    """Regenerate Table 2 (and the XC6000 conjecture) from the case study."""
+    study = study or build_case_study(use_ilp=use_ilp)
+    result = Table2Result(study=study)
+    improvements: List[float] = []
+    for workload in table_workloads():
+        comparison = compare_static_vs_rtr(
+            SequencingStrategy.IDH,
+            study.static_spec,
+            study.rtr_spec,
+            workload.block_count,
+            study.system,
+        )
+        improvements.append(comparison.improvement)
+        result.rows.append(
+            {
+                "image": workload.name,
+                "blocks": workload.block_count,
+                "I_sw": comparison.software_loop_count,
+                "static_seconds": comparison.static.total,
+                "rtr_idh_seconds": comparison.rtr.total,
+                "improvement": percentage(comparison.improvement),
+                "improvement_fraction": comparison.improvement,
+            }
+        )
+    if improvements:
+        result.improvement_at_largest = improvements[0]
+        # The workload ladder is in decreasing size order, so improvements
+        # should be non-increasing down the table.
+        result.improvements_monotonic = all(
+            earlier >= later - 1e-9 for earlier, later in zip(improvements, improvements[1:])
+        )
+    result.xc6000_improvement = xc6000_conjecture(study)
+    return result
+
+
+def xc6000_conjecture(study: CaseStudy, reconfiguration_time: Optional[float] = None) -> float:
+    """Improvement for the largest workload with a microsecond-class device."""
+    ct = reconfiguration_time if reconfiguration_time is not None else paper.XC6000_RECONFIGURATION_TIME
+    rows = reconfiguration_time_sweep(
+        SequencingStrategy.IDH,
+        study.static_spec,
+        study.rtr_spec,
+        paper.LARGEST_WORKLOAD_BLOCKS,
+        study.system,
+        reconfiguration_times=[ct],
+    )
+    return rows[0]["improvement"]
+
+
+def reconfiguration_sweep(
+    study: CaseStudy, reconfiguration_times: List[float]
+) -> List[Dict[str, float]]:
+    """Improvement of IDH over static as the reconfiguration time varies."""
+    return reconfiguration_time_sweep(
+        SequencingStrategy.IDH,
+        study.static_spec,
+        study.rtr_spec,
+        paper.LARGEST_WORKLOAD_BLOCKS,
+        study.system,
+        reconfiguration_times=reconfiguration_times,
+    )
+
+
+def paper_comparison(result: Table2Result) -> List[Dict[str, object]]:
+    """Paper-vs-measured summary rows for EXPERIMENTS.md."""
+    return [
+        {
+            "quantity": "IDH improvement at 245,760 blocks",
+            "paper": percentage(paper.IDH_IMPROVEMENT_AT_LARGEST),
+            "measured": percentage(result.improvement_at_largest),
+        },
+        {
+            "quantity": "improvement grows with image size",
+            "paper": True,
+            "measured": result.improvements_monotonic,
+        },
+        {
+            "quantity": "XC6000 (CT=500us) improvement",
+            "paper": percentage(paper.XC6000_IMPROVEMENT),
+            "measured": percentage(result.xc6000_improvement),
+        },
+    ]

@@ -1,0 +1,124 @@
+"""Loop-fission memory analysis (Section 2.2, Eq. 9).
+
+For DSP applications the task graph sits inside an implicit outer loop over
+the input blocks.  After temporal partitioning, the analysis determines how
+many loop iterations ``k`` can be processed per board invocation given the
+on-board memory: each partition ``i`` needs ``m_i_temp`` words per iteration
+(its per-iteration memory block), so::
+
+    k = floor( M_max / max_i m_i_temp )        (Eq. 9)
+
+and the host sequencing loop runs ``I_sw = ceil(I / k)`` times for ``I`` total
+iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import FissionError
+from ..memmap.mapper import MemoryMap, build_memory_map
+from ..partition.result import TemporalPartitioning
+from ..units import ceil_div
+
+
+@dataclass
+class FissionAnalysis:
+    """Result of the loop-fission memory analysis."""
+
+    memory_words: int
+    per_partition_words: Dict[int, int] = field(default_factory=dict)
+    computations_per_run: int = 0  # the paper's k
+    rounded_blocks: bool = False
+
+    @property
+    def limiting_partition(self) -> int:
+        """Partition index whose memory block limits ``k``."""
+        if not self.per_partition_words:
+            raise FissionError("analysis has no per-partition data")
+        return max(self.per_partition_words, key=lambda p: self.per_partition_words[p])
+
+    @property
+    def max_per_iteration_words(self) -> int:
+        """``max_i m_i_temp``."""
+        return max(self.per_partition_words.values(), default=0)
+
+    def software_loop_count(self, total_computations: int) -> int:
+        """``I_sw = ceil(I / k)`` — host sequencing loop iterations."""
+        if total_computations < 0:
+            raise FissionError("total_computations must be non-negative")
+        if total_computations == 0:
+            return 0
+        if self.computations_per_run == 0:
+            raise FissionError(
+                "no computations fit in the on-board memory; the design cannot run"
+            )
+        return ceil_div(total_computations, self.computations_per_run)
+
+    def computations_in_run(self, run_index: int, total_computations: int) -> int:
+        """Number of computations performed in host-loop iteration *run_index*.
+
+        Every run processes ``k`` computations except possibly the last, which
+        processes the remainder (the paper notes that when ``I < k`` only the
+        first ``I`` results are picked up).
+        """
+        runs = self.software_loop_count(total_computations)
+        if not 0 <= run_index < runs:
+            raise FissionError(f"run index {run_index} outside 0..{runs - 1}")
+        if run_index < runs - 1:
+            return self.computations_per_run
+        return total_computations - self.computations_per_run * (runs - 1)
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        per_partition = ", ".join(
+            f"P{index}={words}w" for index, words in sorted(self.per_partition_words.items())
+        )
+        return (
+            f"loop fission: k={self.computations_per_run} computations/run "
+            f"(memory {self.memory_words} words; per-iteration blocks: {per_partition})"
+        )
+
+
+def analyse_fission(
+    partitioning: TemporalPartitioning,
+    memory_words: int,
+    memory_map: Optional[MemoryMap] = None,
+    round_blocks_to_power_of_two: bool = False,
+) -> FissionAnalysis:
+    """Run the Eq. 9 analysis for *partitioning* and a memory of *memory_words*.
+
+    When *round_blocks_to_power_of_two* is set the per-iteration blocks are
+    first rounded (concatenation addressing), which reduces ``k`` — the
+    "memory wastage" side of the Section 3 trade-off.  A pre-built
+    *memory_map* can be supplied to avoid recomputing it.
+    """
+    if memory_words <= 0:
+        raise FissionError("memory_words must be positive")
+    if memory_map is None:
+        memory_map = build_memory_map(
+            partitioning, round_to_power_of_two=round_blocks_to_power_of_two
+        )
+    per_partition = {
+        index: memory_map.per_iteration_words(index)
+        for index in memory_map.partition_indices
+    }
+    worst = max(per_partition.values(), default=0)
+    if worst == 0:
+        # No data ever touches the board memory: k is limited only by the
+        # iteration counter width, which the caller models; report a sentinel.
+        k = memory_words
+    else:
+        k = memory_words // worst
+    if k == 0:
+        raise FissionError(
+            f"a single loop iteration needs {worst} words but the board memory "
+            f"only has {memory_words}; the design cannot execute"
+        )
+    return FissionAnalysis(
+        memory_words=memory_words,
+        per_partition_words=per_partition,
+        computations_per_run=k,
+        rounded_blocks=round_blocks_to_power_of_two,
+    )

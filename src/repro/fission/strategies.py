@@ -1,0 +1,311 @@
+"""FDH and IDH sequencing strategies and their analytic timing models.
+
+Section 2.2 defines two ways to sequence a loop-fissioned RTR design from the
+host:
+
+* **FDH — Final Data to Host.**  For every batch of ``k`` loop iterations the
+  host walks through all ``N`` temporal partitions (reconfiguring for each)
+  and only the final results go back to the host.  Reconfiguration overhead:
+  ``N * CT * I_sw``.
+* **IDH — Intermediate Data to Host.**  Each temporal partition is configured
+  exactly once and run over *all* iterations (in batches of ``k``); the
+  intermediate data of each batch is saved to the host and restored for the
+  next partition.  Reconfiguration overhead: ``N * CT``; extra transfer
+  overhead: ``2 * k * I_sw * D_tr * m_temp``.
+
+Besides the two headline overhead formulas, this module provides a complete
+wall-clock decomposition (reconfiguration + datapath execution + host<->board
+word transfers + per-invocation handshakes + host loop bookkeeping) for the
+static design and for both RTR strategies.  The event-based simulator in
+:mod:`repro.simulate` implements the same semantics independently; tests check
+the two against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..arch.board import RtrSystem
+from ..errors import FissionError
+from ..units import ceil_div
+
+
+class SequencingStrategy(str, Enum):
+    """The two host-sequencing strategies of Section 2.2."""
+
+    FDH = "fdh"
+    IDH = "idh"
+
+
+@dataclass(frozen=True)
+class StaticTimingSpec:
+    """Timing-relevant description of the static (non-reconfigured) design."""
+
+    block_delay: float              # seconds of datapath time per loop iteration
+    env_input_words: int            # words written to the board per iteration
+    env_output_words: int           # words read back per iteration
+    blocks_per_invocation: int = 1  # loop iterations per start/finish handshake
+    configurations: int = 1         # initial configuration loads
+
+    def __post_init__(self) -> None:
+        if self.block_delay < 0:
+            raise FissionError("block_delay must be non-negative")
+        if self.blocks_per_invocation < 1:
+            raise FissionError("blocks_per_invocation must be at least 1")
+
+
+@dataclass(frozen=True)
+class RtrTimingSpec:
+    """Timing-relevant description of a loop-fissioned RTR design.
+
+    ``partition_delays[i]`` is the datapath time one loop iteration spends in
+    partition ``i``.  The four word lists give each partition's per-iteration
+    memory traffic, split into environment data (which crosses the host link
+    under every strategy) and inter-partition ("cross") data (which stays in
+    board memory under FDH but is saved/restored through the host under IDH).
+    """
+
+    partition_delays: List[float]
+    partition_env_input_words: List[int]
+    partition_env_output_words: List[int]
+    partition_cross_input_words: List[int]
+    partition_cross_output_words: List[int]
+    computations_per_run: int  # the paper's k
+
+    def __post_init__(self) -> None:
+        n = len(self.partition_delays)
+        if n == 0:
+            raise FissionError("an RTR design needs at least one partition")
+        for name, values in (
+            ("partition_env_input_words", self.partition_env_input_words),
+            ("partition_env_output_words", self.partition_env_output_words),
+            ("partition_cross_input_words", self.partition_cross_input_words),
+            ("partition_cross_output_words", self.partition_cross_output_words),
+        ):
+            if len(values) != n:
+                raise FissionError(f"{name} must have one entry per partition")
+            if any(v < 0 for v in values):
+                raise FissionError(f"{name} must be non-negative")
+        if self.computations_per_run < 1:
+            raise FissionError("computations_per_run (k) must be at least 1")
+        if any(d < 0 for d in self.partition_delays):
+            raise FissionError("partition delays must be non-negative")
+
+    @property
+    def partition_count(self) -> int:
+        """Number of temporal partitions ``N``."""
+        return len(self.partition_delays)
+
+    @property
+    def block_delay(self) -> float:
+        """Total datapath time per loop iteration, ``sum_p d_p``."""
+        return sum(self.partition_delays)
+
+    @property
+    def env_words_per_iteration(self) -> int:
+        """Environment words exchanged with the host per loop iteration."""
+        return sum(self.partition_env_input_words) + sum(self.partition_env_output_words)
+
+    @property
+    def cross_words_per_iteration(self) -> int:
+        """Inter-partition words written+read per loop iteration."""
+        return sum(self.partition_cross_input_words) + sum(self.partition_cross_output_words)
+
+    @property
+    def words_per_iteration(self) -> int:
+        """All board-memory words moved per loop iteration across all partitions."""
+        return self.env_words_per_iteration + self.cross_words_per_iteration
+
+    def block_words(self, index: int) -> int:
+        """``m_i_temp`` for 0-based partition *index*."""
+        return (
+            self.partition_env_input_words[index]
+            + self.partition_env_output_words[index]
+            + self.partition_cross_input_words[index]
+            + self.partition_cross_output_words[index]
+        )
+
+    @property
+    def max_block_words(self) -> int:
+        """``max_i m_i_temp`` — used in the paper's IDH overhead formula."""
+        return max(self.block_words(i) for i in range(self.partition_count))
+
+
+@dataclass
+class TimingBreakdown:
+    """Wall-clock decomposition of one execution-time estimate."""
+
+    label: str
+    reconfiguration: float = 0.0
+    computation: float = 0.0
+    data_transfer: float = 0.0
+    handshake: float = 0.0
+    host_loop: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Total execution time in seconds."""
+        return (
+            self.reconfiguration
+            + self.computation
+            + self.data_transfer
+            + self.handshake
+            + self.host_loop
+            + sum(self.extra.values())
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary (for table rows)."""
+        result = {
+            "reconfiguration": self.reconfiguration,
+            "computation": self.computation,
+            "data_transfer": self.data_transfer,
+            "handshake": self.handshake,
+            "host_loop": self.host_loop,
+            "total": self.total,
+        }
+        result.update(self.extra)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# The paper's two headline overhead formulas
+# ---------------------------------------------------------------------------
+
+def fdh_reconfiguration_overhead(
+    partition_count: int, reconfiguration_time: float, software_loop_count: int
+) -> float:
+    """``N * CT * I_sw`` — reconfiguration overhead of the FDH strategy."""
+    return partition_count * reconfiguration_time * software_loop_count
+
+
+def idh_overhead(
+    partition_count: int,
+    reconfiguration_time: float,
+    computations_per_run: int,
+    software_loop_count: int,
+    word_transfer_time: float,
+    max_block_words: int,
+) -> float:
+    """``N*CT + 2*k*I_sw*D_tr*m_temp`` — the paper's IDH overhead expression."""
+    return (
+        partition_count * reconfiguration_time
+        + 2.0
+        * computations_per_run
+        * software_loop_count
+        * word_transfer_time
+        * max_block_words
+    )
+
+
+# ---------------------------------------------------------------------------
+# Full wall-clock models
+# ---------------------------------------------------------------------------
+
+def static_execution_time(
+    spec: StaticTimingSpec,
+    total_computations: int,
+    system: RtrSystem,
+    include_transfers: bool = True,
+) -> TimingBreakdown:
+    """Execution time of the static design on *total_computations* iterations."""
+    if total_computations < 0:
+        raise FissionError("total_computations must be non-negative")
+    breakdown = TimingBreakdown(label="static")
+    breakdown.reconfiguration = spec.configurations * system.reconfiguration_time
+    breakdown.computation = total_computations * spec.block_delay
+    invocations = ceil_div(total_computations, spec.blocks_per_invocation) if total_computations else 0
+    breakdown.handshake = invocations * system.handshake_time
+    if include_transfers:
+        words = total_computations * (spec.env_input_words + spec.env_output_words)
+        breakdown.data_transfer = words * system.word_transfer_time
+    breakdown.host_loop = system.host.sequencing_overhead(invocations)
+    return breakdown
+
+
+def fdh_execution_time(
+    spec: RtrTimingSpec,
+    total_computations: int,
+    system: RtrSystem,
+    include_transfers: bool = True,
+) -> TimingBreakdown:
+    """Execution time of the RTR design under the FDH strategy.
+
+    Per batch of ``k`` iterations the host reconfigures through all ``N``
+    partitions; intermediate data stays in board memory, so only the first
+    partition's environment inputs and the final environment outputs cross the
+    host link (we charge each partition's own environment I/O, which for a
+    pipeline degenerates to exactly that).
+    """
+    if total_computations < 0:
+        raise FissionError("total_computations must be non-negative")
+    breakdown = TimingBreakdown(label="rtr-fdh")
+    if total_computations == 0:
+        return breakdown
+    k = spec.computations_per_run
+    runs = ceil_div(total_computations, k)
+    n = spec.partition_count
+    breakdown.reconfiguration = fdh_reconfiguration_overhead(
+        n, system.reconfiguration_time, runs
+    )
+    breakdown.computation = total_computations * spec.block_delay
+    breakdown.handshake = runs * n * system.handshake_time
+    if include_transfers:
+        # Only environment data moves across the host link under FDH; the
+        # inter-partition flows stay in the board memory for the whole batch.
+        breakdown.data_transfer = (
+            total_computations
+            * spec.env_words_per_iteration
+            * system.word_transfer_time
+        )
+    breakdown.host_loop = system.host.sequencing_overhead(runs * n)
+    return breakdown
+
+
+def idh_execution_time(
+    spec: RtrTimingSpec,
+    total_computations: int,
+    system: RtrSystem,
+    include_transfers: bool = True,
+) -> TimingBreakdown:
+    """Execution time of the RTR design under the IDH strategy.
+
+    Each partition is configured once and processes all iterations in batches
+    of ``k``; every partition's per-iteration inputs and outputs cross the
+    host link (that is the "intermediate data to host" cost).
+    """
+    if total_computations < 0:
+        raise FissionError("total_computations must be non-negative")
+    breakdown = TimingBreakdown(label="rtr-idh")
+    if total_computations == 0:
+        return breakdown
+    k = spec.computations_per_run
+    runs = ceil_div(total_computations, k)
+    n = spec.partition_count
+    breakdown.reconfiguration = n * system.reconfiguration_time
+    breakdown.computation = total_computations * spec.block_delay
+    breakdown.handshake = runs * n * system.handshake_time
+    if include_transfers:
+        breakdown.data_transfer = (
+            total_computations * spec.words_per_iteration * system.word_transfer_time
+        )
+    breakdown.host_loop = system.host.sequencing_overhead(runs * n)
+    return breakdown
+
+
+def execution_time(
+    strategy: SequencingStrategy,
+    spec: RtrTimingSpec,
+    total_computations: int,
+    system: RtrSystem,
+    include_transfers: bool = True,
+) -> TimingBreakdown:
+    """Dispatch to :func:`fdh_execution_time` or :func:`idh_execution_time`."""
+    if strategy is SequencingStrategy.FDH:
+        return fdh_execution_time(spec, total_computations, system, include_transfers)
+    if strategy is SequencingStrategy.IDH:
+        return idh_execution_time(spec, total_computations, system, include_transfers)
+    raise FissionError(f"unknown sequencing strategy {strategy!r}")

@@ -1,0 +1,89 @@
+"""High-level synthesis estimation and RTL generation (the DSS substitute).
+
+This package estimates the per-task FPGA resources ``R(t)`` and delays
+``D(t)`` the temporal partitioner consumes, and generates the RTL-level
+artefacts (datapath, augmented controller, HDL-style text) for each temporal
+partition.
+"""
+
+from .allocation import (
+    Allocation,
+    Binding,
+    allocation_candidates,
+    bind_schedule,
+    minimal_allocation,
+    parallelism_limited_allocation,
+    required_unit_classes,
+    steering_inputs,
+    widest_component_per_class,
+)
+from .component import Component, functional_unit_class
+from .controller import (
+    AugmentedController,
+    ControllerPhase,
+    ControllerSpec,
+    ControllerState,
+    controller_for_schedule,
+)
+from .datapath import Datapath, FunctionalUnitInstance, MuxInstance, RegisterInstance, build_datapath
+from .estimator import AreaBreakdown, TaskEstimate, TaskEstimator, merge_dfgs
+from .layout import LayoutModel, default_layout_model
+from .library import (
+    CharacterisationCurve,
+    ComponentLibrary,
+    library_for_family,
+    xc4000_library,
+    xc6200_library,
+)
+from .rtl import RtlDesign, emit_vhdl_like
+from .scheduling import (
+    Schedule,
+    ScheduledOperation,
+    alap_schedule,
+    asap_schedule,
+    list_schedule,
+    mobility,
+)
+
+__all__ = [
+    "Allocation",
+    "AreaBreakdown",
+    "AugmentedController",
+    "Binding",
+    "CharacterisationCurve",
+    "Component",
+    "ComponentLibrary",
+    "ControllerPhase",
+    "ControllerSpec",
+    "ControllerState",
+    "Datapath",
+    "FunctionalUnitInstance",
+    "LayoutModel",
+    "MuxInstance",
+    "RegisterInstance",
+    "RtlDesign",
+    "Schedule",
+    "ScheduledOperation",
+    "TaskEstimate",
+    "TaskEstimator",
+    "alap_schedule",
+    "allocation_candidates",
+    "asap_schedule",
+    "bind_schedule",
+    "build_datapath",
+    "controller_for_schedule",
+    "default_layout_model",
+    "emit_vhdl_like",
+    "functional_unit_class",
+    "library_for_family",
+    "list_schedule",
+    "merge_dfgs",
+    "minimal_allocation",
+    "mobility",
+    "parallelism_limited_allocation",
+    "required_unit_classes",
+    "steering_inputs",
+    "widest_component_per_class",
+    "xc4000_library",
+    "xc6200_library",
+]

@@ -1,0 +1,115 @@
+"""RTL component models used by the HLS estimator.
+
+A *component* is a functional unit, register or steering element characterised
+for a particular FPGA family: how many CLBs it occupies and what its
+combinational delay is at a given bit-width.  The component library
+(:mod:`repro.hls.library`) builds these from per-family characterisation
+curves; this module defines the data types and the binding between operations
+and components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from ..dfg.operations import OpKind
+from ..errors import EstimationError
+
+
+@dataclass(frozen=True)
+class Component:
+    """A characterised RTL component instance template.
+
+    Parameters
+    ----------
+    name:
+        Component name, e.g. ``"mul17"``.
+    supported_kinds:
+        Operation kinds this component can execute.
+    width:
+        Operand bit-width the characterisation applies to.
+    area_clbs:
+        CLB footprint of one instance.
+    delay:
+        Combinational (register-to-register) delay in seconds.
+    """
+
+    name: str
+    supported_kinds: FrozenSet[OpKind]
+    width: int
+    area_clbs: int
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise EstimationError(f"component {self.name!r} must have positive width")
+        if self.area_clbs < 0:
+            raise EstimationError(f"component {self.name!r} has negative area")
+        if self.delay < 0:
+            raise EstimationError(f"component {self.name!r} has negative delay")
+        if not self.supported_kinds:
+            raise EstimationError(
+                f"component {self.name!r} supports no operation kinds"
+            )
+
+    def supports(self, kind: OpKind) -> bool:
+        """Whether this component can execute operations of *kind*."""
+        return kind in self.supported_kinds
+
+    def cycles_at(self, clock_period: float) -> int:
+        """Number of clock cycles one operation takes on this component.
+
+        Components slower than the clock are multi-cycled (the estimator's
+        schedule accounts for the extra cycles); a zero-delay component still
+        takes one cycle because results are registered.
+        """
+        if clock_period <= 0:
+            raise EstimationError("clock period must be positive")
+        if self.delay == 0:
+            return 1
+        return max(1, -(-int(round(self.delay * 1e12)) // int(round(clock_period * 1e12))))
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        kinds = "/".join(sorted(kind.value for kind in self.supported_kinds))
+        return (
+            f"{self.name}: {kinds} @{self.width}b, {self.area_clbs} CLBs, "
+            f"{self.delay * 1e9:.1f} ns"
+        )
+
+
+#: Groups of operation kinds that conventionally share a functional unit.
+ALU_KINDS = frozenset(
+    {OpKind.ADD, OpKind.SUB, OpKind.COMPARE, OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT}
+)
+MULTIPLIER_KINDS = frozenset({OpKind.MUL})
+MAC_KINDS = frozenset({OpKind.MAC})
+SHIFTER_KINDS = frozenset({OpKind.SHIFT_LEFT, OpKind.SHIFT_RIGHT})
+MEMORY_PORT_KINDS = frozenset({OpKind.MEMORY_READ, OpKind.MEMORY_WRITE})
+STEERING_KINDS = frozenset({OpKind.MUX})
+REGISTER_KINDS = frozenset({OpKind.REGISTER})
+
+
+def functional_unit_class(kind: OpKind) -> str:
+    """Name of the functional-unit class an operation kind maps onto.
+
+    The allocator reserves one pool of instances per class ("alu",
+    "multiplier", ...), mirroring how DSS-era HLS tools share units between
+    compatible operations.
+    """
+    if kind in ALU_KINDS:
+        return "alu"
+    if kind in MULTIPLIER_KINDS:
+        return "multiplier"
+    if kind in MAC_KINDS:
+        return "mac"
+    if kind in SHIFTER_KINDS:
+        return "shifter"
+    if kind in MEMORY_PORT_KINDS:
+        return "memory_port"
+    if kind in STEERING_KINDS:
+        return "steering"
+    if kind in REGISTER_KINDS:
+        return "register"
+    raise EstimationError(f"operation kind {kind.value!r} has no functional-unit class")

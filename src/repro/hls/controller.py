@@ -1,0 +1,196 @@
+"""Controller synthesis, including the augmented RTR controller of Figure 7.
+
+A conventional HLS controller walks once through the datapath states and
+stops.  The paper's extension for run-time reconfigured designs (Section 3,
+"Controller Synthesis") adds an iteration counter and a ``finish`` handshake:
+
+* the controller sits in a START state waiting for the host's start signal;
+* it runs the datapath states once per loop iteration;
+* at the end of a run it compares the iteration counter against the iteration
+  bound ``k``; if more iterations remain it increments the counter and loops
+  back, otherwise it raises the ``finish`` signal and returns to the START
+  state.
+
+Both the structural FSM description and a cycle-level behavioural model are
+provided; the behavioural model is what the execution simulator and the tests
+drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from ..errors import SynthesisError
+
+
+class ControllerPhase(str, Enum):
+    """Phases of the augmented controller's finite state machine."""
+
+    START = "start"
+    RUNNING = "running"
+    CHECK_ITERATION = "check_iteration"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """Static description of an augmented RTR controller.
+
+    Parameters
+    ----------
+    name:
+        Controller name (normally the temporal partition's name).
+    datapath_states:
+        Number of datapath control states for one loop iteration (one per
+        schedule cycle).
+    iteration_bound:
+        The number of loop iterations ``k`` performed per board invocation.
+        This is the value loaded into the iteration-bound register.
+    counter_width:
+        Width of the iteration counter register in bits; must be able to hold
+        ``iteration_bound``.
+    """
+
+    name: str
+    datapath_states: int
+    iteration_bound: int
+    counter_width: int = 16
+
+    def __post_init__(self) -> None:
+        if self.datapath_states < 1:
+            raise SynthesisError("controller needs at least one datapath state")
+        if self.iteration_bound < 1:
+            raise SynthesisError("iteration bound k must be at least 1")
+        if self.iteration_bound >= (1 << self.counter_width):
+            raise SynthesisError(
+                f"iteration bound {self.iteration_bound} does not fit in a "
+                f"{self.counter_width}-bit counter"
+            )
+
+    @property
+    def total_states(self) -> int:
+        """Total FSM states: START + datapath states + iteration check."""
+        return self.datapath_states + 2
+
+    def cycles_per_invocation(self) -> int:
+        """Clock cycles from start signal to finish signal for ``k`` iterations.
+
+        Each iteration spends one cycle per datapath state plus one cycle in
+        the iteration-check state; one extra cycle is spent leaving START.
+        """
+        return 1 + self.iteration_bound * (self.datapath_states + 1)
+
+
+@dataclass
+class ControllerState:
+    """Mutable execution state of the behavioural controller model."""
+
+    phase: ControllerPhase = ControllerPhase.START
+    datapath_state: int = 0
+    iteration: int = 0
+    finish_signal: bool = False
+    cycles_elapsed: int = 0
+
+
+class AugmentedController:
+    """Cycle-level behavioural model of the Figure-7 controller."""
+
+    def __init__(self, spec: ControllerSpec) -> None:
+        self.spec = spec
+        self.state = ControllerState()
+        self._iterations_completed_total = 0
+
+    # ------------------------------------------------------------------
+    # Host-visible interface
+    # ------------------------------------------------------------------
+
+    @property
+    def finish(self) -> bool:
+        """Level of the ``finish`` output signal."""
+        return self.state.finish_signal
+
+    @property
+    def iterations_completed(self) -> int:
+        """Loop iterations completed since the last start signal."""
+        return self.state.iteration
+
+    def send_start(self) -> None:
+        """Model the host writing the start signal."""
+        if self.state.phase is not ControllerPhase.START and not self.state.finish_signal:
+            raise SynthesisError(
+                f"controller {self.spec.name!r} received a start signal while busy"
+            )
+        self.state = ControllerState(phase=ControllerPhase.RUNNING)
+
+    # ------------------------------------------------------------------
+    # Clocked behaviour
+    # ------------------------------------------------------------------
+
+    def step(self) -> ControllerState:
+        """Advance the FSM by one clock cycle and return the new state."""
+        state = self.state
+        if state.phase is ControllerPhase.START:
+            # Idle: waiting for the host; nothing changes, no cycles consumed
+            # on the datapath (the simulator does not call step() while idle).
+            return state
+        state.cycles_elapsed += 1
+        if state.phase is ControllerPhase.RUNNING:
+            state.datapath_state += 1
+            if state.datapath_state >= self.spec.datapath_states:
+                state.phase = ControllerPhase.CHECK_ITERATION
+            return state
+        if state.phase is ControllerPhase.CHECK_ITERATION:
+            state.iteration += 1
+            self._iterations_completed_total += 1
+            if state.iteration < self.spec.iteration_bound:
+                state.datapath_state = 0
+                state.phase = ControllerPhase.RUNNING
+            else:
+                state.phase = ControllerPhase.FINISHED
+                state.finish_signal = True
+            return state
+        # FINISHED: finish stays asserted until the next start signal.
+        return state
+
+    def run_to_finish(self, max_cycles: Optional[int] = None) -> int:
+        """Clock the controller until ``finish`` rises; return cycles consumed."""
+        limit = max_cycles if max_cycles is not None else 10 * self.spec.cycles_per_invocation()
+        cycles = 0
+        # Leaving the START state costs one cycle (the start-state transition).
+        if self.state.phase is ControllerPhase.RUNNING and self.state.cycles_elapsed == 0:
+            self.state.cycles_elapsed = 1
+            cycles = 1
+        while not self.state.finish_signal:
+            if cycles >= limit:
+                raise SynthesisError(
+                    f"controller {self.spec.name!r} did not finish within {limit} cycles"
+                )
+            self.step()
+            cycles = self.state.cycles_elapsed
+        return self.state.cycles_elapsed
+
+    # ------------------------------------------------------------------
+    # Structural view (for RTL emission and reports)
+    # ------------------------------------------------------------------
+
+    def state_names(self) -> List[str]:
+        """Names of all FSM states in order."""
+        names = ["S_START"]
+        names.extend(f"S_DP{i}" for i in range(self.spec.datapath_states))
+        names.append("S_CHECK_ITER")
+        return names
+
+
+def controller_for_schedule(
+    name: str, schedule_cycles: int, iteration_bound: int, counter_width: int = 16
+) -> AugmentedController:
+    """Build an augmented controller for a datapath of *schedule_cycles* states."""
+    spec = ControllerSpec(
+        name=name,
+        datapath_states=max(1, schedule_cycles),
+        iteration_bound=iteration_bound,
+        counter_width=counter_width,
+    )
+    return AugmentedController(spec)

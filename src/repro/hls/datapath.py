@@ -1,0 +1,162 @@
+"""Register-transfer-level datapath model.
+
+The datapath produced for one temporal partition contains the allocated
+functional units, the registers holding operand/result values, the steering
+multiplexers, and a memory port through which the partition streams its
+inter-partition data.  The model is structural (it knows what is connected to
+what and how big everything is); cycle-by-cycle behaviour lives in the
+controller and the execution simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dfg.graph import DataFlowGraph
+from ..errors import SynthesisError
+from .allocation import Allocation, Binding, bind_schedule, steering_inputs
+from .library import ComponentLibrary
+from .scheduling import Schedule
+
+
+@dataclass(frozen=True)
+class FunctionalUnitInstance:
+    """One allocated functional-unit instance."""
+
+    label: str
+    unit_class: str
+    width: int
+    area_clbs: int
+    delay: float
+
+
+@dataclass(frozen=True)
+class RegisterInstance:
+    """One register in the datapath."""
+
+    name: str
+    width: int
+    purpose: str  # "operand", "result", "io"
+
+
+@dataclass(frozen=True)
+class MuxInstance:
+    """One steering multiplexer."""
+
+    name: str
+    width: int
+    inputs: int
+
+
+@dataclass
+class Datapath:
+    """Structural description of a synthesised datapath."""
+
+    name: str
+    functional_units: List[FunctionalUnitInstance] = field(default_factory=list)
+    registers: List[RegisterInstance] = field(default_factory=list)
+    muxes: List[MuxInstance] = field(default_factory=list)
+    binding: Binding = field(default_factory=Binding)
+    has_memory_port: bool = False
+    memory_port_width: int = 32
+
+    def functional_unit(self, label: str) -> FunctionalUnitInstance:
+        """Look up a functional unit by its label."""
+        for unit in self.functional_units:
+            if unit.label == label:
+                return unit
+        raise SynthesisError(f"datapath {self.name!r} has no functional unit {label!r}")
+
+    @property
+    def register_bits(self) -> int:
+        """Total number of register bits in the datapath."""
+        return sum(register.width for register in self.registers)
+
+    def component_counts(self) -> Dict[str, int]:
+        """Number of instances per structural element type (for reports)."""
+        return {
+            "functional_units": len(self.functional_units),
+            "registers": len(self.registers),
+            "muxes": len(self.muxes),
+            "memory_ports": 1 if self.has_memory_port else 0,
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [f"datapath {self.name}"]
+        for unit in self.functional_units:
+            lines.append(
+                f"  FU  {unit.label}: {unit.unit_class} {unit.width}b, "
+                f"{unit.area_clbs} CLBs"
+            )
+        lines.append(f"  registers: {len(self.registers)} ({self.register_bits} bits)")
+        lines.append(f"  muxes:     {len(self.muxes)}")
+        if self.has_memory_port:
+            lines.append(f"  memory port: {self.memory_port_width} bits")
+        return "\n".join(lines)
+
+
+def build_datapath(
+    name: str,
+    dfg: DataFlowGraph,
+    allocation: Allocation,
+    schedule: Schedule,
+    library: ComponentLibrary,
+    needs_memory_port: bool = True,
+    memory_port_width: int = 32,
+) -> Datapath:
+    """Construct the structural datapath implied by an allocation and schedule."""
+    datapath = Datapath(
+        name=name,
+        has_memory_port=needs_memory_port,
+        memory_port_width=memory_port_width,
+    )
+
+    for unit_class, count in sorted(allocation.instances.items()):
+        component = allocation.components[unit_class]
+        for index in range(count):
+            datapath.functional_units.append(
+                FunctionalUnitInstance(
+                    label=f"{unit_class}#{index}",
+                    unit_class=unit_class,
+                    width=component.width,
+                    area_clbs=component.area_clbs,
+                    delay=component.delay,
+                )
+            )
+
+    binding = bind_schedule(schedule, dfg)
+    datapath.binding = binding
+
+    # Operand and result registers per functional-unit instance.
+    for unit in datapath.functional_units:
+        datapath.registers.append(
+            RegisterInstance(name=f"{unit.label}_op_a", width=unit.width, purpose="operand")
+        )
+        datapath.registers.append(
+            RegisterInstance(name=f"{unit.label}_op_b", width=unit.width, purpose="operand")
+        )
+        datapath.registers.append(
+            RegisterInstance(name=f"{unit.label}_result", width=unit.width, purpose="result")
+        )
+
+    # I/O register for the memory port.
+    if needs_memory_port:
+        datapath.registers.append(
+            RegisterInstance(name="mem_data", width=memory_port_width, purpose="io")
+        )
+        datapath.registers.append(
+            RegisterInstance(name="mem_addr", width=24, purpose="io")
+        )
+
+    # Steering muxes: one per functional-unit instance that is fed by more
+    # than one distinct producer.
+    for label, distinct_sources in sorted(steering_inputs(binding, dfg).items()):
+        if distinct_sources <= 1:
+            continue
+        unit = datapath.functional_unit(label)
+        datapath.muxes.append(
+            MuxInstance(name=f"{label}_in_mux", width=unit.width, inputs=distinct_sources)
+        )
+    return datapath

@@ -1,0 +1,323 @@
+"""Behaviour-level area/delay estimation (the library's stand-in for DSS).
+
+Given a task's operation-level data-flow graph, a target device and a user
+clock constraint, the estimator produces the two numbers the temporal
+partitioner consumes — FPGA resources ``R(t)`` and execution delay ``D(t)`` —
+together with the supporting detail (allocation, schedule, clock) needed by
+the RTL generation step.
+
+The estimation recipe mirrors a classic HLS estimator:
+
+1. enumerate a ladder of functional-unit allocations (minimal → parallelism
+   limited);
+2. for each allocation pick a clock period (slowest component plus estimated
+   routing, clamped to the user's maximum clock width) and multi-cycle any
+   component slower than the clock;
+3. list-schedule the DFG under the allocation to get a cycle count, and add
+   the memory-port cycles needed to stream the task's environment I/O;
+4. cost the datapath: functional units + registers + steering muxes +
+   controller, inflated by the floorplan/layout model;
+5. keep the best candidate for the requested goal (minimum area or minimum
+   delay) that fits the device.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..arch.device import CLB, FpgaDevice, ResourceVector
+from ..dfg.graph import DataFlowGraph
+from ..dfg.operations import OpKind
+from ..errors import EstimationError
+from ..taskgraph.graph import TaskGraph
+from ..taskgraph.task import TaskCost
+from .allocation import (
+    Allocation,
+    allocation_candidates,
+    bind_schedule,
+    steering_inputs,
+)
+from .component import functional_unit_class
+from .layout import LayoutModel, default_layout_model
+from .library import ComponentLibrary, library_for_family
+from .scheduling import Schedule, list_schedule
+
+#: Clock periods are quantised to this grid (seconds); mirrors the paper's
+#: habit of quoting clocks in round nanoseconds (50 ns, 70 ns, 100 ns).
+CLOCK_GRID = 1e-9
+
+
+@dataclass
+class AreaBreakdown:
+    """Where the CLBs of an estimate go (before layout inflation)."""
+
+    functional_units: int = 0
+    registers: int = 0
+    steering: int = 0
+    controller: int = 0
+    memory_ports: int = 0
+
+    @property
+    def raw_total(self) -> int:
+        """Sum of all contributions."""
+        return (
+            self.functional_units
+            + self.registers
+            + self.steering
+            + self.controller
+            + self.memory_ports
+        )
+
+
+@dataclass
+class TaskEstimate:
+    """Full estimation result for one task datapath."""
+
+    dfg_name: str
+    clbs: int
+    cycles: int
+    clock_period: float
+    allocation: Allocation
+    schedule: Schedule
+    breakdown: AreaBreakdown = field(default_factory=AreaBreakdown)
+
+    @property
+    def delay(self) -> float:
+        """Execution delay ``D(t)`` in seconds (cycles x clock period)."""
+        return self.cycles * self.clock_period
+
+    def to_task_cost(self) -> TaskCost:
+        """Convert to the :class:`TaskCost` consumed by the partitioner."""
+        return TaskCost(
+            resources=ResourceVector({CLB: self.clbs}),
+            delay=self.delay,
+            cycles=self.cycles,
+            clock_period=self.clock_period,
+        )
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"{self.dfg_name}: {self.clbs} CLBs, {self.cycles} cycles @ "
+            f"{self.clock_period * 1e9:.0f} ns = {self.delay * 1e9:.0f} ns"
+        )
+
+
+class TaskEstimator:
+    """Estimates ``R(t)`` and ``D(t)`` for task data-flow graphs.
+
+    Parameters
+    ----------
+    device:
+        Target FPGA; its family selects the component library and its CLB
+        capacity bounds feasible estimates.
+    max_clock_period:
+        The user constraint of the paper ("the maximum clock-width for the
+        design") in seconds; components slower than this are multi-cycled.
+    library:
+        Component library override (defaults to the device family's library).
+    layout_model:
+        Floorplan/layout overhead model.
+    goal:
+        ``"area"`` (default) keeps the smallest candidate, ``"delay"`` keeps
+        the fastest candidate that fits the device.
+    """
+
+    def __init__(
+        self,
+        device: FpgaDevice,
+        max_clock_period: float = 100e-9,
+        library: Optional[ComponentLibrary] = None,
+        layout_model: Optional[LayoutModel] = None,
+        goal: str = "area",
+    ) -> None:
+        if max_clock_period <= 0:
+            raise EstimationError("max_clock_period must be positive")
+        if goal not in ("area", "delay"):
+            raise EstimationError(f"goal must be 'area' or 'delay', got {goal!r}")
+        self.device = device
+        self.max_clock_period = max_clock_period
+        self.library = library or library_for_family(device.family)
+        self.layout_model = layout_model or default_layout_model()
+        self.goal = goal
+
+    # ------------------------------------------------------------------
+    # Single-DFG estimation
+    # ------------------------------------------------------------------
+
+    def estimate_dfg(
+        self,
+        dfg: DataFlowGraph,
+        env_io_words: int = 0,
+        allocation: Optional[Allocation] = None,
+    ) -> TaskEstimate:
+        """Estimate a single data-flow graph.
+
+        *env_io_words* is the number of memory words the task streams in and
+        out per execution (environment plus inter-task data); each word costs
+        one memory-port cycle in the schedule.
+        """
+        dfg.validate()
+        if not dfg.compute_operations():
+            raise EstimationError(f"DFG {dfg.name!r} has no compute operations")
+        candidates = [allocation] if allocation is not None else allocation_candidates(
+            dfg, self.library
+        )
+        estimates = []
+        for candidate in candidates:
+            estimates.append(self._estimate_with_allocation(dfg, candidate, env_io_words))
+        feasible = [e for e in estimates if e.clbs <= self.device.clb_count]
+        pool = feasible or estimates
+        if self.goal == "area":
+            best = min(pool, key=lambda e: (e.clbs, e.delay))
+        else:
+            best = min(pool, key=lambda e: (e.delay, e.clbs))
+        return best
+
+    def _estimate_with_allocation(
+        self, dfg: DataFlowGraph, allocation: Allocation, env_io_words: int
+    ) -> TaskEstimate:
+        clock_period = self._choose_clock_period(dfg, allocation)
+
+        def duration_of(kind: OpKind, width: int) -> int:
+            unit_class = functional_unit_class(kind)
+            component = allocation.components.get(unit_class)
+            if component is None:
+                component = self.library.component_for(kind, width)
+            return component.cycles_at(clock_period)
+
+        schedule = list_schedule(dfg, allocation.unit_limits(), duration_of)
+        io_cycles = max(0, int(env_io_words))
+        cycles = schedule.makespan + io_cycles
+
+        breakdown = self._area_breakdown(dfg, allocation, schedule, env_io_words, cycles)
+        raw = breakdown.raw_total
+        adjusted = self.layout_model.adjusted_area(raw, self.device)
+        return TaskEstimate(
+            dfg_name=dfg.name,
+            clbs=adjusted,
+            cycles=cycles,
+            clock_period=clock_period,
+            allocation=allocation,
+            schedule=schedule,
+            breakdown=breakdown,
+        )
+
+    def _choose_clock_period(self, dfg: DataFlowGraph, allocation: Allocation) -> float:
+        """Clock period: slowest component + routing, clamped to the constraint."""
+        raw_area = allocation.total_functional_area()
+        slowest = allocation.slowest_component_delay()
+        adjusted = self.layout_model.adjusted_clock_period(slowest, raw_area, self.device)
+        period = min(adjusted, self.max_clock_period)
+        period = max(period, self.device.min_clock_period)
+        if period > self.device.max_clock_period:
+            raise EstimationError(
+                f"required clock period {period * 1e9:.1f} ns exceeds the device "
+                f"maximum {self.device.max_clock_period * 1e9:.1f} ns"
+            )
+        # Quantise up to the clock grid so reported clocks are round numbers.
+        return math.ceil(period / CLOCK_GRID) * CLOCK_GRID
+
+    def _area_breakdown(
+        self,
+        dfg: DataFlowGraph,
+        allocation: Allocation,
+        schedule: Schedule,
+        env_io_words: int,
+        total_cycles: int,
+    ) -> AreaBreakdown:
+        breakdown = AreaBreakdown()
+        breakdown.functional_units = allocation.total_functional_area()
+
+        # Registers: every functional-unit instance gets an output register and
+        # each operand port gets an input register at the component width.
+        register_area = 0
+        for unit_class, count in allocation.instances.items():
+            width = allocation.components[unit_class].width
+            register_area += count * self.library.register_area(width) * 2
+        breakdown.registers = register_area
+
+        # Steering: an instance fed from k distinct producers needs a k-to-1
+        # mux per operand port (approximated as one port).
+        binding = bind_schedule(schedule, dfg)
+        steering_area = 0
+        for label, distinct_sources in steering_inputs(binding, dfg).items():
+            unit_class = label.split("#", 1)[0]
+            width = allocation.components[unit_class].width
+            steering_area += self.library.mux_area(width, max(2, distinct_sources))
+        breakdown.steering = steering_area
+
+        # Controller: one-hot FSM with one state per cycle of the schedule.
+        breakdown.controller = self.library.controller_area(max(1, total_cycles))
+
+        # Memory port needed when the task streams data to/from board memory.
+        if env_io_words > 0:
+            widest = max((op.width for op in dfg.compute_operations()), default=16)
+            port = self.library.component_for(OpKind.MEMORY_READ, widest)
+            breakdown.memory_ports = port.area_clbs
+        return breakdown
+
+    # ------------------------------------------------------------------
+    # Task-graph estimation
+    # ------------------------------------------------------------------
+
+    def estimate_task_graph(self, graph: TaskGraph, force: bool = False) -> TaskGraph:
+        """Attach estimated costs to every task of *graph* (in place).
+
+        Tasks that already carry a cost are left untouched unless *force* is
+        set.  Tasks without a DFG must already have a cost.  Returns the graph
+        to allow chaining.
+        """
+        for name in graph.task_names():
+            task = graph.task(name)
+            if task.has_cost and not force:
+                continue
+            if task.dfg is None:
+                raise EstimationError(
+                    f"task {name!r} has neither a cost nor a DFG to estimate from"
+                )
+            io_words = graph.env_input_words(name) + graph.env_output_words(name)
+            io_words += sum(
+                graph.edge_words(pred, name) for pred in graph.predecessors(name)
+            )
+            io_words += sum(
+                graph.edge_words(name, succ) for succ in graph.successors(name)
+            )
+            estimate = self.estimate_dfg(task.dfg, env_io_words=io_words)
+            graph.set_cost(name, estimate.to_task_cost())
+        return graph
+
+    def estimate_composite(
+        self, dfgs: List[DataFlowGraph], env_io_words: int = 0, name: str = "composite"
+    ) -> TaskEstimate:
+        """Estimate several DFGs synthesised together as one static datapath.
+
+        Used for the static (non-reconfigured) baseline design: the DFGs are
+        concatenated into a single graph (with namespacing to keep operation
+        names unique) and estimated as one datapath sharing functional units.
+        """
+        merged = merge_dfgs(dfgs, name=name)
+        return self.estimate_dfg(merged, env_io_words=env_io_words)
+
+
+def merge_dfgs(dfgs: List[DataFlowGraph], name: str = "composite") -> DataFlowGraph:
+    """Concatenate several DFGs into one, prefixing node names to keep them unique."""
+    if not dfgs:
+        raise EstimationError("merge_dfgs needs at least one DFG")
+    merged = DataFlowGraph(name)
+    for index, dfg in enumerate(dfgs):
+        prefix = f"g{index}_"
+        for op in dfg.operations():
+            merged.add_operation(
+                type(op)(
+                    name=prefix + op.name,
+                    kind=op.kind,
+                    width=op.width,
+                    value=op.value,
+                )
+            )
+        for producer, consumer in dfg.edges():
+            merged.add_dependency(prefix + producer, prefix + consumer)
+    return merged

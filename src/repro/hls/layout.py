@@ -1,0 +1,74 @@
+"""Floorplan/layout-aware area and clock adjustment.
+
+The paper notes that "to bridge the gap between behavior and the final layout
+on the FPGA, floor planning based layout estimation techniques are
+incorporated in the estimation engine".  We model the same effect with a
+simple, documented overhead model: routing congestion inflates the raw CLB
+count, and long routes add to the achievable clock period.  Both effects grow
+with device utilisation, which is the dominant first-order behaviour of
+mid-90s place-and-route.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arch.device import FpgaDevice
+from ..errors import EstimationError
+
+
+@dataclass(frozen=True)
+class LayoutModel:
+    """Parameters of the layout overhead model.
+
+    Parameters
+    ----------
+    base_area_overhead:
+        Fractional CLB overhead applied regardless of utilisation (steering
+        logic that the datapath model does not enumerate, unusable CLBs due to
+        placement fragmentation).
+    congestion_area_overhead:
+        Additional fractional overhead applied in proportion to device
+        utilisation (squared, so lightly-used devices pay almost nothing).
+    base_wire_delay:
+        Routing delay in seconds added to every register-to-register path.
+    congestion_wire_delay:
+        Additional routing delay at 100 % utilisation (scales quadratically).
+    """
+
+    base_area_overhead: float = 0.08
+    congestion_area_overhead: float = 0.15
+    base_wire_delay: float = 3e-9
+    congestion_wire_delay: float = 12e-9
+
+    def __post_init__(self) -> None:
+        if self.base_area_overhead < 0 or self.congestion_area_overhead < 0:
+            raise EstimationError("area overheads must be non-negative")
+        if self.base_wire_delay < 0 or self.congestion_wire_delay < 0:
+            raise EstimationError("wire delays must be non-negative")
+
+    def adjusted_area(self, raw_clbs: int, device: FpgaDevice) -> int:
+        """Raw CLB count inflated by the layout overhead for *device*."""
+        if raw_clbs < 0:
+            raise EstimationError("raw CLB count must be non-negative")
+        capacity = max(1, device.clb_count)
+        utilisation = min(1.0, raw_clbs / capacity)
+        factor = 1.0 + self.base_area_overhead + self.congestion_area_overhead * utilisation ** 2
+        return math.ceil(raw_clbs * factor)
+
+    def adjusted_clock_period(
+        self, combinational_delay: float, raw_clbs: int, device: FpgaDevice
+    ) -> float:
+        """Register-to-register period including estimated routing delay."""
+        if combinational_delay < 0:
+            raise EstimationError("combinational delay must be non-negative")
+        capacity = max(1, device.clb_count)
+        utilisation = min(1.0, raw_clbs / capacity)
+        wire = self.base_wire_delay + self.congestion_wire_delay * utilisation ** 2
+        return combinational_delay + wire
+
+
+def default_layout_model() -> LayoutModel:
+    """The layout model used unless the caller supplies a custom one."""
+    return LayoutModel()

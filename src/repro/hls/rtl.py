@@ -1,0 +1,163 @@
+"""RTL design container and HDL-style emission.
+
+For every temporal partition the synthesis flow produces an :class:`RtlDesign`
+bundling the datapath, the augmented controller and the memory map.  The
+:func:`emit_vhdl_like` function renders a readable, VHDL-flavoured structural
+description — this stands in for the Synplify/Xilinx-M1 hand-off of the
+original flow (no real bitstreams can be produced without the vendor tools,
+and none are needed for the evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SynthesisError
+from .controller import AugmentedController
+from .datapath import Datapath
+
+
+@dataclass
+class RtlDesign:
+    """One synthesised configuration (temporal partition) at RTL level."""
+
+    name: str
+    datapath: Datapath
+    controller: AugmentedController
+    clock_period: float
+    estimated_clbs: int
+    memory_layout: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.clock_period <= 0:
+            raise SynthesisError("RTL design must have a positive clock period")
+        if self.estimated_clbs < 0:
+            raise SynthesisError("estimated CLB count must be non-negative")
+
+    @property
+    def cycles_per_iteration(self) -> int:
+        """Datapath states walked per loop iteration."""
+        return self.controller.spec.datapath_states
+
+    @property
+    def iteration_bound(self) -> int:
+        """Loop iterations ``k`` performed per board invocation."""
+        return self.controller.spec.iteration_bound
+
+    def describe(self) -> str:
+        """Multi-line summary used in reports and examples."""
+        lines = [
+            f"configuration {self.name}: {self.estimated_clbs} CLBs, "
+            f"{self.cycles_per_iteration} cycles @ {self.clock_period * 1e9:.0f} ns, "
+            f"k={self.iteration_bound}",
+            self.datapath.describe(),
+        ]
+        if self.memory_layout:
+            lines.append("  memory layout (word offsets): " + ", ".join(
+                f"{segment}@{offset}" for segment, offset in sorted(self.memory_layout.items())
+            ))
+        return "\n".join(lines)
+
+
+def emit_vhdl_like(design: RtlDesign) -> str:
+    """Render a VHDL-flavoured structural description of *design*.
+
+    The output is meant for human review and for diffing in tests; it is not
+    fed to a real synthesiser.
+    """
+    dp = design.datapath
+    lines: List[str] = []
+    lines.append(f"-- configuration {design.name}")
+    lines.append(f"-- estimated area: {design.estimated_clbs} CLBs")
+    lines.append(
+        f"-- clock period: {design.clock_period * 1e9:.0f} ns, "
+        f"{design.cycles_per_iteration} states/iteration, k={design.iteration_bound}"
+    )
+    lines.append(f"entity {_identifier(design.name)} is")
+    lines.append("  port (")
+    lines.append("    clk        : in  std_logic;")
+    lines.append("    reset      : in  std_logic;")
+    lines.append("    start      : in  std_logic;")
+    lines.append("    finish     : out std_logic;")
+    if dp.has_memory_port:
+        lines.append(f"    mem_addr   : out std_logic_vector(23 downto 0);")
+        lines.append(
+            f"    mem_wdata  : out std_logic_vector({dp.memory_port_width - 1} downto 0);"
+        )
+        lines.append(
+            f"    mem_rdata  : in  std_logic_vector({dp.memory_port_width - 1} downto 0);"
+        )
+        lines.append("    mem_we     : out std_logic;")
+    lines.append("    iteration_bound : in std_logic_vector(15 downto 0)")
+    lines.append("  );")
+    lines.append(f"end entity {_identifier(design.name)};")
+    lines.append("")
+    lines.append(f"architecture rtl of {_identifier(design.name)} is")
+
+    for unit in dp.functional_units:
+        lines.append(
+            f"  -- functional unit {unit.label}: {unit.unit_class}, "
+            f"{unit.width} bits, {unit.area_clbs} CLBs"
+        )
+        lines.append(
+            f"  signal {_identifier(unit.label)}_a, {_identifier(unit.label)}_b, "
+            f"{_identifier(unit.label)}_y : std_logic_vector({unit.width - 1} downto 0);"
+        )
+    for register in dp.registers:
+        lines.append(
+            f"  signal {_identifier(register.name)} : "
+            f"std_logic_vector({register.width - 1} downto 0);  -- {register.purpose}"
+        )
+    for mux in dp.muxes:
+        lines.append(
+            f"  -- steering mux {mux.name}: {mux.inputs} inputs x {mux.width} bits"
+        )
+    state_names = design.controller.state_names()
+    lines.append(
+        "  type state_t is (" + ", ".join(state_names) + ");"
+    )
+    lines.append("  signal state : state_t := S_START;")
+    lines.append("  signal iter_count : unsigned(15 downto 0) := (others => '0');")
+    lines.append("begin")
+    lines.append("  -- augmented RTR controller (iteration counter + finish handshake)")
+    lines.append("  controller : process (clk)")
+    lines.append("  begin")
+    lines.append("    if rising_edge(clk) then")
+    lines.append("      case state is")
+    lines.append("        when S_START =>")
+    lines.append("          finish <= '0';")
+    lines.append("          if start = '1' then")
+    lines.append("            iter_count <= (others => '0');")
+    lines.append(f"            state <= {state_names[1]};")
+    lines.append("          end if;")
+    for index in range(design.controller.spec.datapath_states):
+        current = state_names[1 + index]
+        following = (
+            state_names[2 + index]
+            if index + 1 < design.controller.spec.datapath_states
+            else "S_CHECK_ITER"
+        )
+        lines.append(f"        when {current} =>")
+        lines.append(f"          state <= {following};")
+    lines.append("        when S_CHECK_ITER =>")
+    lines.append("          if iter_count + 1 < unsigned(iteration_bound) then")
+    lines.append("            iter_count <= iter_count + 1;")
+    lines.append(f"            state <= {state_names[1]};")
+    lines.append("          else")
+    lines.append("            finish <= '1';")
+    lines.append("            state <= S_START;")
+    lines.append("          end if;")
+    lines.append("      end case;")
+    lines.append("    end if;")
+    lines.append("  end process controller;")
+    lines.append("end architecture rtl;")
+    return "\n".join(lines) + "\n"
+
+
+def _identifier(text: str) -> str:
+    """Sanitise a name into a VHDL-ish identifier."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in text)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "u_" + cleaned
+    return cleaned.lower()

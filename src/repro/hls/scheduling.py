@@ -1,0 +1,286 @@
+"""Operation scheduling: ASAP, ALAP and resource-constrained list scheduling.
+
+The HLS estimator needs a cycle count for each task datapath under a given
+functional-unit allocation and clock period.  We implement the standard trio:
+
+* :func:`asap_schedule` / :func:`alap_schedule` — unconstrained bounds, also
+  used to compute operation mobility;
+* :func:`list_schedule` — resource-constrained list scheduling with
+  critical-path priority, supporting multi-cycle operations.
+
+Cycle numbering starts at 0; an operation scheduled at cycle ``c`` with a
+duration of ``d`` cycles occupies ``c .. c+d-1`` and its results are available
+to consumers from cycle ``c+d`` onwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..dfg.graph import DataFlowGraph
+from ..dfg.operations import OpKind
+from ..errors import SchedulingError
+from .component import functional_unit_class
+
+
+@dataclass
+class ScheduledOperation:
+    """Placement of one operation in the schedule."""
+
+    name: str
+    kind: OpKind
+    unit_class: str
+    start_cycle: int
+    duration: int
+    instance: int = 0
+
+    @property
+    def end_cycle(self) -> int:
+        """First cycle *after* the operation completes."""
+        return self.start_cycle + self.duration
+
+
+@dataclass
+class Schedule:
+    """A complete schedule of a data-flow graph."""
+
+    dfg_name: str
+    operations: Dict[str, ScheduledOperation] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> int:
+        """Total number of cycles the schedule occupies."""
+        return max((op.end_cycle for op in self.operations.values()), default=0)
+
+    def start_cycle(self, name: str) -> int:
+        """Start cycle of operation *name*."""
+        try:
+            return self.operations[name].start_cycle
+        except KeyError:
+            raise SchedulingError(f"operation {name!r} is not in the schedule")
+
+    def operations_in_cycle(self, cycle: int) -> List[ScheduledOperation]:
+        """Operations active during *cycle*."""
+        return [
+            op
+            for op in self.operations.values()
+            if op.start_cycle <= cycle < op.end_cycle
+        ]
+
+    def unit_usage(self) -> Dict[str, int]:
+        """Peak number of concurrently busy instances per functional-unit class."""
+        usage: Dict[str, int] = {}
+        for cycle in range(self.makespan):
+            per_class: Dict[str, int] = {}
+            for op in self.operations_in_cycle(cycle):
+                per_class[op.unit_class] = per_class.get(op.unit_class, 0) + 1
+            for unit_class, count in per_class.items():
+                usage[unit_class] = max(usage.get(unit_class, 0), count)
+        return usage
+
+    def validate_dependencies(self, dfg: DataFlowGraph) -> None:
+        """Check that every scheduled operation starts after its producers finish."""
+        for producer, consumer in dfg.edges():
+            if producer not in self.operations or consumer not in self.operations:
+                continue
+            if self.operations[consumer].start_cycle < self.operations[producer].end_cycle:
+                raise SchedulingError(
+                    f"dependency violated: {consumer!r} starts at cycle "
+                    f"{self.operations[consumer].start_cycle} before {producer!r} "
+                    f"finishes at {self.operations[producer].end_cycle}"
+                )
+
+
+DurationFunction = Callable[[OpKind, int], int]
+
+
+def _default_duration(kind: OpKind, width: int) -> int:
+    """One cycle per operation (used by the unconstrained schedules)."""
+    return 1
+
+
+def _durations(dfg: DataFlowGraph, duration_of: Optional[DurationFunction]) -> Dict[str, int]:
+    duration_of = duration_of or _default_duration
+    durations: Dict[str, int] = {}
+    for op in dfg.operations():
+        if op.is_zero_cost:
+            durations[op.name] = 0
+        else:
+            duration = duration_of(op.kind, op.width)
+            if duration < 1:
+                raise SchedulingError(
+                    f"duration of operation {op.name!r} must be at least one cycle"
+                )
+            durations[op.name] = duration
+    return durations
+
+
+def asap_schedule(
+    dfg: DataFlowGraph, duration_of: Optional[DurationFunction] = None
+) -> Schedule:
+    """As-soon-as-possible schedule (unlimited resources)."""
+    durations = _durations(dfg, duration_of)
+    schedule = Schedule(dfg_name=dfg.name)
+    starts: Dict[str, int] = {}
+    for name in dfg.topological_order():
+        op = dfg.operation(name)
+        earliest = 0
+        for pred in dfg.predecessors(name):
+            earliest = max(earliest, starts[pred] + durations[pred])
+        starts[name] = earliest
+        schedule.operations[name] = ScheduledOperation(
+            name=name,
+            kind=op.kind,
+            unit_class=functional_unit_class(op.kind) if not op.is_zero_cost else "none",
+            start_cycle=earliest,
+            duration=durations[name],
+        )
+    return schedule
+
+
+def alap_schedule(
+    dfg: DataFlowGraph,
+    deadline: Optional[int] = None,
+    duration_of: Optional[DurationFunction] = None,
+) -> Schedule:
+    """As-late-as-possible schedule against *deadline* (default: ASAP makespan)."""
+    durations = _durations(dfg, duration_of)
+    asap = asap_schedule(dfg, duration_of)
+    horizon = deadline if deadline is not None else asap.makespan
+    if horizon < asap.makespan:
+        raise SchedulingError(
+            f"deadline {horizon} is tighter than the critical path "
+            f"({asap.makespan} cycles)"
+        )
+    schedule = Schedule(dfg_name=dfg.name)
+    ends: Dict[str, int] = {}
+    for name in reversed(dfg.topological_order()):
+        op = dfg.operation(name)
+        latest_end = horizon
+        for succ in dfg.successors(name):
+            latest_end = min(latest_end, ends[succ] - durations[succ])
+        ends[name] = latest_end
+        start = latest_end - durations[name]
+        if start < 0:
+            raise SchedulingError(
+                f"operation {name!r} cannot meet the deadline of {horizon} cycles"
+            )
+        schedule.operations[name] = ScheduledOperation(
+            name=name,
+            kind=op.kind,
+            unit_class=functional_unit_class(op.kind) if not op.is_zero_cost else "none",
+            start_cycle=start,
+            duration=durations[name],
+        )
+    return schedule
+
+
+def mobility(dfg: DataFlowGraph, duration_of: Optional[DurationFunction] = None) -> Dict[str, int]:
+    """Scheduling freedom of each operation: ALAP start minus ASAP start."""
+    asap = asap_schedule(dfg, duration_of)
+    alap = alap_schedule(dfg, duration_of=duration_of)
+    return {
+        name: alap.operations[name].start_cycle - asap.operations[name].start_cycle
+        for name in asap.operations
+    }
+
+
+def list_schedule(
+    dfg: DataFlowGraph,
+    unit_limits: Dict[str, int],
+    duration_of: Optional[DurationFunction] = None,
+) -> Schedule:
+    """Resource-constrained list scheduling with critical-path priority.
+
+    Parameters
+    ----------
+    dfg:
+        The data-flow graph to schedule.
+    unit_limits:
+        Number of available instances per functional-unit class (e.g.
+        ``{"multiplier": 1, "alu": 1}``).  Classes not listed are assumed to
+        have one instance; zero-cost operations need no unit.
+    duration_of:
+        Maps (kind, width) to the operation's duration in cycles.
+    """
+    durations = _durations(dfg, duration_of)
+
+    # Priority: length of the longest path (in cycles) from the operation to
+    # any sink — the classic critical-path list-scheduling heuristic.
+    priority: Dict[str, int] = {}
+    for name in reversed(dfg.topological_order()):
+        below = max((priority[s] for s in dfg.successors(name)), default=0)
+        priority[name] = durations[name] + below
+
+    remaining_preds = {
+        name: len(dfg.predecessors(name)) for name in dfg.operation_names()
+    }
+    ready = [name for name, count in remaining_preds.items() if count == 0]
+    finish_cycle: Dict[str, int] = {}
+    schedule = Schedule(dfg_name=dfg.name)
+    # busy_until[unit_class][instance] = first free cycle
+    busy_until: Dict[str, List[int]] = {}
+
+    def limit_for(unit_class: str) -> int:
+        limit = unit_limits.get(unit_class, 1)
+        if limit < 1:
+            raise SchedulingError(
+                f"unit class {unit_class!r} must have at least one instance"
+            )
+        return limit
+
+    scheduled_count = 0
+    total = len(dfg)
+    current_cycle = 0
+    safety_limit = 4 * (sum(durations.values()) + total + 1)
+    while scheduled_count < total:
+        if current_cycle > safety_limit:
+            raise SchedulingError(
+                f"list scheduling did not converge for DFG {dfg.name!r}"
+            )
+        # Operations whose predecessors have all finished by current_cycle.
+        available = [
+            name
+            for name in ready
+            if all(
+                finish_cycle[p] <= current_cycle for p in dfg.predecessors(name)
+            )
+        ]
+        available.sort(key=lambda name: (-priority[name], name))
+        for name in available:
+            op = dfg.operation(name)
+            if op.is_zero_cost:
+                start = current_cycle
+                instance = 0
+                unit_class = "none"
+            else:
+                unit_class = functional_unit_class(op.kind)
+                instances = busy_until.setdefault(
+                    unit_class, [0] * limit_for(unit_class)
+                )
+                # Pick the earliest-free instance; only schedule if free now.
+                instance = min(range(len(instances)), key=lambda i: instances[i])
+                if instances[instance] > current_cycle:
+                    continue  # no free instance this cycle
+                start = current_cycle
+                instances[instance] = start + durations[name]
+            schedule.operations[name] = ScheduledOperation(
+                name=name,
+                kind=op.kind,
+                unit_class=unit_class,
+                start_cycle=start,
+                duration=durations[name],
+                instance=instance,
+            )
+            finish_cycle[name] = start + durations[name]
+            ready.remove(name)
+            scheduled_count += 1
+            for succ in dfg.successors(name):
+                remaining_preds[succ] -= 1
+                if remaining_preds[succ] == 0:
+                    ready.append(succ)
+        current_cycle += 1
+
+    schedule.validate_dependencies(dfg)
+    return schedule

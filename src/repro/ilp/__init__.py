@@ -1,0 +1,47 @@
+"""ILP modelling and solving layer (the library's substitute for CPLEX).
+
+Provides a small modelling API (variables, linear expressions, constraints,
+models), linearisation helpers for products of binaries, and three solver
+backends: scipy HiGHS (``milp``), a branch-and-bound over LP relaxations, and
+a pure-Python two-phase simplex for LPs.
+"""
+
+from .branch_and_bound import solve_branch_and_bound
+from .constraint import Constraint, Sense, ensure_constraint
+from .expr import LinExpr, Variable, VarType, linear_sum
+from .linearize import (
+    at_most_one,
+    exactly_one,
+    indicator_ge_sum,
+    product_linearization,
+)
+from .model import MatrixForm, Model
+from .simplex import LpResult, solve_lp
+from .solution import Solution, SolveStatus, assignment_from_names
+from .solver import BACKENDS, DEFAULT_BACKEND, solve, solve_lp_relaxation
+
+__all__ = [
+    "BACKENDS",
+    "Constraint",
+    "DEFAULT_BACKEND",
+    "LinExpr",
+    "LpResult",
+    "MatrixForm",
+    "Model",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "VarType",
+    "Variable",
+    "assignment_from_names",
+    "at_most_one",
+    "ensure_constraint",
+    "exactly_one",
+    "indicator_ge_sum",
+    "linear_sum",
+    "product_linearization",
+    "solve",
+    "solve_branch_and_bound",
+    "solve_lp",
+    "solve_lp_relaxation",
+]

@@ -1,0 +1,147 @@
+"""Solver dispatch: one entry point, three interchangeable backends.
+
+* ``"scipy"`` — scipy's HiGHS ``milp`` (default, fastest);
+* ``"branch-and-bound"`` — the library's own branch-and-bound over LP
+  relaxations (scipy ``linprog`` or the built-in simplex per node);
+* ``"simplex"`` — pure LP solve; only valid for models with no integer
+  variables (used directly for relaxation studies and tests).
+
+All backends return the same :class:`~repro.ilp.solution.Solution` type, so
+callers (the temporal partitioner in particular) never care which one ran.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..errors import SolverError
+from .branch_and_bound import solve_branch_and_bound
+from .model import Model
+from .simplex import solve_lp
+from .solution import Solution, SolveStatus
+
+#: Names of the available backends, in default-preference order.
+BACKENDS = ("scipy", "branch-and-bound", "simplex")
+
+DEFAULT_BACKEND = "scipy"
+
+
+def solve(
+    model: Model,
+    backend: str = DEFAULT_BACKEND,
+    time_limit: Optional[float] = None,
+    max_nodes: int = 200000,
+    use_builtin_lp: bool = False,
+) -> Solution:
+    """Solve *model* with the chosen *backend*.
+
+    Parameters
+    ----------
+    model:
+        The model to solve.
+    backend:
+        One of :data:`BACKENDS`.
+    time_limit:
+        Optional wall-clock limit in seconds (scipy and branch-and-bound).
+    max_nodes:
+        Node cap for the branch-and-bound backend.
+    use_builtin_lp:
+        When solving with branch-and-bound, force the built-in simplex for
+        node relaxations instead of scipy's ``linprog``.
+    """
+    if backend not in BACKENDS:
+        raise SolverError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+
+    if backend == "scipy":
+        from .scipy_backend import solve_milp_scipy
+
+        return solve_milp_scipy(model, time_limit=time_limit)
+
+    if backend == "branch-and-bound":
+        lp_solver = None
+        if use_builtin_lp:
+            lp_solver = lambda form, iterations: solve_lp(form, max_iterations=iterations)
+        return solve_branch_and_bound(
+            model,
+            lp_solver=lp_solver,
+            max_nodes=max_nodes,
+            time_limit=time_limit,
+        )
+
+    # backend == "simplex": LP only.
+    if model.num_integer_variables:
+        raise SolverError(
+            "the 'simplex' backend solves pure LPs; the model has "
+            f"{model.num_integer_variables} integer variables — use 'scipy' or "
+            "'branch-and-bound'"
+        )
+    start = time.perf_counter()
+    form = model.to_matrix_form()
+    result = solve_lp(form)
+    elapsed = time.perf_counter() - start
+    if result.status is not SolveStatus.OPTIMAL or result.x is None:
+        return Solution(
+            status=result.status,
+            backend="simplex",
+            iterations=result.iterations,
+            solve_time=elapsed,
+        )
+    values = {
+        variable: float(result.x[variable.index]) for variable in form.variables
+    }
+    objective = result.objective
+    if objective is not None and not model.is_minimization:
+        objective = -objective
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=objective,
+        values=values,
+        backend="simplex",
+        iterations=result.iterations,
+        solve_time=elapsed,
+    )
+
+
+def solve_lp_relaxation(model: Model, use_builtin: bool = False) -> Solution:
+    """Solve the LP relaxation of *model* (integrality dropped).
+
+    Useful for computing lower bounds on the partitioning latency and for
+    studying the tightness of the formulation.
+    """
+    form = model.to_matrix_form()
+    start = time.perf_counter()
+    if use_builtin:
+        result = solve_lp(form)
+        backend = "simplex"
+    else:
+        try:
+            from .scipy_backend import solve_lp_scipy
+
+            result = solve_lp_scipy(form)
+            backend = "scipy-linprog"
+        except ImportError:  # pragma: no cover - scipy is a declared dependency
+            result = solve_lp(form)
+            backend = "simplex"
+    elapsed = time.perf_counter() - start
+    if result.status is not SolveStatus.OPTIMAL or result.x is None:
+        return Solution(
+            status=result.status,
+            backend=backend,
+            iterations=result.iterations,
+            solve_time=elapsed,
+        )
+    values = {
+        variable: float(result.x[variable.index]) for variable in form.variables
+    }
+    objective = result.objective
+    if objective is not None and not model.is_minimization:
+        objective = -objective
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=objective,
+        values=values,
+        backend=backend,
+        iterations=result.iterations,
+        solve_time=elapsed,
+    )

@@ -1,0 +1,209 @@
+"""A complete JPEG-style codec built from the library's stages.
+
+The encoder mirrors the paper's co-design decomposition: block split -> DCT
+(the hardware subtask) -> quantisation -> zig-zag + run-length -> Huffman
+coding (the software subtasks).  The decoder inverts every stage so that
+round-trip tests and PSNR measurements are possible.  The codec is the
+functional counterpart of the timing experiments: it demonstrates that the
+task decomposition used for partitioning computes the right thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import CodecError
+from .dct import forward_dct, inverse_dct
+from .huffman import HuffmanCode
+from .quantize import default_table, dequantize, quantize, scale_table
+from .zigzag import inverse_zigzag, run_length_decode, run_length_encode, zigzag
+
+
+@dataclass
+class EncodedImage:
+    """The result of encoding one greyscale image."""
+
+    width: int
+    height: int
+    block_size: int
+    quality: int
+    bits: str
+    huffman: HuffmanCode
+    symbol_count: int
+    table: np.ndarray
+    block_count: int = 0
+    statistics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compressed_bits(self) -> int:
+        """Size of the entropy-coded stream in bits."""
+        return len(self.bits)
+
+    @property
+    def raw_bits(self) -> int:
+        """Size of the raw 8-bit image in bits."""
+        return self.width * self.height * 8
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw size divided by compressed size."""
+        if self.compressed_bits == 0:
+            return float("inf")
+        return self.raw_bits / self.compressed_bits
+
+
+class JpegLikeCodec:
+    """Encoder/decoder for greyscale images using square DCT blocks."""
+
+    def __init__(self, block_size: int = 4, quality: int = 75) -> None:
+        if block_size < 2:
+            raise CodecError("block_size must be at least 2")
+        if not 1 <= quality <= 100:
+            raise CodecError("quality must be between 1 and 100")
+        self.block_size = block_size
+        self.quality = quality
+        self.table = scale_table(default_table(block_size), quality)
+
+    # ------------------------------------------------------------------
+    # Blocking
+    # ------------------------------------------------------------------
+
+    def split_blocks(self, image: np.ndarray) -> Tuple[np.ndarray, int, int]:
+        """Split an image into blocks, padding to a multiple of the block size.
+
+        Returns ``(blocks, padded_height, padded_width)`` where *blocks* has
+        shape ``(count, block_size, block_size)`` in row-major block order.
+        """
+        array = np.asarray(image, dtype=np.float64)
+        if array.ndim != 2:
+            raise CodecError(f"expected a 2-D greyscale image, got shape {array.shape}")
+        size = self.block_size
+        padded_height = -(-array.shape[0] // size) * size
+        padded_width = -(-array.shape[1] // size) * size
+        padded = np.zeros((padded_height, padded_width), dtype=np.float64)
+        padded[: array.shape[0], : array.shape[1]] = array
+        blocks = (
+            padded.reshape(padded_height // size, size, padded_width // size, size)
+            .swapaxes(1, 2)
+            .reshape(-1, size, size)
+        )
+        return blocks, padded_height, padded_width
+
+    def merge_blocks(
+        self, blocks: np.ndarray, padded_height: int, padded_width: int,
+        height: int, width: int,
+    ) -> np.ndarray:
+        """Inverse of :meth:`split_blocks` (crops the padding away)."""
+        size = self.block_size
+        rows = padded_height // size
+        columns = padded_width // size
+        image = (
+            np.asarray(blocks)
+            .reshape(rows, columns, size, size)
+            .swapaxes(1, 2)
+            .reshape(padded_height, padded_width)
+        )
+        return image[:height, :width]
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+    # ------------------------------------------------------------------
+
+    def encode(self, image: np.ndarray) -> EncodedImage:
+        """Encode a greyscale image (values 0..255)."""
+        array = np.asarray(image, dtype=np.float64)
+        blocks, padded_height, padded_width = self.split_blocks(array)
+        level_shift = 128.0
+        symbols: List[Tuple[int, int]] = []
+        per_block_symbols: List[List[Tuple[int, int]]] = []
+        for block in blocks:
+            coefficients = forward_dct(block - level_shift, self.block_size)
+            levels = quantize(coefficients, self.table)
+            pairs = run_length_encode(zigzag(levels))
+            per_block_symbols.append(pairs)
+            symbols.extend(pairs)
+        if not symbols:
+            raise CodecError("image produced no symbols to encode")
+        huffman = HuffmanCode.from_symbols(symbols)
+        bits = "".join(huffman.encode(pairs) for pairs in per_block_symbols)
+        statistics = {
+            "mean_bits_per_block": len(bits) / max(1, len(blocks)),
+            "symbols_per_block": len(symbols) / max(1, len(blocks)),
+        }
+        return EncodedImage(
+            width=array.shape[1],
+            height=array.shape[0],
+            block_size=self.block_size,
+            quality=self.quality,
+            bits=bits,
+            huffman=huffman,
+            symbol_count=len(symbols),
+            table=self.table.copy(),
+            block_count=len(blocks),
+            statistics=statistics,
+        )
+
+    def decode(self, encoded: EncodedImage) -> np.ndarray:
+        """Decode an :class:`EncodedImage` back to a greyscale image."""
+        if encoded.block_size != self.block_size:
+            raise CodecError(
+                f"codec block size {self.block_size} does not match the encoded "
+                f"stream's {encoded.block_size}"
+            )
+        symbols = encoded.huffman.decode(encoded.bits)
+        # Split the symbol stream back into per-block runs at the (0, 0) EOB marker.
+        blocks_symbols: List[List[Tuple[int, int]]] = []
+        current: List[Tuple[int, int]] = []
+        for symbol in symbols:
+            current.append(tuple(symbol))
+            if tuple(symbol) == (0, 0):
+                blocks_symbols.append(current)
+                current = []
+        if current:
+            raise CodecError("entropy stream does not end on a block boundary")
+        size = self.block_size
+        level_shift = 128.0
+        decoded_blocks = []
+        for pairs in blocks_symbols:
+            sequence = run_length_decode(pairs, size * size)
+            levels = inverse_zigzag(sequence, size)
+            coefficients = dequantize(levels, encoded.table)
+            block = inverse_dct(coefficients, size) + level_shift
+            decoded_blocks.append(block)
+        padded_height = -(-encoded.height // size) * size
+        padded_width = -(-encoded.width // size) * size
+        expected_blocks = (padded_height // size) * (padded_width // size)
+        if len(decoded_blocks) != expected_blocks:
+            raise CodecError(
+                f"decoded {len(decoded_blocks)} blocks, expected {expected_blocks}"
+            )
+        image = self.merge_blocks(
+            np.array(decoded_blocks), padded_height, padded_width,
+            encoded.height, encoded.width,
+        )
+        return np.clip(image, 0.0, 255.0)
+
+    # ------------------------------------------------------------------
+    # Quality metrics
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def psnr(original: np.ndarray, reconstructed: np.ndarray, peak: float = 255.0) -> float:
+        """Peak signal-to-noise ratio in dB between two images."""
+        original = np.asarray(original, dtype=np.float64)
+        reconstructed = np.asarray(reconstructed, dtype=np.float64)
+        if original.shape != reconstructed.shape:
+            raise CodecError(
+                f"images differ in shape: {original.shape} vs {reconstructed.shape}"
+            )
+        mse = float(np.mean((original - reconstructed) ** 2))
+        if mse == 0:
+            return float("inf")
+        return 10.0 * np.log10(peak * peak / mse)
+
+    def roundtrip_psnr(self, image: np.ndarray) -> float:
+        """Encode + decode *image* and report the PSNR against the original."""
+        return self.psnr(image, self.decode(self.encode(image)))

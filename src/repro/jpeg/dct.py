@@ -1,0 +1,160 @@
+"""Discrete Cosine Transform as two consecutive matrix multiplications.
+
+The paper models the DCT "in the form of 32 vector products": a 4x4 2-D DCT
+is ``Y = C . X . C^T``, i.e. two consecutive 4x4 matrix multiplications, each
+of which is 16 vector products.  The first multiplication's products are the
+paper's T1 tasks, the second's are the T2 tasks.
+
+This module provides the reference floating-point transform (any block size,
+with 4 and 8 as the common cases), the explicit two-stage formulation the
+hardware task graph mirrors, a fixed-point variant matching the bit-widths the
+case study quotes (9-bit first-stage operands, 17-bit second-stage operands),
+and the inverse transform used by the codec round-trip tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import CodecError
+
+
+def dct_matrix(size: int = 4) -> np.ndarray:
+    """The orthonormal type-II DCT matrix ``C`` of the given *size*.
+
+    ``C[0, :] = sqrt(1/size)`` and
+    ``C[k, n] = sqrt(2/size) * cos((2n+1) k pi / (2 size))`` for ``k > 0``.
+    """
+    if size < 1:
+        raise CodecError(f"DCT size must be positive, got {size}")
+    matrix = np.zeros((size, size), dtype=np.float64)
+    for k in range(size):
+        scale = math.sqrt(1.0 / size) if k == 0 else math.sqrt(2.0 / size)
+        for n in range(size):
+            matrix[k, n] = scale * math.cos((2 * n + 1) * k * math.pi / (2 * size))
+    return matrix
+
+
+def _check_block(block: np.ndarray, size: int) -> np.ndarray:
+    array = np.asarray(block, dtype=np.float64)
+    if array.shape != (size, size):
+        raise CodecError(f"expected a {size}x{size} block, got shape {array.shape}")
+    return array
+
+
+def forward_dct(block: np.ndarray, size: int = 4) -> np.ndarray:
+    """2-D forward DCT of one *size* x *size* block (``C . X . C^T``)."""
+    array = _check_block(block, size)
+    c = dct_matrix(size)
+    return c @ array @ c.T
+
+
+def inverse_dct(coefficients: np.ndarray, size: int = 4) -> np.ndarray:
+    """2-D inverse DCT (``C^T . Y . C``)."""
+    array = _check_block(coefficients, size)
+    c = dct_matrix(size)
+    return c.T @ array @ c
+
+
+def forward_dct_two_stage(block: np.ndarray, size: int = 4) -> Tuple[np.ndarray, np.ndarray]:
+    """The DCT split into its two matrix multiplications.
+
+    Returns ``(T, Y)`` where ``T = C . X`` (the 16 T1 vector products for a
+    4x4 block) and ``Y = T . C^T`` (the 16 T2 vector products).  The hardware
+    task graph of Figure 8 evaluates exactly these 32 dot products.
+    """
+    array = _check_block(block, size)
+    c = dct_matrix(size)
+    stage_one = c @ array
+    stage_two = stage_one @ c.T
+    return stage_one, stage_two
+
+
+def vector_product(values: np.ndarray, coefficients: np.ndarray) -> float:
+    """A single vector product — the computation of one task in Figure 8."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    coefficients = np.asarray(coefficients, dtype=np.float64).ravel()
+    if values.shape != coefficients.shape:
+        raise CodecError(
+            f"vector product operands must have equal length, got "
+            f"{values.shape} and {coefficients.shape}"
+        )
+    return float(np.dot(values, coefficients))
+
+
+def forward_dct_by_vector_products(block: np.ndarray, size: int = 4) -> np.ndarray:
+    """Forward DCT computed literally as 2 x size^2 vector products.
+
+    This is the functional model of the hardware task graph: the first
+    ``size^2`` products compute ``T = C . X`` row by row, the second
+    ``size^2`` compute ``Y = T . C^T``.  It must agree with
+    :func:`forward_dct` to floating-point accuracy (a property test checks
+    this), which demonstrates the task decomposition is faithful.
+    """
+    array = _check_block(block, size)
+    c = dct_matrix(size)
+    stage_one = np.zeros((size, size), dtype=np.float64)
+    for row in range(size):
+        for column in range(size):
+            stage_one[row, column] = vector_product(c[row, :], array[:, column])
+    result = np.zeros((size, size), dtype=np.float64)
+    for row in range(size):
+        for column in range(size):
+            result[row, column] = vector_product(stage_one[row, :], c[column, :])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fixed-point model (the bit-widths of the case study)
+# ---------------------------------------------------------------------------
+
+def quantise_coefficients(size: int = 4, fraction_bits: int = 7) -> np.ndarray:
+    """DCT matrix scaled to signed fixed point with *fraction_bits* fraction bits.
+
+    With 7 fraction bits the coefficients fit in 9 signed bits (the "9 bit
+    multipliers" of the static design), since ``|C[k, n]| <= sqrt(2/size) < 1``.
+    """
+    if fraction_bits < 1:
+        raise CodecError("fraction_bits must be at least 1")
+    return np.round(dct_matrix(size) * (1 << fraction_bits)).astype(np.int64)
+
+
+def forward_dct_fixed_point(
+    block: np.ndarray, size: int = 4, fraction_bits: int = 7, input_bits: int = 8
+) -> np.ndarray:
+    """Fixed-point two-stage DCT mirroring the case-study datapath widths.
+
+    * inputs are *input_bits*-bit signed integers,
+    * first-stage products use ``input_bits x (fraction_bits + 2)``-bit
+      multipliers (the 9-bit multipliers of the paper),
+    * the first-stage result is kept at 17 bits (the T2 operand width),
+    * the final result is rescaled back by ``2 * fraction_bits``.
+
+    Returns the integer DCT coefficients (rounded).  Accuracy against the
+    floating-point DCT is verified by tests (max absolute error of a couple of
+    least-significant bits for 8-bit inputs).
+    """
+    array = np.asarray(block)
+    if array.shape != (size, size):
+        raise CodecError(f"expected a {size}x{size} block, got shape {array.shape}")
+    limit = 1 << (input_bits - 1)
+    if np.any(array < -limit) or np.any(array >= limit):
+        raise CodecError(
+            f"block values must fit in {input_bits}-bit signed integers"
+        )
+    coefficients = quantise_coefficients(size, fraction_bits)
+    pixels = array.astype(np.int64)
+    stage_one = coefficients @ pixels               # up to ~17 bits
+    stage_two = stage_one @ coefficients.T          # up to ~26 bits
+    scale = 1 << (2 * fraction_bits)
+    return np.round(stage_two / scale).astype(np.int64)
+
+
+def dct_accuracy(block: np.ndarray, size: int = 4, fraction_bits: int = 7) -> float:
+    """Maximum absolute error of the fixed-point DCT against the reference."""
+    exact = forward_dct(block, size)
+    fixed = forward_dct_fixed_point(block, size, fraction_bits)
+    return float(np.max(np.abs(exact - fixed)))

@@ -1,0 +1,74 @@
+"""Quantisation stage of the JPEG-style codec (software side of the co-design)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CodecError
+
+#: The standard JPEG luminance quantisation table (8x8, quality 50).
+JPEG_LUMINANCE_8x8 = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def default_table(size: int = 4) -> np.ndarray:
+    """A quantisation table for *size* x *size* blocks.
+
+    For 8x8 blocks the standard JPEG luminance table is returned; for other
+    sizes the table is derived by sampling the 8x8 table uniformly, which
+    keeps the characteristic low-frequency/high-frequency weighting.
+    """
+    if size < 1:
+        raise CodecError("block size must be positive")
+    if size == 8:
+        return JPEG_LUMINANCE_8x8.copy()
+    indices = np.linspace(0, 7, size).round().astype(int)
+    return JPEG_LUMINANCE_8x8[np.ix_(indices, indices)].copy()
+
+
+def scale_table(table: np.ndarray, quality: int) -> np.ndarray:
+    """Scale a quantisation table for a JPEG-style *quality* factor (1-100)."""
+    if not 1 <= quality <= 100:
+        raise CodecError("quality must be between 1 and 100")
+    table = np.asarray(table, dtype=np.float64)
+    if quality < 50:
+        scale = 5000.0 / quality
+    else:
+        scale = 200.0 - 2.0 * quality
+    scaled = np.floor((table * scale + 50.0) / 100.0)
+    return np.clip(scaled, 1.0, 255.0)
+
+
+def quantize(coefficients: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Quantise DCT coefficients (round of coefficient / step)."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    table = np.asarray(table, dtype=np.float64)
+    if coefficients.shape != table.shape:
+        raise CodecError(
+            f"coefficients {coefficients.shape} and table {table.shape} differ in shape"
+        )
+    if np.any(table <= 0):
+        raise CodecError("quantisation steps must be positive")
+    return np.round(coefficients / table).astype(np.int64)
+
+
+def dequantize(levels: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Reconstruct coefficients from quantised levels."""
+    levels = np.asarray(levels, dtype=np.float64)
+    table = np.asarray(table, dtype=np.float64)
+    if levels.shape != table.shape:
+        raise CodecError(
+            f"levels {levels.shape} and table {table.shape} differ in shape"
+        )
+    return levels * table

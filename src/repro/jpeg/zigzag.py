@@ -1,0 +1,100 @@
+"""Zig-zag reordering of quantised DCT coefficients (software co-design stage)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import CodecError
+
+
+def zigzag_order(size: int) -> List[Tuple[int, int]]:
+    """The (row, column) visit order for a *size* x *size* block.
+
+    The scan walks anti-diagonals alternately up-right and down-left, exactly
+    as JPEG does for 8x8 blocks; the same rule generalises to any block size.
+    """
+    if size < 1:
+        raise CodecError("block size must be positive")
+    order: List[Tuple[int, int]] = []
+    for diagonal in range(2 * size - 1):
+        if diagonal % 2 == 0:
+            # Walk up-right: rows decreasing.
+            row = min(diagonal, size - 1)
+            column = diagonal - row
+            while row >= 0 and column < size:
+                order.append((row, column))
+                row -= 1
+                column += 1
+        else:
+            # Walk down-left: rows increasing.
+            column = min(diagonal, size - 1)
+            row = diagonal - column
+            while column >= 0 and row < size:
+                order.append((row, column))
+                row += 1
+                column -= 1
+    return order
+
+
+def zigzag(block: np.ndarray) -> np.ndarray:
+    """Flatten a square block into its zig-zag sequence."""
+    array = np.asarray(block)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise CodecError(f"zigzag expects a square block, got shape {array.shape}")
+    order = zigzag_order(array.shape[0])
+    return np.array([array[row, column] for row, column in order])
+
+
+def inverse_zigzag(sequence: np.ndarray, size: int) -> np.ndarray:
+    """Rebuild the square block from its zig-zag sequence."""
+    values = np.asarray(sequence)
+    if values.size != size * size:
+        raise CodecError(
+            f"sequence of length {values.size} cannot fill a {size}x{size} block"
+        )
+    block = np.zeros((size, size), dtype=values.dtype)
+    for value, (row, column) in zip(values, zigzag_order(size)):
+        block[row, column] = value
+    return block
+
+
+def run_length_encode(sequence: np.ndarray) -> List[Tuple[int, int]]:
+    """JPEG-style (zero-run, value) encoding of a zig-zag sequence.
+
+    Trailing zeros are collapsed into a single end-of-block marker ``(0, 0)``.
+    """
+    values = [int(v) for v in np.asarray(sequence).ravel()]
+    pairs: List[Tuple[int, int]] = []
+    run = 0
+    last_nonzero = -1
+    for index, value in enumerate(values):
+        if value != 0:
+            last_nonzero = index
+    for index, value in enumerate(values):
+        if index > last_nonzero:
+            break
+        if value == 0:
+            run += 1
+            continue
+        pairs.append((run, value))
+        run = 0
+    pairs.append((0, 0))  # end of block
+    return pairs
+
+
+def run_length_decode(pairs: List[Tuple[int, int]], length: int) -> np.ndarray:
+    """Inverse of :func:`run_length_encode`."""
+    values: List[int] = []
+    for run, value in pairs:
+        if (run, value) == (0, 0):
+            break
+        values.extend([0] * run)
+        values.append(value)
+    if len(values) > length:
+        raise CodecError(
+            f"run-length data decodes to {len(values)} values, more than {length}"
+        )
+    values.extend([0] * (length - len(values)))
+    return np.array(values, dtype=np.int64)

@@ -1,0 +1,24 @@
+"""Memory mapping and address generation for temporally partitioned designs.
+
+Implements Section 3's memory-access synthesis: grouping the inter-partition
+data flows of each temporal partition into a per-iteration memory block,
+laying ``k`` copies of the block out in physical memory, optionally rounding
+the block to a power of two, and generating addresses either with a
+multiplier or by concatenation.
+"""
+
+from .address import AddressGenerator, AddressGeneratorCost, addressing_tradeoff
+from .mapper import MemoryMap, boundary_words_from_map, build_memory_map
+from .segments import MemoryBlock, MemorySegment, SegmentKind
+
+__all__ = [
+    "AddressGenerator",
+    "AddressGeneratorCost",
+    "MemoryBlock",
+    "MemoryMap",
+    "MemorySegment",
+    "SegmentKind",
+    "addressing_tradeoff",
+    "boundary_words_from_map",
+    "build_memory_map",
+]

@@ -1,0 +1,163 @@
+"""Address generation for iterated memory blocks (Section 3).
+
+Physical memory for a partition holds ``k`` consecutive copies of its memory
+block, one per loop iteration.  The address of location ``a`` of segment
+``Mi`` in iteration ``j`` is::
+
+    address = j * block_size + offset_of(Mi) + a
+
+The multiplication is expensive in both area and delay, so the paper rounds
+the block size up to the nearest power of two and replaces the multiply with a
+concatenation of the iteration index and the in-block offset::
+
+    address = (j << log2(block_size_rounded)) | (offset_of(Mi) + a)
+
+The trade-off is wasted memory (the rounding) versus a smaller, faster address
+generator; both schemes are modelled here so the ablation bench can quantify
+the trade.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..errors import MemoryMappingError
+from ..hls.library import ComponentLibrary, xc4000_library
+from ..units import is_power_of_two
+from .segments import MemoryBlock
+
+
+@dataclass(frozen=True)
+class AddressGeneratorCost:
+    """Area/delay cost of one address generator instance."""
+
+    scheme: str
+    area_clbs: int
+    delay: float
+
+
+class AddressGenerator:
+    """Computes physical addresses for an iterated memory block.
+
+    Parameters
+    ----------
+    block:
+        The partition's :class:`MemoryBlock`.
+    base_address:
+        Physical word address where iteration 0 of the block starts.
+    scheme:
+        ``"concatenation"`` (requires a power-of-two block size, i.e. the
+        block must have been rounded) or ``"multiplier"``.
+    """
+
+    def __init__(
+        self, block: MemoryBlock, base_address: int = 0, scheme: str = "concatenation"
+    ) -> None:
+        if scheme not in ("concatenation", "multiplier"):
+            raise MemoryMappingError(f"unknown addressing scheme {scheme!r}")
+        if base_address < 0:
+            raise MemoryMappingError("base_address must be non-negative")
+        if scheme == "concatenation" and not is_power_of_two(max(1, block.allocated_words)):
+            raise MemoryMappingError(
+                "concatenation addressing requires a power-of-two block size; "
+                "round the block first (MemoryBlock.round_to_power_of_two)"
+            )
+        self.block = block
+        self.base_address = base_address
+        self.scheme = scheme
+
+    # ------------------------------------------------------------------
+    # Address computation
+    # ------------------------------------------------------------------
+
+    def address(self, iteration: int, segment_name: str, location: int) -> int:
+        """Physical address of ``segment[location]`` in loop iteration *iteration*."""
+        if iteration < 0:
+            raise MemoryMappingError("iteration index must be non-negative")
+        segment = self.block.segment(segment_name)
+        if not 0 <= location < max(1, segment.words):
+            raise MemoryMappingError(
+                f"location {location} outside segment {segment_name!r} "
+                f"(size {segment.words})"
+            )
+        offset = self.block.offset_of(segment_name) + location
+        block_words = self.block.allocated_words
+        if self.scheme == "multiplier":
+            return self.base_address + iteration * block_words + offset
+        shift = int(math.log2(max(1, block_words)))
+        return self.base_address + ((iteration << shift) | offset)
+
+    def iter_segment_addresses(
+        self, iteration: int, segment_name: str
+    ) -> Iterator[int]:
+        """Addresses of every word of a segment in a given iteration."""
+        segment = self.block.segment(segment_name)
+        for location in range(segment.words):
+            yield self.address(iteration, segment_name, location)
+
+    def footprint_words(self, iterations: int) -> int:
+        """Physical words occupied by *iterations* copies of the block."""
+        if iterations < 0:
+            raise MemoryMappingError("iterations must be non-negative")
+        return iterations * self.block.allocated_words
+
+    def address_range(self, iterations: int) -> Tuple[int, int]:
+        """(first, last+1) physical addresses touched by *iterations* iterations."""
+        return (self.base_address, self.base_address + self.footprint_words(iterations))
+
+    # ------------------------------------------------------------------
+    # Hardware cost model
+    # ------------------------------------------------------------------
+
+    def hardware_cost(
+        self, address_bits: int = 24, library: ComponentLibrary = None
+    ) -> AddressGeneratorCost:
+        """Estimated area/delay of the address-generation hardware.
+
+        The multiplier scheme needs an ``index x block_size`` multiplier plus a
+        final adder; the concatenation scheme only needs the final adder (the
+        iteration index is wired into the upper address bits).
+        """
+        from ..dfg.operations import OpKind
+
+        library = library or xc4000_library()
+        adder = library.component_for(OpKind.ADD, address_bits)
+        if self.scheme == "concatenation":
+            return AddressGeneratorCost(
+                scheme=self.scheme, area_clbs=adder.area_clbs, delay=adder.delay
+            )
+        index_bits = max(1, address_bits - int(math.log2(max(2, self.block.allocated_words))))
+        multiplier = library.component_for(OpKind.MUL, max(index_bits, 8))
+        return AddressGeneratorCost(
+            scheme=self.scheme,
+            area_clbs=adder.area_clbs + multiplier.area_clbs,
+            delay=adder.delay + multiplier.delay,
+        )
+
+
+def addressing_tradeoff(block: MemoryBlock, address_bits: int = 24) -> dict:
+    """Quantify the concatenation-vs-multiplier trade-off for one block.
+
+    Returns a dictionary with the wasted words under rounding and the
+    area/delay of both address generators — the data behind the A1 ablation.
+    """
+    rounded = MemoryBlock(partition_index=block.partition_index)
+    for segment in block.segments:
+        rounded.add_segment(segment)
+    rounded.round_to_power_of_two()
+
+    concat = AddressGenerator(rounded, scheme="concatenation")
+    mult = AddressGenerator(block, scheme="multiplier")
+    concat_cost = concat.hardware_cost(address_bits)
+    mult_cost = mult.hardware_cost(address_bits)
+    return {
+        "natural_words": block.natural_words,
+        "rounded_words": rounded.allocated_words,
+        "wasted_words": rounded.wasted_words,
+        "concatenation_area_clbs": concat_cost.area_clbs,
+        "concatenation_delay": concat_cost.delay,
+        "multiplier_area_clbs": mult_cost.area_clbs,
+        "multiplier_delay": mult_cost.delay,
+    }

@@ -1,0 +1,45 @@
+"""Temporal partitioning: the paper's core contribution plus baselines.
+
+* :class:`IlpTemporalPartitioner` — the optimal ILP approach of Section 2.1
+  (preprocessing lower bound, relax-N loop, Eqs. 1-8);
+* :class:`ListTemporalPartitioner` — the latency-blind greedy baseline the
+  paper argues against;
+* :class:`LevelClusteringPartitioner` — a scheduling/clustering style
+  heuristic in the spirit of the prior work the paper cites;
+* validation and metrics shared by all of them.
+"""
+
+from .greedy_partitioner import LevelClusteringPartitioner
+from .ilp_formulation import FormulationOptions, TemporalPartitioningFormulation
+from .ilp_partitioner import IlpPartitionerReport, IlpTemporalPartitioner
+from .list_partitioner import ListTemporalPartitioner
+from .metrics import (
+    PartitioningComparison,
+    PartitioningMetrics,
+    compare_partitionings,
+    compute_metrics,
+    partition_summary_rows,
+)
+from .result import PartitionInfo, TemporalPartitioning
+from .spec import PartitionProblem
+from .validate import ValidationReport, assert_valid, validate_partitioning
+
+__all__ = [
+    "FormulationOptions",
+    "IlpPartitionerReport",
+    "IlpTemporalPartitioner",
+    "LevelClusteringPartitioner",
+    "ListTemporalPartitioner",
+    "PartitionInfo",
+    "PartitionProblem",
+    "PartitioningComparison",
+    "PartitioningMetrics",
+    "TemporalPartitioning",
+    "TemporalPartitioningFormulation",
+    "ValidationReport",
+    "assert_valid",
+    "compare_partitionings",
+    "compute_metrics",
+    "partition_summary_rows",
+    "validate_partitioning",
+]

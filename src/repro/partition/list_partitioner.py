@@ -1,0 +1,145 @@
+"""List-based temporal partitioner (the heuristic baseline).
+
+This is the "list based temporal partitioner" the paper contrasts against:
+tasks are visited in dependency order and greedily packed into the current
+temporal partition as long as they fit the resource and memory constraints;
+when nothing more fits, the partition is closed and a new one is opened.
+
+The heuristic is latency-blind — it will happily top a partition up with any
+task that fits, even when doing so lengthens the partition's critical path —
+which is exactly the failure mode the paper's DCT case study illustrates (a
+list partitioner puts two T2 tasks into partition 1 because 480 CLBs are
+unused there, increasing the overall latency).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..arch.device import ResourceVector
+from ..errors import PartitioningError
+from .result import TemporalPartitioning
+from .spec import PartitionProblem
+
+
+class ListTemporalPartitioner:
+    """Greedy list-scheduling-style temporal partitioner.
+
+    Parameters
+    ----------
+    priority:
+        Order in which ready tasks are considered within a level of the ready
+        list: ``"resource"`` (largest resource first — classic bin-packing
+        flavour), ``"delay"`` (longest delay first) or ``"topological"``
+        (task-graph insertion order).
+    """
+
+    def __init__(self, priority: str = "resource") -> None:
+        if priority not in ("resource", "delay", "topological"):
+            raise PartitioningError(f"unknown priority rule {priority!r}")
+        self.priority = priority
+
+    def partition(self, problem: PartitionProblem) -> TemporalPartitioning:
+        """Greedily pack tasks into successive temporal partitions."""
+        graph = problem.graph
+        capacity = problem.resource_capacity
+        order = graph.topological_order()
+        topo_rank = {name: rank for rank, name in enumerate(order)}
+
+        remaining_preds: Dict[str, int] = {
+            name: len(graph.predecessors(name)) for name in order
+        }
+        ready: List[str] = [name for name in order if remaining_preds[name] == 0]
+        assignment: Dict[str, int] = {}
+        assigned_count = 0
+
+        current_partition = 1
+        current_usage = ResourceVector({})
+
+        def sort_key(name: str):
+            task = graph.task(name)
+            if self.priority == "resource":
+                return (-task.clbs, topo_rank[name])
+            if self.priority == "delay":
+                return (-task.delay, topo_rank[name])
+            return (topo_rank[name], 0)
+
+        max_partitions = problem.partition_cap() + len(order)
+        while assigned_count < len(order):
+            ready.sort(key=sort_key)
+            placed_any = False
+            for name in list(ready):
+                task = graph.task(name)
+                trial_usage = current_usage + task.resources
+                if not trial_usage.fits_within(capacity):
+                    continue
+                if not self._memory_allows(problem, assignment, name, current_partition):
+                    continue
+                assignment[name] = current_partition
+                current_usage = trial_usage
+                assigned_count += 1
+                ready.remove(name)
+                placed_any = True
+                for successor in graph.successors(name):
+                    remaining_preds[successor] -= 1
+                    if remaining_preds[successor] == 0:
+                        ready.append(successor)
+            if assigned_count == len(order):
+                break
+            if not placed_any:
+                # Nothing fits in the current partition: close it, open the next.
+                if not ready:
+                    raise PartitioningError(
+                        "list partitioner ran out of ready tasks before assigning "
+                        "everything — the task graph is inconsistent"
+                    )
+                current_partition += 1
+                current_usage = ResourceVector({})
+                if current_partition > max_partitions:
+                    raise PartitioningError(
+                        "list partitioner could not place all tasks; a task may "
+                        "exceed the device capacity or the memory constraint"
+                    )
+        partition_count = max(assignment.values())
+        return TemporalPartitioning(
+            graph=graph,
+            assignment=assignment,
+            partition_count=partition_count,
+            reconfiguration_time=problem.reconfiguration_time,
+            method=f"list-{self.priority}",
+        )
+
+    # ------------------------------------------------------------------
+
+    def _memory_allows(
+        self,
+        problem: PartitionProblem,
+        assignment: Dict[str, int],
+        candidate: str,
+        partition: int,
+    ) -> bool:
+        """Whether placing *candidate* in *partition* keeps every boundary
+        (as known so far) within the memory constraint.
+
+        Data of an edge whose consumer is not yet placed is conservatively
+        assumed to cross every boundary after the producer's partition.
+        """
+        graph = problem.graph
+        memory = problem.memory_words
+        trial = dict(assignment)
+        trial[candidate] = partition
+        # Evaluate boundaries 1..partition (later boundaries only gain data
+        # from tasks we have not reached yet; they are checked when those
+        # tasks are placed).
+        for boundary in range(1, partition + 1):
+            words = 0
+            for producer, consumer in graph.edges():
+                producer_partition = trial.get(producer)
+                if producer_partition is None or producer_partition > boundary:
+                    continue
+                consumer_partition = trial.get(consumer)
+                if consumer_partition is None or consumer_partition > boundary:
+                    words += graph.edge_words(producer, consumer)
+            if words > memory:
+                return False
+        return True

@@ -1,0 +1,207 @@
+"""Temporal partitioning results.
+
+A :class:`TemporalPartitioning` records the assignment of tasks to ordered
+temporal partitions plus everything downstream consumers need: per-partition
+delays, resource usage, the data volumes crossing each boundary, and solver
+metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..arch.device import ResourceVector
+from ..errors import PartitioningError
+from ..taskgraph.graph import TaskGraph
+
+
+@dataclass
+class PartitionInfo:
+    """One temporal partition of the result."""
+
+    index: int
+    tasks: List[str]
+    delay: float
+    resources: ResourceVector
+
+    @property
+    def task_count(self) -> int:
+        """Number of tasks mapped to this partition."""
+        return len(self.tasks)
+
+    @property
+    def clbs(self) -> int:
+        """CLB usage of this partition."""
+        from ..arch.device import CLB
+
+        return self.resources[CLB]
+
+
+@dataclass
+class TemporalPartitioning:
+    """Assignment of every task to one of ``N`` ordered temporal partitions."""
+
+    graph: TaskGraph
+    assignment: Dict[str, int]  # task name -> partition index (1-based)
+    partition_count: int
+    reconfiguration_time: float
+    partitions: List[PartitionInfo] = field(default_factory=list)
+    method: str = ""
+    objective_value: Optional[float] = None
+    solve_time: float = 0.0
+    solver_backend: str = ""
+
+    def __post_init__(self) -> None:
+        if self.partition_count < 1:
+            raise PartitioningError("partition_count must be at least 1")
+        task_names = set(self.graph.task_names())
+        assigned = set(self.assignment)
+        if assigned != task_names:
+            missing = sorted(task_names - assigned)
+            extra = sorted(assigned - task_names)
+            raise PartitioningError(
+                f"assignment does not cover the task graph exactly "
+                f"(missing={missing}, extra={extra})"
+            )
+        for name, index in self.assignment.items():
+            if not 1 <= index <= self.partition_count:
+                raise PartitioningError(
+                    f"task {name!r} assigned to partition {index}, outside "
+                    f"1..{self.partition_count}"
+                )
+        if not self.partitions:
+            self.partitions = self._build_partition_infos()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_partition_infos(self) -> List[PartitionInfo]:
+        infos: List[PartitionInfo] = []
+        for index in range(1, self.partition_count + 1):
+            tasks = self.tasks_in_partition(index)
+            delay = self._partition_delay(tasks)
+            resources = ResourceVector({})
+            for name in tasks:
+                resources = resources + self.graph.task(name).resources
+            infos.append(
+                PartitionInfo(index=index, tasks=tasks, delay=delay, resources=resources)
+            )
+        return infos
+
+    def _partition_delay(self, tasks: Sequence[str]) -> float:
+        """Delay of a partition: the longest dependency chain inside it.
+
+        This recomputes the paper's Eq. 7 semantics from the assignment rather
+        than trusting the solver's ``d_p`` values, so every partitioner
+        (ILP, list, greedy) is measured with exactly the same rule.
+        """
+        members = set(tasks)
+        longest: Dict[str, float] = {}
+        for name in self.graph.topological_order():
+            if name not in members:
+                continue
+            delay = self.graph.task(name).delay
+            best_pred = 0.0
+            for pred in self.graph.predecessors(name):
+                if pred in members:
+                    best_pred = max(best_pred, longest[pred])
+            longest[name] = best_pred + delay
+        return max(longest.values(), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def partition_of(self, task_name: str) -> int:
+        """Partition index (1-based) the task is assigned to."""
+        try:
+            return self.assignment[task_name]
+        except KeyError:
+            raise PartitioningError(f"task {task_name!r} is not in the assignment")
+
+    def tasks_in_partition(self, index: int) -> List[str]:
+        """Tasks assigned to partition *index*, in task-graph insertion order."""
+        if not 1 <= index <= self.partition_count:
+            raise PartitioningError(
+                f"partition index {index} outside 1..{self.partition_count}"
+            )
+        return [
+            name for name in self.graph.task_names() if self.assignment[name] == index
+        ]
+
+    def partition(self, index: int) -> PartitionInfo:
+        """The :class:`PartitionInfo` for partition *index*."""
+        if not 1 <= index <= self.partition_count:
+            raise PartitioningError(
+                f"partition index {index} outside 1..{self.partition_count}"
+            )
+        return self.partitions[index - 1]
+
+    @property
+    def partition_delays(self) -> List[float]:
+        """Per-partition delays ``d_p`` in partition order."""
+        return [info.delay for info in self.partitions]
+
+    @property
+    def computation_latency(self) -> float:
+        """``sum_p d_p`` — latency of one pass excluding reconfiguration."""
+        return sum(self.partition_delays)
+
+    @property
+    def total_latency(self) -> float:
+        """``N*CT + sum_p d_p`` — the paper's optimisation objective."""
+        return self.partition_count * self.reconfiguration_time + self.computation_latency
+
+    def boundary_words(self, boundary: int) -> int:
+        """Words stored in memory across boundary *boundary* (after partition
+        *boundary*, before partition *boundary*+1), i.e. the data of every
+        edge whose producer lies in partitions ``1..boundary`` and whose
+        consumer lies in partitions ``boundary+1..N``."""
+        if not 1 <= boundary <= self.partition_count - 1:
+            if self.partition_count == 1:
+                return 0
+            raise PartitioningError(
+                f"boundary {boundary} outside 1..{self.partition_count - 1}"
+            )
+        total = 0
+        for producer, consumer in self.graph.edges():
+            if (
+                self.assignment[producer] <= boundary
+                < self.assignment[consumer]
+            ):
+                total += self.graph.edge_words(producer, consumer)
+        return total
+
+    def max_boundary_words(self) -> int:
+        """Largest inter-partition data volume across any boundary."""
+        if self.partition_count <= 1:
+            return 0
+        return max(
+            self.boundary_words(boundary)
+            for boundary in range(1, self.partition_count)
+        )
+
+    def cut_edges(self, boundary: int) -> List[tuple]:
+        """Edges whose data is live across boundary *boundary*."""
+        return [
+            (producer, consumer)
+            for producer, consumer in self.graph.edges()
+            if self.assignment[producer] <= boundary < self.assignment[consumer]
+        ]
+
+    def describe(self) -> str:
+        """Multi-line human readable summary."""
+        lines = [
+            f"temporal partitioning of {self.graph.name!r} ({self.method or 'unknown'}): "
+            f"{self.partition_count} partitions, latency "
+            f"{self.total_latency * 1e6:.2f} us (compute "
+            f"{self.computation_latency * 1e9:.0f} ns)"
+        ]
+        for info in self.partitions:
+            lines.append(
+                f"  P{info.index}: {info.task_count} tasks, {info.clbs} CLBs, "
+                f"{info.delay * 1e9:.0f} ns"
+            )
+        return "\n".join(lines)

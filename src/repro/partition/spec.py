@@ -1,0 +1,115 @@
+"""Problem specification for temporal partitioning.
+
+Bundles the three inputs of the paper's Section 2.1: the behaviour
+specification (task graph with synthesis costs), and the target architecture
+parameters ``R_max``, ``M_max`` and ``CT``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..arch.board import ReconfigurableBoard, RtrSystem
+from ..arch.device import ResourceVector
+from ..errors import PartitioningError
+from ..taskgraph.analysis import partition_lower_bound
+from ..taskgraph.graph import TaskGraph
+
+
+@dataclass
+class PartitionProblem:
+    """A temporal-partitioning problem instance.
+
+    Parameters
+    ----------
+    graph:
+        The task graph; every task must carry a synthesis cost (``R(t)``,
+        ``D(t)``).
+    resource_capacity:
+        ``R_max`` — the FPGA resource capacity.
+    memory_words:
+        ``M_max`` — the on-board memory size in words available for
+        inter-partition data.
+    reconfiguration_time:
+        ``CT`` — seconds per FPGA reconfiguration, used in the objective
+        ``N*CT + sum_p d_p``.
+    max_partitions:
+        Optional hard cap on the number of partitions explored by the
+        relax-N loop (defaults to the number of tasks).
+    """
+
+    graph: TaskGraph
+    resource_capacity: ResourceVector
+    memory_words: int
+    reconfiguration_time: float
+    max_partitions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.graph.validate()
+        if not self.graph.all_estimated():
+            missing = [t.name for t in self.graph.tasks() if not t.has_cost]
+            raise PartitioningError(
+                "every task needs a synthesis cost before partitioning; missing: "
+                f"{missing}"
+            )
+        if self.memory_words < 0:
+            raise PartitioningError("memory_words must be non-negative")
+        if self.reconfiguration_time < 0:
+            raise PartitioningError("reconfiguration_time must be non-negative")
+        if self.max_partitions is not None and self.max_partitions < 1:
+            raise PartitioningError("max_partitions must be at least 1")
+
+    @property
+    def task_count(self) -> int:
+        """Number of tasks in the problem."""
+        return len(self.graph)
+
+    def minimum_partitions(self) -> int:
+        """The preprocessing lower bound on the number of partitions."""
+        return partition_lower_bound(self.graph, self.resource_capacity)
+
+    def partition_cap(self) -> int:
+        """Largest partition count the relax-N loop may try."""
+        cap = self.max_partitions if self.max_partitions is not None else self.task_count
+        return max(cap, self.minimum_partitions())
+
+    @classmethod
+    def from_system(
+        cls,
+        graph: TaskGraph,
+        system: RtrSystem,
+        max_partitions: Optional[int] = None,
+    ) -> "PartitionProblem":
+        """Build a problem from a task graph and an :class:`RtrSystem`."""
+        return cls(
+            graph=graph,
+            resource_capacity=system.resource_capacity,
+            memory_words=system.memory_capacity_words,
+            reconfiguration_time=system.reconfiguration_time,
+            max_partitions=max_partitions,
+        )
+
+    @classmethod
+    def from_board(
+        cls,
+        graph: TaskGraph,
+        board: ReconfigurableBoard,
+        max_partitions: Optional[int] = None,
+    ) -> "PartitionProblem":
+        """Build a problem from a task graph and a :class:`ReconfigurableBoard`."""
+        return cls(
+            graph=graph,
+            resource_capacity=board.resource_capacity,
+            memory_words=board.memory_capacity_words,
+            reconfiguration_time=board.reconfiguration_time,
+            max_partitions=max_partitions,
+        )
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"PartitionProblem({self.graph.name!r}: {self.task_count} tasks, "
+            f"R_max={self.resource_capacity.as_dict()}, "
+            f"M_max={self.memory_words} words, CT={self.reconfiguration_time * 1e3:.1f} ms)"
+        )

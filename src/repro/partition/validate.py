@@ -1,0 +1,94 @@
+"""Validation of temporal partitionings against the problem constraints.
+
+Every partitioner (ILP, list, level-clustering) funnels its result through
+the same validator in tests and in the synthesis flow, so an invalid
+assignment can never silently reach RTL generation or the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import PartitionValidationError
+from .result import TemporalPartitioning
+from .spec import PartitionProblem
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a partitioning."""
+
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """Whether no violations were found."""
+        return not self.violations
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`PartitionValidationError` when violations exist."""
+        if self.violations:
+            raise PartitionValidationError(
+                "invalid temporal partitioning:\n  " + "\n  ".join(self.violations)
+            )
+
+
+def validate_partitioning(
+    problem: PartitionProblem, result: TemporalPartitioning
+) -> ValidationReport:
+    """Check *result* against every constraint of *problem*."""
+    report = ValidationReport()
+    graph = problem.graph
+
+    # The assignment must cover exactly the problem's task graph.
+    if set(result.assignment) != set(graph.task_names()):
+        report.violations.append(
+            "assignment does not cover the problem's task set exactly"
+        )
+        return report
+
+    # Temporal order (Eq. 2): producer partition <= consumer partition.
+    for producer, consumer in graph.edges():
+        if result.partition_of(producer) > result.partition_of(consumer):
+            report.violations.append(
+                f"temporal order violated: {producer!r} (P{result.partition_of(producer)}) "
+                f"feeds {consumer!r} (P{result.partition_of(consumer)})"
+            )
+
+    # Resource constraint (Eq. 6) per partition and resource type.
+    capacity = problem.resource_capacity
+    for info in result.partitions:
+        for resource_name in info.resources.names():
+            used = info.resources[resource_name]
+            available = capacity[resource_name]
+            if used > available:
+                report.violations.append(
+                    f"partition {info.index} uses {used} {resource_name}, "
+                    f"exceeding the capacity of {available}"
+                )
+
+    # Memory constraint (Eq. 3) per boundary.
+    for boundary in range(1, result.partition_count):
+        words = result.boundary_words(boundary)
+        if words > problem.memory_words:
+            report.violations.append(
+                f"boundary {boundary} stores {words} words, exceeding the memory "
+                f"constraint of {problem.memory_words} words"
+            )
+
+    # Partition indices must be contiguous starting at 1 (no empty partition
+    # should survive — empty partitions only waste reconfiguration time).
+    used_indices = sorted(set(result.assignment.values()))
+    expected = list(range(1, result.partition_count + 1))
+    if used_indices != expected:
+        report.violations.append(
+            f"partition indices {used_indices} are not contiguous 1..{result.partition_count}"
+        )
+
+    return report
+
+
+def assert_valid(problem: PartitionProblem, result: TemporalPartitioning) -> None:
+    """Convenience wrapper: validate and raise on any violation."""
+    validate_partitioning(problem, result).raise_if_invalid()

@@ -1,0 +1,33 @@
+"""Execution simulation of static and run-time reconfigured designs.
+
+An independent, event-level implementation of the timing semantics described
+in Section 2.2 (and modelled analytically in :mod:`repro.fission`): the host
+drives configuration loads, data transfers and start/finish handshakes while
+the FPGA executes; board-memory occupancy is tracked so inconsistent designs
+fail loudly.
+"""
+
+from .engine import SimulationEngine
+from .events import EventKind, SimulationEvent
+from .rtr_simulator import RtrExecutionSimulator, RtrSimulationResult
+from .static_simulator import StaticExecutionSimulator, StaticSimulationResult
+from .trace import (
+    breakdown_table,
+    configuration_sequence,
+    format_events,
+    per_partition_execution_time,
+)
+
+__all__ = [
+    "EventKind",
+    "RtrExecutionSimulator",
+    "RtrSimulationResult",
+    "SimulationEngine",
+    "SimulationEvent",
+    "StaticExecutionSimulator",
+    "StaticSimulationResult",
+    "breakdown_table",
+    "configuration_sequence",
+    "format_events",
+    "per_partition_execution_time",
+]

@@ -1,0 +1,116 @@
+"""A minimal sequential-activity simulation engine.
+
+The host in the paper's architecture drives everything sequentially — it
+configures the FPGA, moves data, raises the start signal and waits for the
+finish signal — so the execution model is a single timeline of activities.
+:class:`SimulationEngine` owns that timeline: activities are appended with a
+duration, the clock advances, and every activity is recorded as a
+:class:`SimulationEvent` for later inspection.
+
+The engine also tracks board-memory occupancy so that a design whose memory
+blocks do not actually fit (an inconsistency between the fission analysis and
+the memory map) is caught during simulation instead of producing a silently
+wrong timing figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from .events import EventKind, SimulationEvent
+
+
+@dataclass
+class SimulationEngine:
+    """Sequential activity timeline with memory-occupancy tracking."""
+
+    memory_capacity_words: Optional[int] = None
+    current_time: float = 0.0
+    events: List[SimulationEvent] = field(default_factory=list)
+    memory_in_use_words: int = 0
+    peak_memory_words: int = 0
+    _time_by_kind: Dict[EventKind, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Timeline
+    # ------------------------------------------------------------------
+
+    def advance(
+        self,
+        kind: EventKind,
+        duration: float,
+        partition: int = 0,
+        run: int = -1,
+        words: int = 0,
+        computations: int = 0,
+        label: str = "",
+    ) -> SimulationEvent:
+        """Append an activity of *duration* seconds and advance the clock."""
+        if duration < 0:
+            raise SimulationError("cannot advance by a negative duration")
+        event = SimulationEvent(
+            kind=kind,
+            start_time=self.current_time,
+            duration=duration,
+            partition=partition,
+            run=run,
+            words=words,
+            computations=computations,
+            label=label,
+        )
+        self.events.append(event)
+        self.current_time += duration
+        self._time_by_kind[kind] = self._time_by_kind.get(kind, 0.0) + duration
+        return event
+
+    # ------------------------------------------------------------------
+    # Board-memory occupancy
+    # ------------------------------------------------------------------
+
+    def allocate_memory(self, words: int, label: str = "") -> None:
+        """Mark *words* of board memory as occupied."""
+        if words < 0:
+            raise SimulationError("cannot allocate a negative word count")
+        self.memory_in_use_words += words
+        self.peak_memory_words = max(self.peak_memory_words, self.memory_in_use_words)
+        if (
+            self.memory_capacity_words is not None
+            and self.memory_in_use_words > self.memory_capacity_words
+        ):
+            raise SimulationError(
+                f"board memory overflow: {self.memory_in_use_words} words in use "
+                f"({label or 'unnamed allocation'}), capacity "
+                f"{self.memory_capacity_words}"
+            )
+
+    def release_memory(self, words: int) -> None:
+        """Release *words* of previously allocated board memory."""
+        if words < 0:
+            raise SimulationError("cannot release a negative word count")
+        if words > self.memory_in_use_words:
+            raise SimulationError(
+                f"releasing {words} words but only {self.memory_in_use_words} are in use"
+            )
+        self.memory_in_use_words -= words
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def time_spent_on(self, kind: EventKind) -> float:
+        """Total simulated time spent on activities of *kind*."""
+        return self._time_by_kind.get(kind, 0.0)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Total time per event kind plus the overall total."""
+        result = {kind.value: self.time_spent_on(kind) for kind in EventKind}
+        result["total"] = self.current_time
+        return result
+
+    def event_count(self, kind: Optional[EventKind] = None) -> int:
+        """Number of recorded events (optionally of one kind)."""
+        if kind is None:
+            return len(self.events)
+        return sum(1 for event in self.events if event.kind is kind)

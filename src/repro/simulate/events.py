@@ -1,0 +1,62 @@
+"""Event types recorded by the execution simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import SimulationError
+
+
+class EventKind(str, Enum):
+    """What happened at a point in simulated time."""
+
+    CONFIGURE = "configure"          # load a configuration onto the FPGA
+    TRANSFER_IN = "transfer_in"      # host -> board memory word transfer
+    TRANSFER_OUT = "transfer_out"    # board memory -> host word transfer
+    HANDSHAKE = "handshake"          # start signal / wait for finish
+    EXECUTE = "execute"              # datapath execution on the FPGA
+    HOST_LOOP = "host_loop"          # host sequencing-loop bookkeeping
+    HOST_COMPUTE = "host_compute"    # software stages on the host
+
+
+@dataclass(frozen=True)
+class SimulationEvent:
+    """One timed event of a simulation run."""
+
+    kind: EventKind
+    start_time: float
+    duration: float
+    partition: int = 0       # 1-based partition / configuration index, 0 = n/a
+    run: int = -1            # host-loop iteration index, -1 = n/a
+    words: int = 0           # words moved (transfer events)
+    computations: int = 0    # loop iterations covered (execute events)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimulationError("event duration must be non-negative")
+        if self.start_time < 0:
+            raise SimulationError("event start time must be non-negative")
+
+    @property
+    def end_time(self) -> float:
+        """Simulated time at which the event completes."""
+        return self.start_time + self.duration
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        extras = []
+        if self.partition:
+            extras.append(f"P{self.partition}")
+        if self.run >= 0:
+            extras.append(f"run {self.run}")
+        if self.words:
+            extras.append(f"{self.words} words")
+        if self.computations:
+            extras.append(f"{self.computations} computations")
+        detail = ", ".join(extras)
+        return (
+            f"[{self.start_time * 1e3:10.3f} ms] {self.kind.value:<12} "
+            f"{self.duration * 1e3:8.3f} ms  {detail} {self.label}"
+        )

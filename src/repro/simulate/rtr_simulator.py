@@ -1,0 +1,267 @@
+"""Execution simulation of a loop-fissioned RTR design.
+
+The simulator replays the host sequencing loop (FDH or IDH) event by event:
+configuration loads, host<->board transfers, start/finish handshakes, and
+datapath execution, while tracking board-memory occupancy.  It is an
+independent implementation of the same semantics as the analytic models in
+:mod:`repro.fission.strategies`; the test suite checks the two agree, and the
+benches use whichever is more convenient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..arch.board import RtrSystem
+from ..errors import SimulationError
+from ..fission.strategies import RtrTimingSpec, SequencingStrategy
+from ..units import ceil_div
+from .engine import SimulationEngine
+from .events import EventKind
+
+
+@dataclass
+class RtrSimulationResult:
+    """Outcome of simulating an RTR design on a workload."""
+
+    strategy: SequencingStrategy
+    total_computations: int
+    computations_per_run: int
+    runs: int
+    total_time: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    configuration_loads: int = 0
+    peak_memory_words: int = 0
+    event_count: int = 0
+
+    @property
+    def reconfiguration_time(self) -> float:
+        """Total time spent reconfiguring the FPGA."""
+        return self.breakdown.get(EventKind.CONFIGURE.value, 0.0)
+
+    @property
+    def computation_time(self) -> float:
+        """Total datapath execution time."""
+        return self.breakdown.get(EventKind.EXECUTE.value, 0.0)
+
+    @property
+    def transfer_time(self) -> float:
+        """Total host<->board transfer time."""
+        return self.breakdown.get(EventKind.TRANSFER_IN.value, 0.0) + self.breakdown.get(
+            EventKind.TRANSFER_OUT.value, 0.0
+        )
+
+
+class RtrExecutionSimulator:
+    """Simulates FDH / IDH execution of an :class:`RtrTimingSpec`."""
+
+    def __init__(self, system: RtrSystem, check_memory: bool = True) -> None:
+        self.system = system
+        self.check_memory = check_memory
+
+    # ------------------------------------------------------------------
+
+    def simulate(
+        self,
+        spec: RtrTimingSpec,
+        strategy: SequencingStrategy,
+        total_computations: int,
+        keep_events: bool = False,
+    ) -> RtrSimulationResult:
+        """Simulate *total_computations* loop iterations under *strategy*."""
+        if total_computations < 0:
+            raise SimulationError("total_computations must be non-negative")
+        engine = SimulationEngine(
+            memory_capacity_words=(
+                self.system.memory_capacity_words if self.check_memory else None
+            )
+        )
+        configuration_loads = 0
+        runs = (
+            ceil_div(total_computations, spec.computations_per_run)
+            if total_computations
+            else 0
+        )
+        if total_computations:
+            if strategy is SequencingStrategy.FDH:
+                configuration_loads = self._simulate_fdh(engine, spec, total_computations, runs)
+            elif strategy is SequencingStrategy.IDH:
+                configuration_loads = self._simulate_idh(engine, spec, total_computations, runs)
+            else:
+                raise SimulationError(f"unknown strategy {strategy!r}")
+        result = RtrSimulationResult(
+            strategy=strategy,
+            total_computations=total_computations,
+            computations_per_run=spec.computations_per_run,
+            runs=runs,
+            total_time=engine.current_time,
+            breakdown=engine.breakdown(),
+            configuration_loads=configuration_loads,
+            peak_memory_words=engine.peak_memory_words,
+            event_count=engine.event_count(),
+        )
+        if keep_events:
+            result.events = engine.events  # type: ignore[attr-defined]
+        return result
+
+    # ------------------------------------------------------------------
+    # Strategy-specific inner loops
+    # ------------------------------------------------------------------
+
+    def _computations_in_run(self, spec: RtrTimingSpec, run: int, runs: int, total: int) -> int:
+        if run < runs - 1:
+            return spec.computations_per_run
+        return total - spec.computations_per_run * (runs - 1)
+
+    def _simulate_fdh(
+        self,
+        engine: SimulationEngine,
+        spec: RtrTimingSpec,
+        total_computations: int,
+        runs: int,
+    ) -> int:
+        system = self.system
+        configuration_loads = 0
+        env_in_total = sum(spec.partition_env_input_words)
+        env_out_total = sum(spec.partition_env_output_words)
+        for run in range(runs):
+            k_run = self._computations_in_run(spec, run, runs, total_computations)
+            # Host loads the whole batch's input data into board memory.
+            words_in = k_run * env_in_total
+            engine.allocate_memory(words_in, label=f"fdh input run {run}")
+            engine.advance(
+                EventKind.TRANSFER_IN,
+                words_in * system.word_transfer_time,
+                run=run,
+                words=words_in,
+                label="load input block",
+            )
+            for partition in range(1, spec.partition_count + 1):
+                engine.advance(
+                    EventKind.CONFIGURE,
+                    system.reconfiguration_time,
+                    partition=partition,
+                    run=run,
+                    label="load configuration",
+                )
+                configuration_loads += 1
+                engine.advance(
+                    EventKind.HANDSHAKE,
+                    system.handshake_time,
+                    partition=partition,
+                    run=run,
+                    label="start/finish handshake",
+                )
+                # The partition's outputs for the batch appear in board memory.
+                produced = k_run * (
+                    spec.partition_cross_output_words[partition - 1]
+                    + spec.partition_env_output_words[partition - 1]
+                )
+                engine.allocate_memory(produced, label=f"fdh outputs P{partition} run {run}")
+                engine.advance(
+                    EventKind.EXECUTE,
+                    k_run * spec.partition_delays[partition - 1],
+                    partition=partition,
+                    run=run,
+                    computations=k_run,
+                    label="datapath execution",
+                )
+                # Data consumed by this partition (its environment inputs and the
+                # cross-boundary data it read) is dead once it finishes.
+                consumed = k_run * (
+                    spec.partition_cross_input_words[partition - 1]
+                    + spec.partition_env_input_words[partition - 1]
+                )
+                engine.release_memory(consumed)
+                engine.advance(
+                    EventKind.HOST_LOOP,
+                    system.host.loop_iteration_overhead,
+                    partition=partition,
+                    run=run,
+                    label="host loop bookkeeping",
+                )
+            # Read the batch's final results back and release everything else.
+            words_out = k_run * env_out_total
+            engine.advance(
+                EventKind.TRANSFER_OUT,
+                words_out * system.word_transfer_time,
+                run=run,
+                words=words_out,
+                label="read output block",
+            )
+            engine.release_memory(engine.memory_in_use_words)
+        return configuration_loads
+
+    def _simulate_idh(
+        self,
+        engine: SimulationEngine,
+        spec: RtrTimingSpec,
+        total_computations: int,
+        runs: int,
+    ) -> int:
+        system = self.system
+        configuration_loads = 0
+        for partition in range(1, spec.partition_count + 1):
+            engine.advance(
+                EventKind.CONFIGURE,
+                system.reconfiguration_time,
+                partition=partition,
+                label="load configuration",
+            )
+            configuration_loads += 1
+            input_words_per_iteration = (
+                spec.partition_env_input_words[partition - 1]
+                + spec.partition_cross_input_words[partition - 1]
+            )
+            output_words_per_iteration = (
+                spec.partition_env_output_words[partition - 1]
+                + spec.partition_cross_output_words[partition - 1]
+            )
+            for run in range(runs):
+                k_run = self._computations_in_run(spec, run, runs, total_computations)
+                words_in = k_run * input_words_per_iteration
+                engine.allocate_memory(words_in, label=f"idh inputs P{partition} run {run}")
+                engine.advance(
+                    EventKind.TRANSFER_IN,
+                    words_in * system.word_transfer_time,
+                    partition=partition,
+                    run=run,
+                    words=words_in,
+                    label="load intermediate input block",
+                )
+                engine.advance(
+                    EventKind.HANDSHAKE,
+                    system.handshake_time,
+                    partition=partition,
+                    run=run,
+                    label="start/finish handshake",
+                )
+                words_out = k_run * output_words_per_iteration
+                engine.allocate_memory(words_out, label=f"idh outputs P{partition} run {run}")
+                engine.advance(
+                    EventKind.EXECUTE,
+                    k_run * spec.partition_delays[partition - 1],
+                    partition=partition,
+                    run=run,
+                    computations=k_run,
+                    label="datapath execution",
+                )
+                engine.advance(
+                    EventKind.TRANSFER_OUT,
+                    words_out * system.word_transfer_time,
+                    partition=partition,
+                    run=run,
+                    words=words_out,
+                    label="read intermediate output block",
+                )
+                engine.advance(
+                    EventKind.HOST_LOOP,
+                    system.host.loop_iteration_overhead,
+                    partition=partition,
+                    run=run,
+                    label="host loop bookkeeping",
+                )
+                # Intermediate data now lives on the host; the board memory is free.
+                engine.release_memory(words_in + words_out)
+        return configuration_loads

@@ -1,0 +1,175 @@
+"""Execution simulation of the static (configure-once) design.
+
+For small workloads every board invocation is simulated individually; for the
+multi-hundred-thousand-block workloads of Tables 1-2 the identical invocations
+beyond a configurable detail threshold are folded into aggregate events so the
+simulation stays fast while the totals remain exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..arch.board import RtrSystem
+from ..errors import SimulationError
+from ..fission.strategies import StaticTimingSpec
+from ..units import ceil_div
+from .engine import SimulationEngine
+from .events import EventKind
+
+
+@dataclass
+class StaticSimulationResult:
+    """Outcome of simulating the static design on a workload."""
+
+    total_computations: int
+    invocations: int
+    total_time: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    event_count: int = 0
+
+    @property
+    def computation_time(self) -> float:
+        """Total datapath execution time."""
+        return self.breakdown.get(EventKind.EXECUTE.value, 0.0)
+
+    @property
+    def transfer_time(self) -> float:
+        """Total host<->board transfer time."""
+        return self.breakdown.get(EventKind.TRANSFER_IN.value, 0.0) + self.breakdown.get(
+            EventKind.TRANSFER_OUT.value, 0.0
+        )
+
+
+class StaticExecutionSimulator:
+    """Simulates the static baseline design block by block."""
+
+    def __init__(self, system: RtrSystem, detailed_invocation_limit: int = 2000) -> None:
+        if detailed_invocation_limit < 0:
+            raise SimulationError("detailed_invocation_limit must be non-negative")
+        self.system = system
+        self.detailed_invocation_limit = detailed_invocation_limit
+
+    def simulate(
+        self, spec: StaticTimingSpec, total_computations: int
+    ) -> StaticSimulationResult:
+        """Simulate *total_computations* loop iterations on the static design."""
+        if total_computations < 0:
+            raise SimulationError("total_computations must be non-negative")
+        engine = SimulationEngine(memory_capacity_words=None)
+        invocations = (
+            ceil_div(total_computations, spec.blocks_per_invocation)
+            if total_computations
+            else 0
+        )
+        if total_computations:
+            for _ in range(spec.configurations):
+                engine.advance(
+                    EventKind.CONFIGURE,
+                    self.system.reconfiguration_time,
+                    label="initial configuration",
+                )
+            detailed = min(invocations, self.detailed_invocation_limit)
+            remaining_invocations = invocations - detailed
+            blocks_done = 0
+            for invocation in range(detailed):
+                blocks = min(
+                    spec.blocks_per_invocation, total_computations - blocks_done
+                )
+                blocks_done += blocks
+                self._simulate_invocation(engine, spec, invocation, blocks)
+            if remaining_invocations:
+                remaining_blocks = total_computations - blocks_done
+                self._simulate_aggregate(
+                    engine, spec, remaining_invocations, remaining_blocks
+                )
+        return StaticSimulationResult(
+            total_computations=total_computations,
+            invocations=invocations,
+            total_time=engine.current_time,
+            breakdown=engine.breakdown(),
+            event_count=engine.event_count(),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _simulate_invocation(
+        self, engine: SimulationEngine, spec: StaticTimingSpec, invocation: int, blocks: int
+    ) -> None:
+        system = self.system
+        words_in = blocks * spec.env_input_words
+        engine.advance(
+            EventKind.TRANSFER_IN,
+            words_in * system.word_transfer_time,
+            run=invocation,
+            words=words_in,
+            label="write input",
+        )
+        engine.advance(
+            EventKind.HANDSHAKE,
+            system.handshake_time,
+            run=invocation,
+            label="start/finish handshake",
+        )
+        engine.advance(
+            EventKind.EXECUTE,
+            blocks * spec.block_delay,
+            run=invocation,
+            computations=blocks,
+            label="datapath execution",
+        )
+        words_out = blocks * spec.env_output_words
+        engine.advance(
+            EventKind.TRANSFER_OUT,
+            words_out * system.word_transfer_time,
+            run=invocation,
+            words=words_out,
+            label="read output",
+        )
+        engine.advance(
+            EventKind.HOST_LOOP,
+            system.host.loop_iteration_overhead,
+            run=invocation,
+            label="host loop bookkeeping",
+        )
+
+    def _simulate_aggregate(
+        self,
+        engine: SimulationEngine,
+        spec: StaticTimingSpec,
+        invocations: int,
+        blocks: int,
+    ) -> None:
+        """Fold *invocations* identical invocations into five aggregate events."""
+        system = self.system
+        words_in = blocks * spec.env_input_words
+        words_out = blocks * spec.env_output_words
+        engine.advance(
+            EventKind.TRANSFER_IN,
+            words_in * system.word_transfer_time,
+            words=words_in,
+            label=f"write input (x{invocations} invocations)",
+        )
+        engine.advance(
+            EventKind.HANDSHAKE,
+            invocations * system.handshake_time,
+            label=f"handshakes (x{invocations})",
+        )
+        engine.advance(
+            EventKind.EXECUTE,
+            blocks * spec.block_delay,
+            computations=blocks,
+            label=f"datapath execution (x{invocations} invocations)",
+        )
+        engine.advance(
+            EventKind.TRANSFER_OUT,
+            words_out * system.word_transfer_time,
+            words=words_out,
+            label=f"read output (x{invocations} invocations)",
+        )
+        engine.advance(
+            EventKind.HOST_LOOP,
+            invocations * system.host.loop_iteration_overhead,
+            label=f"host loop bookkeeping (x{invocations})",
+        )

@@ -1,0 +1,68 @@
+"""Trace formatting and summarisation helpers for simulation results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from ..units import format_time
+from .events import EventKind, SimulationEvent
+
+
+def format_events(events: Iterable[SimulationEvent], limit: int = 50) -> str:
+    """Human-readable rendering of (the first *limit*) events."""
+    lines: List[str] = []
+    for index, event in enumerate(events):
+        if index >= limit:
+            lines.append(f"... ({index} of more events shown)")
+            break
+        lines.append(event.describe())
+    return "\n".join(lines)
+
+
+def breakdown_table(breakdowns: Dict[str, Dict[str, float]]) -> str:
+    """Side-by-side comparison of several timing breakdowns.
+
+    *breakdowns* maps a label (e.g. ``"static"``, ``"rtr-idh"``) to a
+    ``component -> seconds`` dictionary as produced by
+    :meth:`SimulationEngine.breakdown` or :meth:`TimingBreakdown.as_dict`.
+    """
+    if not breakdowns:
+        return "(no breakdowns)"
+    components: List[str] = []
+    for breakdown in breakdowns.values():
+        for key in breakdown:
+            if key not in components:
+                components.append(key)
+    labels = list(breakdowns)
+    header = ["component"] + labels
+    rows: List[Sequence[str]] = [header]
+    for component in components:
+        row = [component]
+        for label in labels:
+            value = breakdowns[label].get(component, 0.0)
+            row.append(format_time(value) if value else "-")
+        rows.append(row)
+    widths = [max(len(str(row[col])) for row in rows) for col in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        line = "  ".join(str(cell).ljust(widths[col]) for col, cell in enumerate(row))
+        lines.append(line)
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def per_partition_execution_time(events: Iterable[SimulationEvent]) -> Dict[int, float]:
+    """Datapath time per partition index across a trace."""
+    totals: Dict[int, float] = {}
+    for event in events:
+        if event.kind is EventKind.EXECUTE and event.partition:
+            totals[event.partition] = totals.get(event.partition, 0.0) + event.duration
+    return totals
+
+
+def configuration_sequence(events: Iterable[SimulationEvent]) -> List[int]:
+    """The order in which configurations were loaded (for FDH/IDH pattern tests)."""
+    return [
+        event.partition for event in events if event.kind is EventKind.CONFIGURE and event.partition
+    ]

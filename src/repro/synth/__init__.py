@@ -1,0 +1,19 @@
+"""End-to-end synthesis flow (Figure 2) and design artefacts."""
+
+from .flow import PARTITIONERS, DesignFlow, FlowOptions
+from .rtr_design import RtrDesign
+from .static_design import (
+    StaticDesign,
+    static_design_from_estimator,
+    static_design_from_parameters,
+)
+
+__all__ = [
+    "DesignFlow",
+    "FlowOptions",
+    "PARTITIONERS",
+    "RtrDesign",
+    "StaticDesign",
+    "static_design_from_estimator",
+    "static_design_from_parameters",
+]

@@ -1,0 +1,190 @@
+"""The end-to-end design flow of Figure 2.
+
+``behaviour spec -> task estimation -> temporal partitioning -> loop fission ->
+memory mapping -> controller/RTL synthesis -> host code``
+
+:class:`DesignFlow` wires the library's pieces together with one call.  Every
+stage can also be driven individually (that is what the benches and several
+tests do); the flow exists so the examples and downstream users get the
+one-call experience the SPARCS environment offered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..arch.board import RtrSystem
+from ..errors import SynthesisError
+from ..fission.analysis import analyse_fission
+from ..fission.sequencer import generate_host_code
+from ..fission.strategies import SequencingStrategy
+from ..fission.throughput import rtr_timing_spec
+from ..hls.allocation import minimal_allocation
+from ..hls.controller import controller_for_schedule
+from ..hls.datapath import build_datapath
+from ..hls.estimator import TaskEstimator, merge_dfgs
+from ..hls.library import library_for_family
+from ..hls.rtl import RtlDesign
+from ..hls.scheduling import list_schedule
+from ..memmap.mapper import build_memory_map
+from ..partition.greedy_partitioner import LevelClusteringPartitioner
+from ..partition.ilp_partitioner import IlpTemporalPartitioner
+from ..partition.list_partitioner import ListTemporalPartitioner
+from ..partition.result import TemporalPartitioning
+from ..partition.spec import PartitionProblem
+from ..partition.validate import assert_valid
+from ..taskgraph.graph import TaskGraph
+from ..units import ns
+from .rtr_design import RtrDesign
+
+#: Registered partitioner names.
+PARTITIONERS = ("ilp", "list", "level")
+
+
+@dataclass
+class FlowOptions:
+    """Options controlling the end-to-end flow."""
+
+    partitioner: str = "ilp"
+    ilp_backend: str = "scipy"
+    max_clock_period: float = ns(100)
+    round_memory_blocks: bool = False
+    generate_rtl: bool = False
+    estimate_missing_costs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.partitioner not in PARTITIONERS:
+            raise SynthesisError(
+                f"unknown partitioner {self.partitioner!r}; choose from {PARTITIONERS}"
+            )
+        if self.max_clock_period <= 0:
+            raise SynthesisError("max_clock_period must be positive")
+
+
+class DesignFlow:
+    """Runs the Figure-2 flow on a task graph and an RTR system."""
+
+    def __init__(self, system: RtrSystem, options: Optional[FlowOptions] = None) -> None:
+        self.system = system
+        self.options = options or FlowOptions()
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+
+    def estimate(self, graph: TaskGraph) -> TaskGraph:
+        """Task-estimation stage: fill in missing ``R(t)``/``D(t)`` values."""
+        if graph.all_estimated():
+            return graph
+        if not self.options.estimate_missing_costs:
+            raise SynthesisError(
+                "the task graph has unestimated tasks and estimate_missing_costs "
+                "is disabled"
+            )
+        estimator = TaskEstimator(
+            self.system.fpga, max_clock_period=self.options.max_clock_period
+        )
+        return estimator.estimate_task_graph(graph)
+
+    def partition(self, graph: TaskGraph) -> TemporalPartitioning:
+        """Temporal-partitioning stage (ILP or a heuristic baseline)."""
+        problem = PartitionProblem.from_system(graph, self.system)
+        if self.options.partitioner == "ilp":
+            partitioner = IlpTemporalPartitioner(backend=self.options.ilp_backend)
+        elif self.options.partitioner == "list":
+            partitioner = ListTemporalPartitioner()
+        else:
+            partitioner = LevelClusteringPartitioner()
+        result = partitioner.partition(problem)
+        assert_valid(problem, result)
+        return result
+
+    def build(self, graph: TaskGraph, name: Optional[str] = None) -> RtrDesign:
+        """Run every stage and return the finished :class:`RtrDesign`."""
+        graph = self.estimate(graph)
+        partitioning = self.partition(graph)
+        memory_map = build_memory_map(
+            partitioning, round_to_power_of_two=self.options.round_memory_blocks
+        )
+        fission = analyse_fission(
+            partitioning,
+            self.system.memory_capacity_words,
+            memory_map=memory_map,
+            round_blocks_to_power_of_two=self.options.round_memory_blocks,
+        )
+        timing = rtr_timing_spec(partitioning, fission, memory_map)
+        configurations: List[RtlDesign] = []
+        if self.options.generate_rtl:
+            configurations = self._generate_rtl(graph, partitioning, fission)
+        design = RtrDesign(
+            name=name or f"{graph.name}-rtr",
+            system=self.system,
+            partitioning=partitioning,
+            memory_map=memory_map,
+            fission=fission,
+            timing_spec=timing,
+            configurations=configurations,
+        )
+        for strategy in (SequencingStrategy.FDH, SequencingStrategy.IDH):
+            design.host_code[strategy.value] = generate_host_code(
+                design.sequencer_plan(strategy)
+            )
+        return design
+
+    # ------------------------------------------------------------------
+    # RTL generation per temporal partition
+    # ------------------------------------------------------------------
+
+    def _generate_rtl(
+        self,
+        graph: TaskGraph,
+        partitioning: TemporalPartitioning,
+        fission,
+    ) -> List[RtlDesign]:
+        library = library_for_family(self.system.fpga.family)
+        memory_map = build_memory_map(partitioning)
+        configurations: List[RtlDesign] = []
+        for index in range(1, partitioning.partition_count + 1):
+            members = partitioning.tasks_in_partition(index)
+            dfgs = []
+            for task_name in members:
+                task = graph.task(task_name)
+                if task.dfg is None:
+                    raise SynthesisError(
+                        f"task {task_name!r} has no DFG; RTL generation needs the "
+                        "operation-level behaviour (or disable generate_rtl)"
+                    )
+                dfgs.append(task.dfg)
+            merged = merge_dfgs(dfgs, name=f"{graph.name}-p{index}")
+            estimator = TaskEstimator(
+                self.system.fpga, max_clock_period=self.options.max_clock_period
+            )
+            estimate = estimator.estimate_dfg(merged)
+            allocation = estimate.allocation or minimal_allocation(merged, library)
+            controller = controller_for_schedule(
+                name=f"{graph.name}-p{index}",
+                schedule_cycles=estimate.cycles,
+                iteration_bound=max(1, fission.computations_per_run),
+                counter_width=max(16, fission.computations_per_run.bit_length() + 1),
+            )
+            datapath = build_datapath(
+                name=f"{graph.name}-p{index}",
+                dfg=merged,
+                allocation=allocation,
+                schedule=estimate.schedule,
+                library=library,
+                needs_memory_port=True,
+                memory_port_width=self.system.board.memory.word_bits,
+            )
+            configurations.append(
+                RtlDesign(
+                    name=f"{graph.name}-config{index}",
+                    datapath=datapath,
+                    controller=controller,
+                    clock_period=estimate.clock_period,
+                    estimated_clbs=estimate.clbs,
+                    memory_layout=dict(memory_map.block(index).offsets),
+                )
+            )
+        return configurations

@@ -1,0 +1,109 @@
+"""The run-time reconfigured design artefact.
+
+An :class:`RtrDesign` bundles everything the flow of Figure 2 produces for a
+loop-fissioned, temporally partitioned application:
+
+* the temporal partitioning (task -> partition assignment, delays, areas),
+* the per-partition memory maps (blocks, offsets, rounding),
+* the loop-fission analysis (``k``, limiting partition),
+* the per-partition RTL configurations (datapath + augmented controller),
+* the host sequencing plans and generated host code for FDH and IDH, and
+* the timing specs consumed by the analytic models and the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..arch.board import RtrSystem
+from ..errors import SynthesisError
+from ..fission.analysis import FissionAnalysis
+from ..fission.sequencer import SequencerPlan, generate_host_code
+from ..fission.strategies import RtrTimingSpec, SequencingStrategy
+from ..hls.rtl import RtlDesign
+from ..memmap.mapper import MemoryMap
+from ..partition.result import TemporalPartitioning
+
+
+@dataclass
+class RtrDesign:
+    """A complete run-time reconfigured design ready for sequencing."""
+
+    name: str
+    system: RtrSystem
+    partitioning: TemporalPartitioning
+    memory_map: MemoryMap
+    fission: FissionAnalysis
+    timing_spec: RtrTimingSpec
+    configurations: List[RtlDesign] = field(default_factory=list)
+    host_code: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.configurations and len(self.configurations) != self.partition_count:
+            raise SynthesisError(
+                f"expected {self.partition_count} RTL configurations, got "
+                f"{len(self.configurations)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def partition_count(self) -> int:
+        """Number of temporal partitions / configurations ``N``."""
+        return self.partitioning.partition_count
+
+    @property
+    def computations_per_run(self) -> int:
+        """The paper's ``k`` — loop iterations per board invocation."""
+        return self.fission.computations_per_run
+
+    @property
+    def block_delay(self) -> float:
+        """Datapath seconds one loop iteration spends across all partitions."""
+        return self.timing_spec.block_delay
+
+    def configuration(self, partition_index: int) -> RtlDesign:
+        """The RTL configuration of partition *partition_index* (1-based)."""
+        if not self.configurations:
+            raise SynthesisError(f"design {self.name!r} carries no RTL configurations")
+        if not 1 <= partition_index <= len(self.configurations):
+            raise SynthesisError(
+                f"partition index {partition_index} outside 1..{len(self.configurations)}"
+            )
+        return self.configurations[partition_index - 1]
+
+    def sequencer_plan(self, strategy: SequencingStrategy) -> SequencerPlan:
+        """The host sequencing plan for *strategy*."""
+        return SequencerPlan(
+            strategy=strategy,
+            partition_count=self.partition_count,
+            computations_per_run=self.computations_per_run,
+            design_name=self.name,
+        )
+
+    def host_code_for(self, strategy: SequencingStrategy) -> str:
+        """The generated host sequencing code for *strategy*."""
+        key = strategy.value
+        if key not in self.host_code:
+            self.host_code[key] = generate_host_code(self.sequencer_plan(strategy))
+        return self.host_code[key]
+
+    def total_configuration_clbs(self) -> int:
+        """Sum of the per-configuration CLB estimates (for reports)."""
+        if self.configurations:
+            return sum(c.estimated_clbs for c in self.configurations)
+        return sum(info.clbs for info in self.partitioning.partitions)
+
+    def describe(self) -> str:
+        """Multi-line human readable summary."""
+        lines = [
+            f"RTR design {self.name}: {self.partition_count} configurations, "
+            f"k={self.computations_per_run}, block delay "
+            f"{self.block_delay * 1e9:.0f} ns",
+            self.partitioning.describe(),
+            self.fission.describe(),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""The static (configure-once) baseline design.
+
+The paper's first experiment synthesises the whole DCT onto the FPGA once and
+streams every block through it.  A :class:`StaticDesign` carries the handful
+of numbers that matter for the comparison — the per-block delay, the area, and
+the environment I/O per block — and can be built either from the paper's
+reported figures or from the library's own estimator run on the merged task
+DFGs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..arch.device import FpgaDevice
+from ..errors import SynthesisError
+from ..fission.strategies import StaticTimingSpec
+from ..hls.estimator import TaskEstimator
+from ..taskgraph.graph import TaskGraph
+
+
+@dataclass
+class StaticDesign:
+    """A statically configured design processing one loop iteration per pass."""
+
+    name: str
+    clbs: int
+    cycles_per_block: int
+    clock_period: float
+    env_input_words: int
+    env_output_words: int
+    blocks_per_invocation: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_block < 1:
+            raise SynthesisError("cycles_per_block must be at least 1")
+        if self.clock_period <= 0:
+            raise SynthesisError("clock_period must be positive")
+        if self.clbs < 0:
+            raise SynthesisError("clbs must be non-negative")
+
+    @property
+    def block_delay(self) -> float:
+        """Datapath seconds per loop iteration."""
+        return self.cycles_per_block * self.clock_period
+
+    def timing_spec(self) -> StaticTimingSpec:
+        """The :class:`StaticTimingSpec` the throughput models consume."""
+        return StaticTimingSpec(
+            block_delay=self.block_delay,
+            env_input_words=self.env_input_words,
+            env_output_words=self.env_output_words,
+            blocks_per_invocation=self.blocks_per_invocation,
+        )
+
+    def fits(self, device: FpgaDevice) -> bool:
+        """Whether the design fits the device's CLB capacity."""
+        return self.clbs <= device.clb_count
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"static design {self.name}: {self.clbs} CLBs, "
+            f"{self.cycles_per_block} cycles @ {self.clock_period * 1e9:.0f} ns "
+            f"= {self.block_delay * 1e6:.2f} us/block"
+        )
+
+
+def static_design_from_estimator(
+    graph: TaskGraph,
+    device: FpgaDevice,
+    max_clock_period: float,
+    name: Optional[str] = None,
+    blocks_per_invocation: int = 1,
+) -> StaticDesign:
+    """Synthesise the whole task graph as one static datapath (estimated).
+
+    Every task must carry a DFG.  The merged datapath shares functional units
+    across all tasks, which is how the paper's static DCT fits a 1600-CLB
+    device even though the 32 tasks' individual estimates sum to 4000 CLBs.
+    """
+    dfgs = []
+    for task in graph.tasks():
+        if task.dfg is None:
+            raise SynthesisError(
+                f"task {task.name!r} has no DFG; static estimation needs the "
+                "operation-level behaviour"
+            )
+        dfgs.append(task.dfg)
+    estimator = TaskEstimator(device, max_clock_period=max_clock_period, goal="area")
+    env_in = graph.total_env_input_words()
+    env_out = graph.total_env_output_words()
+    estimate = estimator.estimate_composite(
+        dfgs, env_io_words=env_in + env_out, name=f"{graph.name}-static"
+    )
+    return StaticDesign(
+        name=name or f"{graph.name}-static",
+        clbs=estimate.clbs,
+        cycles_per_block=estimate.cycles,
+        clock_period=estimate.clock_period,
+        env_input_words=env_in,
+        env_output_words=env_out,
+        blocks_per_invocation=blocks_per_invocation,
+    )
+
+
+def static_design_from_parameters(
+    name: str,
+    clbs: int,
+    cycles_per_block: int,
+    clock_period: float,
+    env_input_words: int,
+    env_output_words: int,
+    blocks_per_invocation: int = 1,
+) -> StaticDesign:
+    """Build a :class:`StaticDesign` directly from known figures.
+
+    Used with the paper's reported static DCT (160 cycles @ 100 ns on the
+    XC4044 with 16 input and 16 output words per block).
+    """
+    return StaticDesign(
+        name=name,
+        clbs=clbs,
+        cycles_per_block=cycles_per_block,
+        clock_period=clock_period,
+        env_input_words=env_input_words,
+        env_output_words=env_output_words,
+        blocks_per_invocation=blocks_per_invocation,
+    )

@@ -1,0 +1,201 @@
+"""Analyses over task graphs: paths, critical paths, levels, bounds.
+
+Two of these are load-bearing for the reproduction:
+
+* :func:`root_to_leaf_paths` enumerates the path set ``P_rl`` used by the
+  ILP's path-delay constraints (Eq. 7);
+* :func:`partition_lower_bound` is the preprocessing step that seeds the
+  partition-count search (sum of task resources divided by the FPGA
+  capacity, rounded up).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..arch.device import ResourceVector
+from ..errors import GraphError
+from .graph import TaskGraph
+
+#: Default cap on the number of enumerated root-to-leaf paths before the ILP
+#: formulation falls back to the prefix-delay formulation.
+DEFAULT_PATH_LIMIT = 20000
+
+
+def root_to_leaf_paths(
+    graph: TaskGraph, limit: Optional[int] = DEFAULT_PATH_LIMIT
+) -> List[Tuple[str, ...]]:
+    """All simple paths from a root task to a leaf task (the paper's ``P_rl``).
+
+    Isolated tasks (both root and leaf) yield a single one-task path.  When
+    *limit* is given and the graph has more paths than the limit, a
+    :class:`GraphError` is raised so the caller can switch to the fallback
+    delay formulation instead of silently dropping constraints.
+    """
+    graph.validate()
+    nx_graph = graph.to_networkx()
+    paths: List[Tuple[str, ...]] = []
+    leaves = set(graph.leaves())
+    for root in graph.roots():
+        if root in leaves:
+            paths.append((root,))
+            continue
+        for path in nx.all_simple_paths(nx_graph, root, leaves):
+            paths.append(tuple(path))
+            if limit is not None and len(paths) > limit:
+                raise GraphError(
+                    f"task graph {graph.name!r} has more than {limit} "
+                    "root-to-leaf paths; use the prefix-delay formulation"
+                )
+    return paths
+
+
+def count_root_to_leaf_paths(graph: TaskGraph) -> int:
+    """Number of root-to-leaf paths, computed without enumerating them."""
+    graph.validate()
+    counts: Dict[str, int] = {}
+    order = graph.topological_order()
+    for name in order:
+        preds = graph.predecessors(name)
+        counts[name] = 1 if not preds else sum(counts[p] for p in preds)
+    return sum(counts[leaf] for leaf in graph.leaves())
+
+
+def path_delay(graph: TaskGraph, path: Sequence[str]) -> float:
+    """Sum of task delays along *path* (seconds)."""
+    return sum(graph.task(name).delay for name in path)
+
+
+def critical_path(graph: TaskGraph) -> Tuple[List[str], float]:
+    """The maximum-delay root-to-leaf path and its delay.
+
+    Computed by dynamic programming over the topological order, so it is safe
+    for graphs whose path count would make enumeration infeasible.
+    """
+    graph.validate()
+    best_delay: Dict[str, float] = {}
+    best_pred: Dict[str, Optional[str]] = {}
+    for name in graph.topological_order():
+        delay = graph.task(name).delay
+        preds = graph.predecessors(name)
+        if not preds:
+            best_delay[name] = delay
+            best_pred[name] = None
+        else:
+            chosen = max(preds, key=lambda p: best_delay[p])
+            best_delay[name] = best_delay[chosen] + delay
+            best_pred[name] = chosen
+    if not best_delay:
+        return [], 0.0
+    end = max(best_delay, key=lambda n: best_delay[n])
+    path = [end]
+    while best_pred[path[-1]] is not None:
+        path.append(best_pred[path[-1]])
+    path.reverse()
+    return path, best_delay[end]
+
+
+def asap_levels(graph: TaskGraph) -> Dict[str, int]:
+    """Topological level of each task (roots at level 0)."""
+    levels: Dict[str, int] = {}
+    for name in graph.topological_order():
+        preds = graph.predecessors(name)
+        levels[name] = 0 if not preds else 1 + max(levels[p] for p in preds)
+    return levels
+
+
+def tasks_by_level(graph: TaskGraph) -> List[List[str]]:
+    """Tasks grouped by ASAP level, each group in insertion order."""
+    levels = asap_levels(graph)
+    depth = max(levels.values(), default=-1) + 1
+    grouped: List[List[str]] = [[] for _ in range(depth)]
+    for name in graph.task_names():
+        grouped[levels[name]].append(name)
+    return grouped
+
+
+def partition_lower_bound(graph: TaskGraph, capacity: ResourceVector) -> int:
+    """Paper preprocessing step: minimum number of partitions by resources.
+
+    ``ceil( sum_t R(t) / R_max )`` taken over every resource type, with a
+    floor of 1.  A single task larger than the FPGA makes the instance
+    infeasible, which is reported by raising :class:`GraphError` here rather
+    than deep inside the solver.
+    """
+    totals = graph.total_resources()
+    bound = 1
+    for name in totals.names():
+        available = capacity[name]
+        needed = totals[name]
+        if needed == 0:
+            continue
+        if available <= 0:
+            raise GraphError(
+                f"task graph {graph.name!r} needs resource {name!r} but the "
+                "device provides none"
+            )
+        bound = max(bound, math.ceil(needed / available))
+    for task in graph.tasks():
+        if not task.resources.fits_within(capacity):
+            raise GraphError(
+                f"task {task.name!r} does not fit on the device by itself; "
+                "temporal partitioning cannot help"
+            )
+    return bound
+
+
+def transitive_reduction(graph: TaskGraph) -> TaskGraph:
+    """A copy of *graph* with redundant (transitively implied) edges removed.
+
+    Data volumes on removed edges are **not** discarded silently — removing an
+    edge would change the memory constraint — so this helper refuses to drop
+    edges that carry data and is intended for purely structural analyses
+    (e.g. drawing, path counting).
+    """
+    graph.validate()
+    nx_graph = graph.to_networkx()
+    reduced = nx.transitive_reduction(nx_graph)
+    result = TaskGraph(f"{graph.name}-tr")
+    for name in graph.task_names():
+        result.add_task(
+            graph.task(name),
+            env_input_words=graph.env_input_words(name),
+            env_output_words=graph.env_output_words(name),
+        )
+    for producer, consumer in graph.edges():
+        if reduced.has_edge(producer, consumer):
+            result.add_edge(producer, consumer, graph.edge_words(producer, consumer))
+        elif graph.edge_words(producer, consumer) > 0:
+            raise GraphError(
+                f"cannot reduce edge {producer!r} -> {consumer!r}: it carries "
+                f"{graph.edge_words(producer, consumer)} words of data"
+            )
+    return result
+
+
+def downstream_tasks(graph: TaskGraph, task_name: str) -> List[str]:
+    """All tasks reachable from *task_name* (excluding itself)."""
+    nx_graph = graph.to_networkx()
+    return sorted(nx.descendants(nx_graph, task_name))
+
+
+def upstream_tasks(graph: TaskGraph, task_name: str) -> List[str]:
+    """All tasks from which *task_name* is reachable (excluding itself)."""
+    nx_graph = graph.to_networkx()
+    return sorted(nx.ancestors(nx_graph, task_name))
+
+
+def independent_task_pairs(graph: TaskGraph) -> List[Tuple[str, str]]:
+    """Unordered pairs of tasks with no path between them in either direction."""
+    names = graph.task_names()
+    nx_graph = graph.to_networkx()
+    reachable = {name: nx.descendants(nx_graph, name) for name in names}
+    pairs: List[Tuple[str, str]] = []
+    for index, first in enumerate(names):
+        for second in names[index + 1:]:
+            if second not in reachable[first] and first not in reachable[second]:
+                pairs.append((first, second))
+    return pairs

@@ -1,0 +1,233 @@
+"""Builders and generators for task graphs.
+
+Besides programmatic helpers (pipelines, fork-join shapes), this module
+provides:
+
+* :func:`figure4_example` — the 7-task, 2-partition worked example the paper
+  uses to illustrate per-partition delay estimation (Figure 4);
+* :func:`random_dsp_task_graph` — a reproducible generator of layered,
+  DSP-looking task graphs used by the synthetic benchmarks and the
+  property-based tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SpecificationError
+from ..units import ns
+from .graph import TaskGraph
+from .task import Task, clb_cost
+
+
+def linear_pipeline(
+    stage_clbs: Sequence[int],
+    stage_delays: Sequence[float],
+    words_per_edge: int = 16,
+    env_input_words: int = 16,
+    env_output_words: int = 16,
+    name: str = "pipeline",
+) -> TaskGraph:
+    """A linear chain of tasks, stage ``i`` feeding stage ``i+1``.
+
+    This is the canonical shape for image-processing pipelines (filter ->
+    transform -> quantise ...), and the easiest shape to reason about in
+    tests: the minimum-latency partitioning of a chain is always a set of
+    contiguous chunks.
+    """
+    if len(stage_clbs) != len(stage_delays):
+        raise SpecificationError("stage_clbs and stage_delays must have equal length")
+    if not stage_clbs:
+        raise SpecificationError("pipeline must have at least one stage")
+    graph = TaskGraph(name)
+    previous: Optional[str] = None
+    last_index = len(stage_clbs) - 1
+    for index, (clbs_needed, delay) in enumerate(zip(stage_clbs, stage_delays)):
+        task_name = f"stage{index}"
+        graph.add_task(
+            Task(task_name, cost=clb_cost(clbs_needed, delay), task_type="stage"),
+            env_input_words=env_input_words if index == 0 else 0,
+            env_output_words=env_output_words if index == last_index else 0,
+        )
+        if previous is not None:
+            graph.add_edge(previous, task_name, words=words_per_edge)
+        previous = task_name
+    return graph
+
+
+def fork_join(
+    branch_count: int = 4,
+    branch_clbs: int = 100,
+    branch_delay: float = ns(200),
+    join_clbs: int = 150,
+    join_delay: float = ns(300),
+    words_per_edge: int = 8,
+    name: str = "fork_join",
+) -> TaskGraph:
+    """A source task fanning out to *branch_count* branches joined by a sink."""
+    if branch_count < 1:
+        raise SpecificationError("branch_count must be >= 1")
+    graph = TaskGraph(name)
+    graph.add_task(
+        Task("source", cost=clb_cost(branch_clbs, branch_delay), task_type="source"),
+        env_input_words=words_per_edge,
+    )
+    graph.add_task(
+        Task("sink", cost=clb_cost(join_clbs, join_delay), task_type="sink"),
+        env_output_words=words_per_edge,
+    )
+    for index in range(branch_count):
+        branch = f"branch{index}"
+        graph.add_task(
+            Task(branch, cost=clb_cost(branch_clbs, branch_delay), task_type="branch")
+        )
+        graph.add_edge("source", branch, words=words_per_edge)
+        graph.add_edge(branch, "sink", words=words_per_edge)
+    return graph
+
+
+def figure4_example() -> TaskGraph:
+    """The delay-estimation example of the paper's Figure 4.
+
+    Two temporal partitions are drawn in the figure; partition 1 contains
+    three root-to-leaf paths with delays 350 ns, 400 ns and 150 ns (so its
+    delay is 400 ns) and partition 2 has a maximum path delay of 300 ns.  The
+    figure does not label every node, so we reconstruct the smallest graph
+    with exactly those path delays:
+
+    * partition 1: ``a(100) -> b(250)`` (350 ns), ``a(100) -> c(300)``
+      (400 ns), ``d(150)`` alone (150 ns);
+    * partition 2: ``e(100) -> f(200)`` (300 ns) fed by partition 1, plus
+      ``g(100)`` fed by ``d``.
+
+    The intended mapping (used by tests and the Figure-4 bench) is stored in
+    each task's metadata under ``"figure4_partition"``.
+    """
+    graph = TaskGraph("figure4")
+    specs = [
+        ("a", 100, ns(100), 1),
+        ("b", 100, ns(250), 1),
+        ("c", 100, ns(300), 1),
+        ("d", 100, ns(150), 1),
+        ("e", 100, ns(100), 2),
+        ("f", 100, ns(200), 2),
+        ("g", 100, ns(100), 2),
+    ]
+    for name, clbs_needed, delay, partition in specs:
+        graph.add_task(
+            Task(
+                name,
+                cost=clb_cost(clbs_needed, delay),
+                metadata={"figure4_partition": partition},
+            ),
+            env_input_words=4 if name in ("a", "d") else 0,
+            env_output_words=4 if name in ("f", "g") else 0,
+        )
+    graph.add_edge("a", "b", words=4)
+    graph.add_edge("a", "c", words=4)
+    graph.add_edge("b", "e", words=4)
+    graph.add_edge("c", "e", words=4)
+    graph.add_edge("e", "f", words=4)
+    graph.add_edge("d", "g", words=4)
+    return graph
+
+
+def figure4_partition_assignment(graph: TaskGraph) -> Dict[str, int]:
+    """The partition assignment drawn in Figure 4 (from task metadata)."""
+    return {
+        name: graph.task(name).metadata["figure4_partition"]
+        for name in graph.task_names()
+    }
+
+
+def random_dsp_task_graph(
+    task_count: int = 20,
+    seed: int = 0,
+    max_level_width: int = 6,
+    clb_range: tuple = (40, 250),
+    delay_range_ns: tuple = (100, 800),
+    words_range: tuple = (1, 32),
+    edge_probability: float = 0.5,
+    env_io_words: int = 8,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """A reproducible random layered task graph with DSP-like statistics.
+
+    Tasks are organised into levels (like filter stages); each task draws its
+    CLB cost, delay and output data volume from the given ranges, and is wired
+    to a random subset of the previous level so that the graph stays acyclic
+    and (weakly) connected.  The same *seed* always yields the same graph.
+    """
+    if task_count < 1:
+        raise SpecificationError("task_count must be >= 1")
+    if max_level_width < 1:
+        raise SpecificationError("max_level_width must be >= 1")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise SpecificationError("edge_probability must be within [0, 1]")
+    rng = random.Random(seed)
+    graph = TaskGraph(name or f"random-dsp-{task_count}-{seed}")
+
+    # Slice tasks into levels.
+    levels: List[List[str]] = []
+    created = 0
+    while created < task_count:
+        width = min(rng.randint(1, max_level_width), task_count - created)
+        level = [f"t{created + offset}" for offset in range(width)]
+        created += width
+        levels.append(level)
+
+    for level_index, level in enumerate(levels):
+        for task_name in level:
+            clbs_needed = rng.randint(*clb_range)
+            delay = ns(rng.randint(*delay_range_ns))
+            graph.add_task(
+                Task(
+                    task_name,
+                    cost=clb_cost(clbs_needed, delay),
+                    task_type=f"level{level_index}",
+                ),
+                env_input_words=env_io_words if level_index == 0 else 0,
+                env_output_words=env_io_words if level_index == len(levels) - 1 else 0,
+            )
+
+    # Wire levels: every non-root task gets at least one predecessor from the
+    # previous level; extra edges are added with edge_probability.
+    for level_index in range(1, len(levels)):
+        previous = levels[level_index - 1]
+        for task_name in levels[level_index]:
+            mandatory = rng.choice(previous)
+            graph.add_edge(mandatory, task_name, words=rng.randint(*words_range))
+            for candidate in previous:
+                if candidate == mandatory:
+                    continue
+                if rng.random() < edge_probability:
+                    graph.add_edge(candidate, task_name, words=rng.randint(*words_range))
+    return graph
+
+
+def image_pipeline_task_graph(name: str = "edge_detect") -> TaskGraph:
+    """A small, realistic image-processing pipeline (used in examples).
+
+    Models a 3x3-window edge-detection chain on 8x8 tiles: row buffer,
+    horizontal gradient, vertical gradient, magnitude, threshold.  Costs are
+    representative mid-90s FPGA numbers (hand-characterised, not estimated).
+    """
+    graph = TaskGraph(name)
+    graph.add_task(
+        Task("window", cost=clb_cost(220, ns(640)), task_type="linebuffer"),
+        env_input_words=64,
+    )
+    graph.add_task(Task("grad_x", cost=clb_cost(260, ns(900)), task_type="conv3x3"))
+    graph.add_task(Task("grad_y", cost=clb_cost(260, ns(900)), task_type="conv3x3"))
+    graph.add_task(Task("magnitude", cost=clb_cost(340, ns(700)), task_type="cordic"))
+    graph.add_task(
+        Task("threshold", cost=clb_cost(120, ns(320)), task_type="compare"),
+        env_output_words=64,
+    )
+    graph.add_edge("window", "grad_x", words=64)
+    graph.add_edge("window", "grad_y", words=64)
+    graph.add_edge("grad_x", "magnitude", words=64)
+    graph.add_edge("grad_y", "magnitude", words=64)
+    graph.add_edge("magnitude", "threshold", words=64)
+    return graph

@@ -1,0 +1,157 @@
+"""Task objects: the nodes of the behaviour-level task graph.
+
+Each task corresponds to a coarse-grain computation (in the case study, one
+4x4 vector product).  The temporal partitioner consumes two numbers per task —
+the FPGA resources ``R(t)`` and the execution delay ``D(t)`` — which are
+produced by the HLS estimator (or supplied directly, e.g. when reproducing the
+paper's reported estimates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..arch.device import CLB, ResourceVector
+from ..dfg.graph import DataFlowGraph
+from ..errors import SpecificationError
+
+
+@dataclass
+class TaskCost:
+    """Synthesis cost of a task: resources ``R(t)`` and delay ``D(t)``.
+
+    Parameters
+    ----------
+    resources:
+        FPGA resources the task's datapath occupies (CLBs in the paper).
+    delay:
+        Execution delay of the task in seconds for one invocation.
+    cycles / clock_period:
+        Optional cycle-accurate breakdown (``delay = cycles * clock_period``)
+        kept when the estimate comes from a scheduler; the partitioner only
+        uses :attr:`delay`.
+    """
+
+    resources: ResourceVector
+    delay: float
+    cycles: Optional[int] = None
+    clock_period: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SpecificationError(f"task delay must be non-negative, got {self.delay}")
+        if self.cycles is not None and self.cycles < 0:
+            raise SpecificationError("cycle count must be non-negative")
+        if self.clock_period is not None and self.clock_period <= 0:
+            raise SpecificationError("clock period must be positive")
+        if (
+            self.cycles is not None
+            and self.clock_period is not None
+            and abs(self.cycles * self.clock_period - self.delay) > 1e-12
+        ):
+            raise SpecificationError(
+                "inconsistent task cost: cycles * clock_period != delay "
+                f"({self.cycles} * {self.clock_period} != {self.delay})"
+            )
+
+    @property
+    def clbs(self) -> int:
+        """CLB count of the resource vector (0 if CLBs are not used)."""
+        return self.resources[CLB]
+
+
+def clb_cost(
+    clb_count: int,
+    delay: float,
+    cycles: Optional[int] = None,
+    clock_period: Optional[float] = None,
+) -> TaskCost:
+    """Convenience constructor for the common CLB-only cost."""
+    return TaskCost(
+        resources=ResourceVector({CLB: clb_count}),
+        delay=delay,
+        cycles=cycles,
+        clock_period=clock_period,
+    )
+
+
+@dataclass
+class Task:
+    """A node of the behaviour task graph.
+
+    Parameters
+    ----------
+    name:
+        Unique task name within the task graph.
+    cost:
+        Synthesis cost (may be ``None`` until the estimator has run).
+    dfg:
+        Optional operation-level behaviour of the task, used by the HLS
+        estimator and by functional simulation.
+    task_type:
+        Free-form label grouping tasks that share behaviour and cost (the
+        case study has types ``"T1"`` and ``"T2"``).
+    metadata:
+        Arbitrary user annotations (row/column indices, kernel names...).
+    """
+
+    name: str
+    cost: Optional[TaskCost] = None
+    dfg: Optional[DataFlowGraph] = None
+    task_type: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("task name must not be empty")
+
+    @property
+    def has_cost(self) -> bool:
+        """Whether the task already carries a synthesis cost."""
+        return self.cost is not None
+
+    @property
+    def resources(self) -> ResourceVector:
+        """``R(t)``; raises if the task has not been estimated yet."""
+        self._require_cost()
+        return self.cost.resources
+
+    @property
+    def delay(self) -> float:
+        """``D(t)`` in seconds; raises if the task has not been estimated yet."""
+        self._require_cost()
+        return self.cost.delay
+
+    @property
+    def clbs(self) -> int:
+        """CLB count of ``R(t)``."""
+        self._require_cost()
+        return self.cost.clbs
+
+    def with_cost(self, cost: TaskCost) -> "Task":
+        """A copy of this task with *cost* attached."""
+        return Task(
+            name=self.name,
+            cost=cost,
+            dfg=self.dfg,
+            task_type=self.task_type,
+            metadata=dict(self.metadata),
+        )
+
+    def _require_cost(self) -> None:
+        if self.cost is None:
+            raise SpecificationError(
+                f"task {self.name!r} has no synthesis cost; run the estimator "
+                "or attach a TaskCost before partitioning"
+            )
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        if self.cost is None:
+            return f"{self.name} (unestimated)"
+        return (
+            f"{self.name}: {self.cost.clbs} CLBs, "
+            f"{self.cost.delay * 1e9:.1f} ns"
+            + (f" [{self.task_type}]" if self.task_type else "")
+        )

@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (the ILP-partitioned case study) are built once per
+session; cheap builders are plain fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import clbs, generic_system, paper_case_study_system
+from repro.experiments import build_case_study
+from repro.jpeg import build_dct_task_graph
+from repro.partition import PartitionProblem
+from repro.taskgraph import Task, TaskGraph, clb_cost, figure4_example, linear_pipeline
+from repro.units import ms, ns
+
+
+@pytest.fixture(scope="session")
+def paper_system():
+    """The case-study system: XC4044 + 64K x 32 memory + PCI + Pentium host."""
+    return paper_case_study_system()
+
+
+@pytest.fixture(scope="session")
+def dct_graph():
+    """The 32-task DCT task graph with the paper's costs."""
+    return build_dct_task_graph()
+
+
+@pytest.fixture(scope="session")
+def case_study_ilp():
+    """The full case study with the ILP partitioner (built once per session)."""
+    return build_case_study(use_ilp=True)
+
+
+@pytest.fixture(scope="session")
+def case_study_reference():
+    """The case study with the paper's reference assignment (no ILP solve)."""
+    return build_case_study(use_ilp=False)
+
+
+@pytest.fixture
+def small_system():
+    """A small synthetic system used by unit tests that need fast solves."""
+    return generic_system(
+        clb_capacity=500,
+        memory_words=256,
+        reconfiguration_time=ms(1),
+    )
+
+
+@pytest.fixture
+def small_pipeline_graph():
+    """A four-stage pipeline whose optimal partitioning is easy to reason about."""
+    return linear_pipeline(
+        stage_clbs=[300, 300, 300, 300],
+        stage_delays=[ns(100), ns(200), ns(300), ns(400)],
+        words_per_edge=8,
+        env_input_words=8,
+        env_output_words=8,
+    )
+
+
+@pytest.fixture
+def small_problem(small_pipeline_graph, small_system):
+    """A partitioning problem small enough for every backend to solve quickly."""
+    return PartitionProblem.from_system(small_pipeline_graph, small_system)
+
+
+@pytest.fixture
+def figure4_graph():
+    """The reconstructed Figure-4 example graph."""
+    return figure4_example()
+
+
+@pytest.fixture
+def two_task_graph():
+    """The smallest interesting task graph: one producer feeding one consumer."""
+    graph = TaskGraph("two")
+    graph.add_task(Task("a", cost=clb_cost(100, ns(100))), env_input_words=4)
+    graph.add_task(Task("b", cost=clb_cost(100, ns(200))), env_output_words=4)
+    graph.add_edge("a", "b", words=4)
+    return graph
+
+
+def make_problem(graph, clb_capacity=1600, memory_words=65536, ct=ms(100)):
+    """Helper used across partitioning tests to build problems tersely."""
+    return PartitionProblem(
+        graph=graph,
+        resource_capacity=clbs(clb_capacity),
+        memory_words=memory_words,
+        reconfiguration_time=ct,
+    )

@@ -1,0 +1,223 @@
+"""Tests for the target-architecture models (repro.arch)."""
+
+import pytest
+
+from repro.arch import (
+    CLB,
+    FpgaDevice,
+    HostLink,
+    HostSpec,
+    MemoryBank,
+    MemorySubsystem,
+    ResourceVector,
+    clbs,
+    generic_system,
+    make_device,
+    paper_case_study_board,
+    paper_case_study_system,
+    pci_link,
+    single_bank,
+    system_by_name,
+    time_multiplexed_fpga,
+    xc4044,
+    xc6200,
+    xc6200_system,
+)
+from repro.errors import ArchitectureError
+from repro.units import ms, ns, us
+
+
+class TestResourceVector:
+    def test_get_missing_is_zero(self):
+        assert ResourceVector({"clb": 10})["dsp"] == 0
+
+    def test_add(self):
+        total = ResourceVector({"clb": 10}) + ResourceVector({"clb": 5, "bram": 2})
+        assert total["clb"] == 15 and total["bram"] == 2
+
+    def test_scalar_multiply(self):
+        assert (3 * clbs(10))["clb"] == 30
+
+    def test_fits_within(self):
+        assert clbs(100).fits_within(clbs(100))
+        assert not clbs(101).fits_within(clbs(100))
+
+    def test_fits_within_missing_resource(self):
+        assert not ResourceVector({"bram": 1}).fits_within(clbs(100))
+
+    def test_dominant_utilization(self):
+        assert clbs(800).dominant_utilization(clbs(1600)) == pytest.approx(0.5)
+
+    def test_dominant_utilization_missing_capacity_is_inf(self):
+        assert ResourceVector({"bram": 1}).dominant_utilization(clbs(10)) == float("inf")
+
+    def test_rejects_negative_amount(self):
+        with pytest.raises(ArchitectureError):
+            ResourceVector({"clb": -1})
+
+    def test_names_sorted(self):
+        assert ResourceVector({"b": 1, "a": 2}).names() == ("a", "b")
+
+
+class TestFpgaDevice:
+    def test_xc4044_parameters(self):
+        device = xc4044()
+        assert device.clb_count == 1600
+        assert device.reconfiguration_time == pytest.approx(ms(100))
+        assert device.family == "xc4000"
+
+    def test_xc6200_reconfiguration(self):
+        assert xc6200().reconfiguration_time == pytest.approx(us(500))
+
+    def test_time_multiplexed_fpga_is_fast(self):
+        assert time_multiplexed_fpga().reconfiguration_time < us(1)
+
+    def test_supports_clock_period(self):
+        device = xc4044()
+        assert device.supports_clock_period(ns(50))
+        assert not device.supports_clock_period(ns(1))
+
+    def test_with_reconfiguration_time(self):
+        swapped = xc4044().with_reconfiguration_time(us(500))
+        assert swapped.reconfiguration_time == pytest.approx(us(500))
+        assert swapped.clb_count == 1600
+
+    def test_make_device_extra_resources(self):
+        device = make_device("X", 100, ms(1), extra_resources={"bram": 4})
+        assert device.capacity["bram"] == 4
+
+    def test_rejects_negative_reconfiguration_time(self):
+        with pytest.raises(ArchitectureError):
+            make_device("X", 100, -1.0)
+
+    def test_rejects_empty_capacity(self):
+        with pytest.raises(ArchitectureError):
+            FpgaDevice("X", "f", ResourceVector({}), ms(1))
+
+    def test_rejects_inverted_clock_range(self):
+        with pytest.raises(ArchitectureError):
+            FpgaDevice("X", "f", clbs(10), ms(1), min_clock_period=ns(100), max_clock_period=ns(10))
+
+    def test_describe_mentions_name(self):
+        assert "XC4044" in xc4044().describe()
+
+
+class TestMemory:
+    def test_single_bank_capacity(self):
+        memory = single_bank(65536, word_bits=32)
+        assert memory.total_words == 65536
+        assert memory.word_bits == 32
+
+    def test_bank_capacity_bytes(self):
+        assert MemoryBank("b", 1024, 32).capacity_bytes == 4096
+
+    def test_multi_bank_total(self):
+        memory = MemorySubsystem(banks=(MemoryBank("a", 100), MemoryBank("b", 200)))
+        assert memory.total_words == 300
+        assert memory.bank_names == ["a", "b"]
+
+    def test_bank_lookup(self):
+        memory = single_bank(100, name="bank0")
+        assert memory.bank("bank0").capacity_words == 100
+        with pytest.raises(ArchitectureError):
+            memory.bank("nope")
+
+    def test_rejects_duplicate_bank_names(self):
+        with pytest.raises(ArchitectureError):
+            MemorySubsystem(banks=(MemoryBank("a", 1), MemoryBank("a", 2)))
+
+    def test_rejects_mixed_word_widths(self):
+        with pytest.raises(ArchitectureError):
+            MemorySubsystem(banks=(MemoryBank("a", 1, 32), MemoryBank("b", 1, 16)))
+
+    def test_rejects_empty_subsystem(self):
+        with pytest.raises(ArchitectureError):
+            MemorySubsystem(banks=())
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ArchitectureError):
+            MemoryBank("a", 0)
+
+
+class TestHostLink:
+    def test_pci_link_word_time(self):
+        link = pci_link(frequency_hz=33e6)
+        assert link.word_transfer_time == pytest.approx(1 / 33e6)
+
+    def test_transfer_time_scales_with_words(self):
+        link = HostLink("l", word_transfer_time=1e-6)
+        assert link.transfer_time(100) == pytest.approx(1e-4)
+
+    def test_transfer_time_rejects_negative(self):
+        with pytest.raises(ArchitectureError):
+            HostLink("l", 1e-6).transfer_time(-1)
+
+    def test_invocation_overhead(self):
+        assert HostLink("l", 1e-6, handshake_time=2e-6).invocation_overhead() == pytest.approx(2e-6)
+
+    def test_pci_link_rejects_bad_overhead_factor(self):
+        with pytest.raises(ArchitectureError):
+            pci_link(protocol_overhead_factor=0.5)
+
+    def test_rejects_negative_word_time(self):
+        with pytest.raises(ArchitectureError):
+            HostLink("l", -1e-9)
+
+
+class TestHostSpec:
+    def test_software_time(self):
+        host = HostSpec(software_ops_per_second=1e6)
+        assert host.software_time(500) == pytest.approx(5e-4)
+
+    def test_sequencing_overhead(self):
+        host = HostSpec(loop_iteration_overhead=1e-6)
+        assert host.sequencing_overhead(1000) == pytest.approx(1e-3)
+
+    def test_rejects_negative_operation_count(self):
+        with pytest.raises(ArchitectureError):
+            HostSpec().software_time(-1)
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ArchitectureError):
+            HostSpec().sequencing_overhead(-1)
+
+
+class TestBoardAndSystem:
+    def test_paper_board_constraints(self):
+        board = paper_case_study_board()
+        assert board.resource_capacity[CLB] == 1600
+        assert board.memory_capacity_words == 65536
+        assert board.reconfiguration_time == pytest.approx(ms(100))
+
+    def test_paper_system_passthroughs(self, paper_system):
+        assert paper_system.resource_capacity[CLB] == 1600
+        assert paper_system.memory_capacity_words == 65536
+        assert paper_system.reconfiguration_time == pytest.approx(ms(100))
+        assert paper_system.word_transfer_time > 0
+        assert paper_system.handshake_time >= 0
+
+    def test_with_reconfiguration_time(self, paper_system):
+        swept = paper_system.with_reconfiguration_time(us(500))
+        assert swept.reconfiguration_time == pytest.approx(us(500))
+        # original unchanged
+        assert paper_system.reconfiguration_time == pytest.approx(ms(100))
+
+    def test_xc6200_system(self):
+        assert xc6200_system().reconfiguration_time == pytest.approx(us(500))
+
+    def test_generic_system_parameters(self):
+        system = generic_system(clb_capacity=800, memory_words=1000)
+        assert system.resource_capacity[CLB] == 800
+        assert system.memory_capacity_words == 1000
+
+    def test_system_by_name(self):
+        assert system_by_name("paper-xc4044").fpga.name == "XC4044"
+        assert system_by_name("paper-xc6200").fpga.name == "XC6200"
+
+    def test_system_by_name_unknown(self):
+        with pytest.raises(ArchitectureError):
+            system_by_name("does-not-exist")
+
+    def test_describe_is_multiline(self, paper_system):
+        text = paper_system.describe()
+        assert "XC4044" in text and "host" in text

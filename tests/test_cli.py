@@ -1,0 +1,93 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.taskgraph import linear_pipeline, save
+from repro.units import ns
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_partition_defaults(self):
+        args = build_parser().parse_args(["partition"])
+        assert args.taskgraph == "dct"
+        assert args.partitioner == "ilp"
+        assert args.system == "paper-xc4044"
+
+    def test_flow_options(self):
+        args = build_parser().parse_args(
+            ["flow", "--strategy", "fdh", "--round-blocks", "--blocks", "100"]
+        )
+        assert args.strategy == "fdh" and args.round_blocks and args.blocks == 100
+
+    def test_unknown_partitioner_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "--partitioner", "annealing"])
+
+
+class TestCommands:
+    def test_systems(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-xc4044" in out and "XC4044" in out
+
+    def test_partition_dct_with_list_heuristic(self, capsys):
+        assert main(["partition", "--partitioner", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "3 partitions" in out
+        assert "10960 ns" in out.replace(",", "")
+
+    def test_partition_dct_with_ilp(self, capsys):
+        assert main(["partition", "--partitioner", "ilp"]) == 0
+        out = capsys.readouterr().out
+        assert "8440 ns" in out.replace(",", "")
+        assert "variables" in out
+
+    def test_partition_custom_taskgraph_file(self, tmp_path, capsys):
+        graph = linear_pipeline([200, 200, 200], [ns(100), ns(200), ns(300)])
+        path = tmp_path / "pipeline.json"
+        save(graph, path)
+        assert main([
+            "partition", str(path), "--partitioner", "list",
+            "--system", "custom", "--clbs", "250", "--memory", "1024", "--ct", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 partitions" in out
+
+    def test_flow_with_comparison(self, capsys):
+        assert main([
+            "flow", "--partitioner", "list", "--strategy", "idh",
+            "--blocks", "100000", "--static-block-delay-ns", "16000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "host sequencing code" in out
+        assert "RTR" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--no-ilp"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "never" in out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2", "--no-ilp"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "XC6000" in out
+
+    def test_case_study_command(self, capsys):
+        assert main(["case-study", "--no-ilp"]) == 0
+        out = capsys.readouterr().out
+        assert "k=2048" in out and "XC6000" in out
+
+    def test_error_reported_cleanly(self, tmp_path, capsys):
+        # A task graph that cannot be partitioned (task larger than the device)
+        # must produce exit code 2 and an error message, not a traceback.
+        graph = linear_pipeline([5000], [ns(100)])
+        path = tmp_path / "too_big.json"
+        save(graph, path)
+        code = main(["partition", str(path), "--system", "custom", "--clbs", "100"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

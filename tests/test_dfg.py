@@ -1,0 +1,219 @@
+"""Tests for operation-level data-flow graphs (repro.dfg)."""
+
+import pytest
+
+from repro.dfg import (
+    DataFlowGraph,
+    DfgBuilder,
+    OpKind,
+    Operation,
+    asap_levels,
+    butterfly_dfg,
+    chain_dfg,
+    expected_arity,
+    fir_tap_dfg,
+    io_words,
+    make_operation,
+    max_parallelism,
+    profile,
+    result_width,
+    software_operation_count,
+    sum_of_products_dfg,
+    vector_product_dfg,
+)
+from repro.errors import CycleError, GraphError, SpecificationError, UnknownOperationError
+
+
+class TestOperations:
+    def test_from_string(self):
+        assert OpKind.from_string("add") is OpKind.ADD
+
+    def test_from_string_unknown(self):
+        with pytest.raises(UnknownOperationError):
+            OpKind.from_string("frobnicate")
+
+    def test_zero_cost_kinds(self):
+        assert Operation("x", OpKind.INPUT).is_zero_cost
+        assert Operation("c", OpKind.CONST).is_zero_cost
+        assert not Operation("m", OpKind.MUL).is_zero_cost
+
+    def test_memory_kinds(self):
+        assert Operation("r", OpKind.MEMORY_READ).is_memory_access
+        assert not Operation("a", OpKind.ADD).is_memory_access
+
+    def test_arity(self):
+        assert expected_arity(OpKind.ADD) == 2
+        assert expected_arity(OpKind.MUX) == 3
+        assert Operation("a", OpKind.ADD).arity == 2
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SpecificationError):
+            Operation("", OpKind.ADD)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(SpecificationError):
+            Operation("a", OpKind.ADD, width=0)
+
+    def test_make_operation(self):
+        op = make_operation("m1", "mul", width=9)
+        assert op.kind is OpKind.MUL and op.width == 9
+
+    def test_result_width_add_grows_one_bit(self):
+        assert result_width(OpKind.ADD, (8, 8)) == 9
+
+    def test_result_width_mul_sums(self):
+        assert result_width(OpKind.MUL, (8, 9)) == 17
+
+    def test_result_width_compare_is_one(self):
+        assert result_width(OpKind.COMPARE, (16, 16)) == 1
+
+    def test_describe(self):
+        assert "mul" in Operation("m", OpKind.MUL, width=9).describe()
+
+
+class TestDataFlowGraph:
+    def test_add_and_lookup(self):
+        dfg = DataFlowGraph("g")
+        dfg.add_operation(Operation("a", OpKind.INPUT))
+        assert "a" in dfg and dfg.operation("a").kind is OpKind.INPUT
+
+    def test_duplicate_name_rejected(self):
+        dfg = DataFlowGraph("g")
+        dfg.add_operation(Operation("a", OpKind.INPUT))
+        with pytest.raises(GraphError):
+            dfg.add_operation(Operation("a", OpKind.ADD))
+
+    def test_unknown_operation_lookup(self):
+        with pytest.raises(GraphError):
+            DataFlowGraph("g").operation("missing")
+
+    def test_dependency_edges(self):
+        dfg = DataFlowGraph("g")
+        dfg.add_operation(Operation("a", OpKind.INPUT))
+        dfg.add_operation(Operation("b", OpKind.REGISTER))
+        dfg.add_dependency("a", "b")
+        assert dfg.successors("a") == ["b"]
+        assert dfg.predecessors("b") == ["a"]
+
+    def test_self_dependency_rejected(self):
+        dfg = DataFlowGraph("g")
+        dfg.add_operation(Operation("a", OpKind.ADD))
+        with pytest.raises(GraphError):
+            dfg.add_dependency("a", "a")
+
+    def test_cycle_rejected(self):
+        dfg = DataFlowGraph("g")
+        for name in ("a", "b"):
+            dfg.add_operation(Operation(name, OpKind.ADD))
+        dfg.add_dependency("a", "b")
+        with pytest.raises(CycleError):
+            dfg.add_dependency("b", "a")
+
+    def test_topological_order_respects_edges(self):
+        dfg = vector_product_dfg(4)
+        order = dfg.topological_order()
+        positions = {name: index for index, name in enumerate(order)}
+        for producer, consumer in dfg.edges():
+            assert positions[producer] < positions[consumer]
+
+    def test_validate_output_with_successor_rejected(self):
+        dfg = DataFlowGraph("g")
+        dfg.add_operation(Operation("i", OpKind.INPUT))
+        dfg.add_operation(Operation("o", OpKind.OUTPUT))
+        dfg.add_operation(Operation("r", OpKind.REGISTER))
+        dfg.add_dependency("i", "o")
+        dfg.add_dependency("o", "r")
+        with pytest.raises(GraphError):
+            dfg.validate()
+
+    def test_validate_dangling_compute_rejected(self):
+        dfg = DataFlowGraph("g")
+        dfg.add_operation(Operation("a", OpKind.ADD))
+        with pytest.raises(GraphError):
+            dfg.validate()
+
+    def test_subgraph_copy(self):
+        dfg = vector_product_dfg(4)
+        names = dfg.operation_names()[:4]
+        sub = dfg.subgraph_copy(names)
+        assert set(sub.operation_names()) == set(names)
+
+    def test_copy_preserves_counts(self):
+        dfg = vector_product_dfg(4)
+        assert len(dfg.copy()) == len(dfg)
+
+    def test_longest_path_counts_compute_only(self):
+        assert chain_dfg(5).longest_path_length() == 5
+
+
+class TestBuilders:
+    def test_vector_product_structure(self):
+        dfg = vector_product_dfg(4, input_width=8, coefficient_width=9)
+        prof = profile(dfg)
+        assert prof.input_count == 4
+        assert prof.constant_count == 4
+        assert prof.output_count == 1
+        assert prof.kind_histogram["mul"] == 4
+        assert prof.kind_histogram["add"] == 3
+
+    def test_vector_product_length_one(self):
+        dfg = vector_product_dfg(1)
+        assert profile(dfg).kind_histogram.get("add", 0) == 0
+
+    def test_vector_product_rejects_zero_length(self):
+        with pytest.raises(SpecificationError):
+            vector_product_dfg(0)
+
+    def test_fir_has_sequential_accumulation(self):
+        dfg = fir_tap_dfg(4)
+        # Transposed-form chain: critical path ~ taps (mults plus adds).
+        assert dfg.longest_path_length() >= 4
+
+    def test_butterfly_outputs(self):
+        assert len(butterfly_dfg().outputs()) == 2
+
+    def test_sum_of_products_inputs(self):
+        assert len(sum_of_products_dfg(3).inputs()) == 6
+
+    def test_chain_validates(self):
+        chain_dfg(3).validate()
+
+    def test_builder_width_propagation(self):
+        builder = DfgBuilder("w")
+        a = builder.input("a", width=8)
+        c = builder.const(1.0, "c", width=9)
+        product = builder.mul(a, c)
+        assert builder.dfg.operation(product).width == 17
+
+    def test_all_builders_validate(self):
+        for dfg in (vector_product_dfg(4), fir_tap_dfg(3), butterfly_dfg(), sum_of_products_dfg(2), chain_dfg(2)):
+            dfg.validate()
+
+
+class TestAnalysis:
+    def test_asap_levels_start_at_zero_for_sources(self):
+        dfg = vector_product_dfg(4)
+        levels = asap_levels(dfg)
+        for op in dfg.inputs():
+            assert levels[op.name] == 0
+
+    def test_max_parallelism_vector_product(self):
+        assert max_parallelism(vector_product_dfg(4)) == 4
+
+    def test_max_parallelism_chain_is_one(self):
+        assert max_parallelism(chain_dfg(5)) == 1
+
+    def test_profile_average_parallelism(self):
+        prof = profile(vector_product_dfg(4))
+        assert prof.average_parallelism == pytest.approx(
+            prof.compute_operation_count / prof.critical_path_operations
+        )
+
+    def test_io_words_excludes_constants(self):
+        words = io_words(vector_product_dfg(4))
+        assert words == {"inputs": 4, "outputs": 1}
+
+    def test_software_operation_count_weights_multiplies(self):
+        heavy = software_operation_count(vector_product_dfg(4))
+        light = software_operation_count(chain_dfg(7))  # 7 adds
+        assert heavy > light

@@ -1,0 +1,176 @@
+"""Tests for the experiment drivers that regenerate the paper's evaluation."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    build_case_study,
+    fdh_breakeven_workload,
+    paper_constants as paper,
+    reconfiguration_sweep,
+    reproduce_figure4,
+    reproduce_figure5,
+    reproduce_figure8,
+    reproduce_table1,
+    reproduce_table2,
+    xc6000_conjecture,
+)
+from repro.experiments.report import comparison_row, format_table, percentage, seconds_column
+from repro.experiments.table1 import paper_comparison as table1_comparison
+from repro.experiments.table2 import paper_comparison as table2_comparison
+from repro.units import ms, ns, us
+
+
+class TestCaseStudyConstruction:
+    def test_ilp_case_study_shape(self, case_study_ilp):
+        assert case_study_ilp.partitioning.partition_count == paper.EXPECTED_PARTITIONS
+        assert case_study_ilp.computations_per_run == paper.EXPECTED_COMPUTATIONS_PER_RUN
+        assert case_study_ilp.rtr_spec.block_delay == pytest.approx(paper.RTR_BLOCK_LATENCY)
+        assert case_study_ilp.static_spec.block_delay == pytest.approx(paper.STATIC_BLOCK_LATENCY)
+
+    def test_reference_case_study_matches_ilp_latency(self, case_study_ilp, case_study_reference):
+        assert case_study_reference.partitioning.computation_latency == pytest.approx(
+            case_study_ilp.partitioning.computation_latency
+        )
+
+    def test_ilp_solve_time_recorded_and_reasonable(self, case_study_ilp):
+        # The paper reports 3.5 s with CPLEX on a 1999 workstation; our solve
+        # should complete well within an order of magnitude of that.
+        assert 0 < case_study_ilp.partitioner_solve_time < 60
+
+    def test_latency_gap_is_7560ns(self):
+        assert paper.STATIC_BLOCK_LATENCY - paper.RTR_BLOCK_LATENCY == pytest.approx(ns(7560))
+        assert paper.LATENCY_GAP == pytest.approx(ns(7560))
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table1(self, case_study_reference):
+        return reproduce_table1(case_study_reference)
+
+    def test_row_count_and_order(self, table1):
+        assert len(table1.rows) == 8
+        blocks = [row["blocks"] for row in table1.rows]
+        assert blocks == sorted(blocks, reverse=True)
+        assert blocks[0] == paper.LARGEST_WORKLOAD_BLOCKS
+
+    def test_software_loop_counts(self, table1):
+        assert table1.rows[0]["I_sw"] == paper.LARGEST_WORKLOAD_SOFTWARE_LOOPS
+
+    def test_fdh_never_improves(self, table1):
+        assert table1.fdh_ever_improves is paper.FDH_EVER_IMPROVES
+        assert all(not row["rtr_wins"] for row in table1.rows)
+
+    def test_fdh_rtr_time_dominated_by_reconfiguration(self, table1):
+        largest = table1.rows[0]
+        assert largest["rtr_fdh_seconds"] > 5 * largest["static_seconds"]
+
+    def test_breakeven_blocks_same_order_as_paper(self, table1):
+        assert 0.5 * paper.FDH_BREAKEVEN_BLOCKS < table1.breakeven_blocks < 1.5 * paper.FDH_BREAKEVEN_BLOCKS
+
+    def test_fdh_breakeven_workload_none(self, case_study_reference):
+        assert fdh_breakeven_workload(case_study_reference) is None
+
+    def test_formatted_table(self, table1):
+        text = table1.formatted()
+        assert "Table 1" in text and "xv_file" in text
+
+    def test_paper_comparison_rows(self, table1):
+        rows = table1_comparison(table1)
+        assert any(row["quantity"].startswith("FDH ever beats") for row in rows)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def table2(self, case_study_reference):
+        return reproduce_table2(case_study_reference)
+
+    def test_improvement_at_largest_matches_paper(self, table2):
+        assert table2.improvement_at_largest == pytest.approx(
+            paper.IDH_IMPROVEMENT_AT_LARGEST, abs=paper.IDH_IMPROVEMENT_TOLERANCE
+        )
+
+    def test_improvement_monotonic_in_size(self, table2):
+        assert table2.improvements_monotonic
+
+    def test_small_images_do_not_benefit(self, table2):
+        assert table2.rows[-1]["improvement_fraction"] < 0
+
+    def test_xc6000_conjecture(self, table2):
+        assert table2.xc6000_improvement == pytest.approx(
+            paper.XC6000_IMPROVEMENT, abs=paper.XC6000_IMPROVEMENT_TOLERANCE
+        )
+
+    def test_xc6000_conjecture_function(self, case_study_reference):
+        value = xc6000_conjecture(case_study_reference)
+        assert value > reproduce_table2(case_study_reference).improvement_at_largest
+
+    def test_reconfiguration_sweep_monotone(self, case_study_reference):
+        rows = reconfiguration_sweep(case_study_reference, [ms(100), ms(10), ms(1), us(500)])
+        improvements = [row["improvement"] for row in rows]
+        assert improvements == sorted(improvements)
+
+    def test_formatted_table(self, table2):
+        assert "Table 2" in table2.formatted()
+
+    def test_paper_comparison_rows(self, table2):
+        rows = table2_comparison(table2)
+        assert len(rows) == 3
+
+
+class TestFigures:
+    def test_figure4_matches(self):
+        result = reproduce_figure4()
+        assert result.matches_paper()
+        assert sorted(round(d) for d in result.partition1_path_delays_ns) == [150, 350, 400]
+        assert [round(d) for d in result.partition_delays_ns] == [400, 300]
+
+    def test_figure5_strategy_contrast(self, case_study_reference):
+        result = reproduce_figure5(case_study_reference)
+        assert result.software_loop_count == 120
+        assert result.fdh_configuration_loads == 360
+        assert result.idh_configuration_loads == 3
+        assert result.fdh_reconfiguration_overhead == pytest.approx(36.0)
+        assert result.idh_overhead < result.fdh_reconfiguration_overhead
+
+    def test_figure8_structure(self, case_study_reference):
+        result = reproduce_figure8(case_study_reference)
+        assert result.task_count == 32
+        assert result.t1_count == 16 and result.t2_count == 16
+        assert result.collections == 4
+        assert result.tasks_per_collection == 8
+        assert result.fan_in_per_t2 == 4
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "-" in lines[2]
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_percentage(self):
+        assert percentage(0.42) == "42.0%"
+        assert percentage(0.4712, digits=2) == "47.12%"
+
+    def test_seconds_column(self):
+        rows = seconds_column([{"t": 0.25, "x": 1}], ["t"])
+        assert rows[0]["t"] == "250.0 ms"
+
+    def test_comparison_row(self):
+        row = comparison_row(42, 43, "answer", note="close enough")
+        assert row["paper"] == 42 and row["measured"] == 43
+
+
+class TestSanityGuards:
+    def test_case_study_sanity_check_fires_on_bad_memory(self):
+        from repro.arch import paper_case_study_system
+
+        # A 1K-word memory makes k far smaller than 2048: the guard must fire.
+        tiny_memory = paper_case_study_system(memory_words=1024)
+        with pytest.raises(ExperimentError):
+            build_case_study(use_ilp=False, system=tiny_memory)

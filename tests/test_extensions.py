@@ -1,0 +1,205 @@
+"""Tests for capabilities beyond the paper's baseline experiments.
+
+These cover the "similar equations can be added" style extensions the paper
+mentions (multiple FPGA resource types), the interaction of block rounding
+with the fission analysis, optimality on the Figure-4 example, and a few
+whole-flow consistency checks under estimator-derived costs.
+"""
+
+import pytest
+
+from repro.arch import ResourceVector, generic_system, make_device
+from repro.arch.board import ReconfigurableBoard, RtrSystem
+from repro.arch.bus import HostLink
+from repro.arch.host import HostSpec
+from repro.arch.memory import single_bank
+from repro.errors import FissionError
+from repro.fission import analyse_fission
+from repro.memmap import build_memory_map
+from repro.partition import (
+    IlpTemporalPartitioner,
+    PartitionProblem,
+    TemporalPartitioning,
+    assert_valid,
+)
+from repro.taskgraph import Task, TaskGraph, figure4_example, figure4_partition_assignment
+from repro.taskgraph.task import TaskCost
+from repro.units import ms, ns
+
+
+class TestMultipleResourceTypes:
+    """Eq. 6 generalised: one resource constraint per resource type."""
+
+    def _dsp_system(self):
+        device = make_device(
+            "XC-DSP", clb_capacity=1000, reconfiguration_time=ms(10),
+            extra_resources={"dsp": 4},
+        )
+        board = ReconfigurableBoard(
+            name="dsp-board",
+            fpga=device,
+            memory=single_bank(4096),
+            link=HostLink("link", word_transfer_time=30e-9, handshake_time=2e-6),
+        )
+        return RtrSystem(board=board, host=HostSpec())
+
+    def _graph(self):
+        graph = TaskGraph("dsp-graph")
+        # Six multiplier-hungry tasks: CLBs alone would fit in one partition,
+        # but only 4 DSP blocks exist per configuration.
+        for index in range(6):
+            graph.add_task(
+                Task(
+                    f"mac{index}",
+                    cost=TaskCost(
+                        resources=ResourceVector({"clb": 100, "dsp": 2}),
+                        delay=ns(400),
+                    ),
+                ),
+                env_input_words=2,
+                env_output_words=2,
+            )
+        return graph
+
+    def test_dsp_blocks_force_more_partitions(self):
+        system = self._dsp_system()
+        graph = self._graph()
+        problem = PartitionProblem.from_system(graph, system)
+        # CLB-only lower bound would be 1; the DSP constraint raises it to 3.
+        assert problem.minimum_partitions() == 3
+        result = IlpTemporalPartitioner().partition(problem)
+        assert_valid(problem, result)
+        assert result.partition_count == 3
+        for info in result.partitions:
+            assert info.resources["dsp"] <= 4
+            assert info.resources["clb"] <= 1000
+
+    def test_validator_checks_every_resource_type(self):
+        system = self._dsp_system()
+        graph = self._graph()
+        problem = PartitionProblem.from_system(graph, system)
+        overloaded = TemporalPartitioning(
+            graph=graph,
+            assignment={name: 1 for name in graph.task_names()},
+            partition_count=1,
+            reconfiguration_time=system.reconfiguration_time,
+        )
+        from repro.partition import validate_partitioning
+
+        report = validate_partitioning(problem, overloaded)
+        assert any("dsp" in violation for violation in report.violations)
+
+
+class TestRoundingInteraction:
+    """Power-of-two rounding reduces k exactly when the limiting block is not
+    already a power of two (the Section-3 trade-off)."""
+
+    def _three_stage_graph(self, middle_words: int):
+        graph = TaskGraph("rounding")
+        graph.add_task(Task("a", cost=clb(100)), env_input_words=4)
+        graph.add_task(Task("b", cost=clb(100)))
+        graph.add_task(Task("c", cost=clb(100)), env_output_words=4)
+        graph.add_edge("a", "b", words=middle_words)
+        graph.add_edge("b", "c", words=middle_words)
+        return graph
+
+    def test_rounding_reduces_k_for_non_power_of_two_blocks(self):
+        graph = self._three_stage_graph(middle_words=10)
+        partitioning = TemporalPartitioning(
+            graph=graph,
+            assignment={"a": 1, "b": 2, "c": 3},
+            partition_count=3,
+            reconfiguration_time=0.0,
+        )
+        memory = 1024
+        plain = analyse_fission(partitioning, memory)
+        rounded = analyse_fission(partitioning, memory, round_blocks_to_power_of_two=True)
+        # b's block is 10 + 10 = 20 words -> rounded to 32.
+        assert plain.max_per_iteration_words == 20
+        assert rounded.max_per_iteration_words == 32
+        assert plain.computations_per_run == memory // 20
+        assert rounded.computations_per_run == memory // 32
+        assert rounded.computations_per_run < plain.computations_per_run
+
+    def test_single_iteration_must_fit(self):
+        graph = self._three_stage_graph(middle_words=600)
+        partitioning = TemporalPartitioning(
+            graph=graph,
+            assignment={"a": 1, "b": 2, "c": 3},
+            partition_count=3,
+            reconfiguration_time=0.0,
+        )
+        with pytest.raises(FissionError):
+            analyse_fission(partitioning, 1000)  # 1200-word block cannot fit
+
+
+def clb(count):
+    from repro.taskgraph import clb_cost
+
+    return clb_cost(count, ns(100))
+
+
+class TestFigure4Optimality:
+    def test_ilp_matches_or_beats_the_figure_assignment(self):
+        graph = figure4_example()
+        # Capacity of 400 CLBs forces at least two partitions (700 CLBs total).
+        system = generic_system(clb_capacity=400, memory_words=1024, reconfiguration_time=ms(1))
+        problem = PartitionProblem.from_system(graph, system)
+        ilp = IlpTemporalPartitioner().partition(problem)
+        assert_valid(problem, ilp)
+        figure = TemporalPartitioning(
+            graph=graph,
+            assignment=figure4_partition_assignment(graph),
+            partition_count=2,
+            reconfiguration_time=system.reconfiguration_time,
+        )
+        assert ilp.total_latency <= figure.total_latency + 1e-15
+
+    def test_figure_assignment_delays(self):
+        graph = figure4_example()
+        figure = TemporalPartitioning(
+            graph=graph,
+            assignment=figure4_partition_assignment(graph),
+            partition_count=2,
+            reconfiguration_time=0.0,
+        )
+        assert figure.partition_delays == pytest.approx([ns(400), ns(300)])
+
+
+class TestEstimatorDrivenCaseStudy:
+    """The whole case study driven by the library's own estimates (substitute
+    for DSS) rather than the paper's reported numbers."""
+
+    @pytest.fixture(scope="class")
+    def estimated_design(self, paper_system):
+        from repro.jpeg import build_dct_task_graph
+        from repro.synth import DesignFlow
+
+        graph = build_dct_task_graph(attach_dfgs=True)
+        for name in graph.task_names():
+            graph.task(name).cost = None
+        return DesignFlow(paper_system).build(graph)
+
+    def test_t1_still_cheaper_than_t2(self, estimated_design):
+        graph = estimated_design.partitioning.graph
+        t1 = graph.task("t1_r0c0")
+        t2 = graph.task("t2_r0c0")
+        assert t1.clbs < t2.clbs
+        assert t1.delay <= t2.delay
+
+    def test_partition_structure_is_still_level_like(self, estimated_design):
+        """With estimator costs the T1 tasks must still not be placed after T2
+        consumers (temporal order), and each partition must fit the device."""
+        partitioning = estimated_design.partitioning
+        graph = partitioning.graph
+        for producer, consumer in graph.edges():
+            assert partitioning.partition_of(producer) <= partitioning.partition_of(consumer)
+        for info in partitioning.partitions:
+            assert info.clbs <= 1600
+
+    def test_memory_and_fission_consistent(self, estimated_design):
+        memory_map = build_memory_map(estimated_design.partitioning)
+        limiting = max(
+            memory_map.per_iteration_words(i) for i in memory_map.partition_indices
+        )
+        assert estimated_design.computations_per_run == 65536 // limiting

@@ -1,0 +1,357 @@
+"""Tests for loop fission, sequencing strategies and throughput models."""
+
+import pytest
+
+from repro.arch import generic_system, paper_case_study_system
+from repro.errors import FissionError
+from repro.fission import (
+    RtrTimingSpec,
+    SequencerCallbacks,
+    SequencerPlan,
+    SequencingStrategy,
+    StaticTimingSpec,
+    analyse_fission,
+    breakeven_computations,
+    compare_static_vs_rtr,
+    count_configuration_loads,
+    execution_time,
+    fdh_execution_time,
+    fdh_reconfiguration_overhead,
+    generate_host_code,
+    idh_execution_time,
+    idh_overhead,
+    reconfiguration_absorption_point,
+    reconfiguration_time_sweep,
+    rtr_timing_spec,
+    run_sequencer,
+    static_execution_time,
+    static_timing_spec,
+    sweep_workload_sizes,
+)
+from repro.units import ms, ns, us
+
+
+@pytest.fixture(scope="module")
+def dct_specs():
+    """(static spec, rtr spec, system) for the paper's DCT design."""
+    from repro.experiments import build_case_study
+
+    study = build_case_study(use_ilp=False)
+    return study.static_spec, study.rtr_spec, study.system
+
+
+class TestFissionAnalysis:
+    def test_dct_k_is_2048(self, case_study_ilp):
+        assert case_study_ilp.fission.computations_per_run == 2048
+
+    def test_dct_limiting_partition_is_first(self, case_study_ilp):
+        assert case_study_ilp.fission.limiting_partition == 1
+        assert case_study_ilp.fission.max_per_iteration_words == 32
+
+    def test_software_loop_count(self, case_study_ilp):
+        analysis = case_study_ilp.fission
+        assert analysis.software_loop_count(245760) == 120
+        assert analysis.software_loop_count(245761) == 121
+        assert analysis.software_loop_count(0) == 0
+        assert analysis.software_loop_count(1) == 1
+
+    def test_computations_in_run_last_partial(self, case_study_ilp):
+        analysis = case_study_ilp.fission
+        total = 5000  # 2 full runs of 2048 + 904
+        assert analysis.computations_in_run(0, total) == 2048
+        assert analysis.computations_in_run(2, total) == 904
+        with pytest.raises(FissionError):
+            analysis.computations_in_run(3, total)
+
+    def test_rounded_blocks_reduce_k(self, case_study_ilp):
+        rounded = analyse_fission(
+            case_study_ilp.partitioning, 65536, round_blocks_to_power_of_two=True
+        )
+        assert rounded.computations_per_run <= case_study_ilp.fission.computations_per_run
+
+    def test_memory_too_small_raises(self, case_study_ilp):
+        with pytest.raises(FissionError):
+            analyse_fission(case_study_ilp.partitioning, 16)
+
+    def test_nonpositive_memory_rejected(self, case_study_ilp):
+        with pytest.raises(FissionError):
+            analyse_fission(case_study_ilp.partitioning, 0)
+
+
+class TestTimingSpecs:
+    def test_dct_rtr_spec_words(self, case_study_ilp):
+        spec = case_study_ilp.rtr_spec
+        assert spec.partition_count == 3
+        assert sum(spec.partition_env_input_words) == 16
+        assert sum(spec.partition_env_output_words) == 16
+        assert sum(spec.partition_cross_output_words) == 16
+        assert spec.env_words_per_iteration == 32
+        assert spec.max_block_words == 32
+        assert spec.block_delay == pytest.approx(ns(8440))
+
+    def test_static_spec(self, case_study_ilp):
+        spec = case_study_ilp.static_spec
+        assert spec.block_delay == pytest.approx(ns(16000))
+        assert spec.env_input_words == 16
+
+    def test_rtr_spec_validation(self):
+        with pytest.raises(FissionError):
+            RtrTimingSpec(
+                partition_delays=[ns(100)],
+                partition_env_input_words=[1, 2],  # wrong length
+                partition_env_output_words=[1],
+                partition_cross_input_words=[0],
+                partition_cross_output_words=[0],
+                computations_per_run=1,
+            )
+
+    def test_static_spec_validation(self):
+        with pytest.raises(FissionError):
+            StaticTimingSpec(block_delay=-1.0, env_input_words=1, env_output_words=1)
+
+
+class TestOverheadFormulas:
+    def test_fdh_overhead_formula(self):
+        assert fdh_reconfiguration_overhead(3, ms(100), 120) == pytest.approx(36.0)
+
+    def test_idh_overhead_formula(self):
+        overhead = idh_overhead(3, ms(100), 2048, 120, 30e-9, 32)
+        assert overhead == pytest.approx(0.3 + 2 * 2048 * 120 * 30e-9 * 32)
+
+    def test_idh_overhead_much_smaller_than_fdh(self, dct_specs):
+        _, rtr, system = dct_specs
+        fdh = fdh_reconfiguration_overhead(3, system.reconfiguration_time, 120)
+        idh = idh_overhead(
+            3, system.reconfiguration_time, rtr.computations_per_run, 120,
+            system.word_transfer_time, rtr.max_block_words,
+        )
+        assert idh < fdh / 10
+
+
+class TestExecutionTimeModels:
+    def test_static_scales_linearly(self, dct_specs):
+        static, _, system = dct_specs
+        one = static_execution_time(static, 1000, system)
+        two = static_execution_time(static, 2000, system)
+        # Subtracting the constant configuration term, time is linear in blocks.
+        assert (two.total - two.reconfiguration) == pytest.approx(
+            2 * (one.total - one.reconfiguration), rel=1e-9
+        )
+
+    def test_zero_workload(self, dct_specs):
+        static, rtr, system = dct_specs
+        assert static_execution_time(static, 0, system).total == pytest.approx(
+            system.reconfiguration_time
+        ) or static_execution_time(static, 0, system).total >= 0
+        assert fdh_execution_time(rtr, 0, system).total == 0
+        assert idh_execution_time(rtr, 0, system).total == 0
+
+    def test_fdh_reconfiguration_grows_with_runs(self, dct_specs):
+        _, rtr, system = dct_specs
+        small = fdh_execution_time(rtr, 2048, system)
+        large = fdh_execution_time(rtr, 4096, system)
+        assert large.reconfiguration == pytest.approx(2 * small.reconfiguration)
+
+    def test_idh_reconfiguration_constant(self, dct_specs):
+        _, rtr, system = dct_specs
+        small = idh_execution_time(rtr, 2048, system)
+        large = idh_execution_time(rtr, 245760, system)
+        assert small.reconfiguration == pytest.approx(large.reconfiguration)
+        assert small.reconfiguration == pytest.approx(0.3)
+
+    def test_idh_transfers_double_static(self, dct_specs):
+        static, rtr, system = dct_specs
+        blocks = 10000
+        static_transfer = static_execution_time(static, blocks, system).data_transfer
+        idh_transfer = idh_execution_time(rtr, blocks, system).data_transfer
+        assert idh_transfer == pytest.approx(2 * static_transfer, rel=1e-9)
+
+    def test_fdh_transfers_equal_static(self, dct_specs):
+        static, rtr, system = dct_specs
+        blocks = 10000
+        assert fdh_execution_time(rtr, blocks, system).data_transfer == pytest.approx(
+            static_execution_time(static, blocks, system).data_transfer, rel=1e-9
+        )
+
+    def test_execution_time_dispatch(self, dct_specs):
+        _, rtr, system = dct_specs
+        assert execution_time(SequencingStrategy.FDH, rtr, 100, system).total == pytest.approx(
+            fdh_execution_time(rtr, 100, system).total
+        )
+        assert execution_time(SequencingStrategy.IDH, rtr, 100, system).total == pytest.approx(
+            idh_execution_time(rtr, 100, system).total
+        )
+
+    def test_include_transfers_flag(self, dct_specs):
+        _, rtr, system = dct_specs
+        with_transfers = idh_execution_time(rtr, 1000, system, include_transfers=True)
+        without = idh_execution_time(rtr, 1000, system, include_transfers=False)
+        assert without.data_transfer == 0
+        assert with_transfers.total > without.total
+
+    def test_breakdown_as_dict(self, dct_specs):
+        _, rtr, system = dct_specs
+        breakdown = idh_execution_time(rtr, 1000, system)
+        data = breakdown.as_dict()
+        assert data["total"] == pytest.approx(breakdown.total)
+        assert set(data) >= {"reconfiguration", "computation", "data_transfer", "handshake"}
+
+
+class TestComparisonsAndSweeps:
+    def test_paper_headline_idh_improvement(self, dct_specs):
+        static, rtr, system = dct_specs
+        comparison = compare_static_vs_rtr(SequencingStrategy.IDH, static, rtr, 245760, system)
+        assert comparison.rtr_wins
+        assert comparison.improvement == pytest.approx(0.42, abs=0.06)
+        assert comparison.software_loop_count == 120
+
+    def test_paper_headline_fdh_never_wins(self, dct_specs):
+        static, rtr, system = dct_specs
+        for blocks in (1024, 30720, 245760):
+            comparison = compare_static_vs_rtr(SequencingStrategy.FDH, static, rtr, blocks, system)
+            assert not comparison.rtr_wins
+            assert comparison.improvement < 0
+
+    def test_sweep_sizes_match_single_calls(self, dct_specs):
+        static, rtr, system = dct_specs
+        sizes = [1024, 2048, 245760]
+        rows = sweep_workload_sizes(SequencingStrategy.IDH, static, rtr, sizes, system)
+        assert [row.total_computations for row in rows] == sizes
+        single = compare_static_vs_rtr(SequencingStrategy.IDH, static, rtr, 2048, system)
+        assert rows[1].rtr.total == pytest.approx(single.rtr.total)
+
+    def test_idh_improvement_monotone_in_workload(self, dct_specs):
+        static, rtr, system = dct_specs
+        sizes = [2048 * f for f in (1, 4, 16, 64, 120)]
+        rows = sweep_workload_sizes(SequencingStrategy.IDH, static, rtr, sizes, system)
+        improvements = [row.improvement for row in rows]
+        assert improvements == sorted(improvements)
+
+    def test_breakeven_idh_exists(self, dct_specs):
+        static, rtr, system = dct_specs
+        breakeven = breakeven_computations(SequencingStrategy.IDH, static, rtr, system)
+        assert breakeven is not None
+        # At the breakeven size the RTR design wins; one block earlier it does not.
+        assert compare_static_vs_rtr(SequencingStrategy.IDH, static, rtr, breakeven, system).rtr_wins
+        assert not compare_static_vs_rtr(
+            SequencingStrategy.IDH, static, rtr, breakeven - 1, system
+        ).rtr_wins
+
+    def test_breakeven_fdh_none_on_paper_board(self, dct_specs):
+        static, rtr, system = dct_specs
+        assert breakeven_computations(
+            SequencingStrategy.FDH, static, rtr, system, upper_bound=1 << 26
+        ) is None
+
+    def test_absorption_point_near_paper_value(self, dct_specs):
+        _, rtr, system = dct_specs
+        blocks = reconfiguration_absorption_point(rtr, system)
+        # Paper quotes ~42,553; our per-block delay gives the same order (30-50k).
+        assert 30000 < blocks < 50000
+
+    def test_reconfiguration_sweep_monotone(self, dct_specs):
+        static, rtr, system = dct_specs
+        rows = reconfiguration_time_sweep(
+            SequencingStrategy.IDH, static, rtr, 245760, system,
+            reconfiguration_times=[ms(100), ms(10), us(500), ns(100)],
+        )
+        improvements = [row["improvement"] for row in rows]
+        assert improvements == sorted(improvements)
+        # Microsecond-class reconfiguration approaches the compute-only bound (~47%).
+        assert improvements[-1] == pytest.approx(0.48, abs=0.05)
+
+    def test_xc6000_conjecture_value(self, dct_specs):
+        static, rtr, system = dct_specs
+        rows = reconfiguration_time_sweep(
+            SequencingStrategy.IDH, static, rtr, 245760, system, [us(500)]
+        )
+        assert rows[0]["improvement"] == pytest.approx(0.47, abs=0.05)
+
+
+class TestSequencer:
+    def _callbacks(self, log):
+        return SequencerCallbacks(
+            load_configuration=lambda p: log.append(("config", p)),
+            load_input_block=lambda p, r: log.append(("in", p, r)),
+            start_and_wait=lambda p, r, k: log.append(("run", p, r, k)),
+            read_output_block=lambda p, r: log.append(("out", p, r)),
+        )
+
+    def test_fdh_configuration_count(self):
+        plan = SequencerPlan(SequencingStrategy.FDH, partition_count=3, computations_per_run=2048)
+        assert count_configuration_loads(plan, 245760) == 360
+
+    def test_idh_configuration_count(self):
+        plan = SequencerPlan(SequencingStrategy.IDH, partition_count=3, computations_per_run=2048)
+        assert count_configuration_loads(plan, 245760) == 3
+
+    def test_fdh_trace_order(self):
+        plan = SequencerPlan(SequencingStrategy.FDH, partition_count=2, computations_per_run=10)
+        log = []
+        run_sequencer(plan, 25, self._callbacks(log))
+        configs = [entry for entry in log if entry[0] == "config"]
+        assert [c[1] for c in configs] == [0, 1, 0, 1, 0, 1]  # reconfigured every run
+        runs = [entry for entry in log if entry[0] == "run"]
+        assert runs[-1][3] == 5  # last partial batch
+
+    def test_idh_trace_order(self):
+        plan = SequencerPlan(SequencingStrategy.IDH, partition_count=2, computations_per_run=10)
+        log = []
+        run_sequencer(plan, 25, self._callbacks(log))
+        configs = [entry for entry in log if entry[0] == "config"]
+        assert [c[1] for c in configs] == [0, 1]  # each configuration loaded once
+        # All runs of partition 0 happen before partition 1 is configured.
+        first_p1_config = log.index(("config", 1))
+        assert all(entry[1] == 0 for entry in log[:first_p1_config] if entry[0] == "run")
+
+    def test_trace_matches_configuration_count(self):
+        for strategy in SequencingStrategy:
+            plan = SequencerPlan(strategy, partition_count=3, computations_per_run=7)
+            log = []
+            run_sequencer(plan, 20, self._callbacks(log))
+            configs = sum(1 for entry in log if entry[0] == "config")
+            assert configs == count_configuration_loads(plan, 20)
+
+    def test_zero_computations_empty_trace(self):
+        plan = SequencerPlan(SequencingStrategy.FDH, 2, 10)
+        assert run_sequencer(plan, 0, self._callbacks([])) == []
+
+    def test_host_code_generation_fdh(self):
+        plan = SequencerPlan(SequencingStrategy.FDH, 3, 2048, design_name="dct")
+        code = generate_host_code(plan)
+        assert "for (j = 0; j <= I_sw - 1; j++)" in code
+        assert "load_configuration(i);" in code
+        assert "FDH" in code
+
+    def test_host_code_generation_idh(self):
+        plan = SequencerPlan(SequencingStrategy.IDH, 3, 2048)
+        code = generate_host_code(plan)
+        # IDH nests the data loop inside the configuration loop.
+        assert code.index("load_configuration") < code.index("load_intermediate_input_block")
+        assert "IDH" in code
+
+
+class TestAnalyticVsSpecConstruction:
+    def test_rtr_timing_spec_matches_memory_map(self, case_study_ilp):
+        spec = rtr_timing_spec(case_study_ilp.partitioning, case_study_ilp.fission)
+        assert spec.partition_env_input_words == case_study_ilp.rtr_spec.partition_env_input_words
+        assert spec.partition_cross_output_words == case_study_ilp.rtr_spec.partition_cross_output_words
+
+    def test_static_timing_spec_constructor(self):
+        spec = static_timing_spec(ns(16000), 16, 16, blocks_per_invocation=4)
+        assert spec.blocks_per_invocation == 4
+
+    def test_generic_system_comparison_runs(self):
+        # The models must work for arbitrary systems, not only the paper board.
+        system = generic_system(clb_capacity=1000, memory_words=4096, reconfiguration_time=ms(5))
+        static = static_timing_spec(us(20), 8, 8)
+        rtr = RtrTimingSpec(
+            partition_delays=[us(4), us(6)],
+            partition_env_input_words=[8, 0],
+            partition_env_output_words=[0, 8],
+            partition_cross_input_words=[0, 4],
+            partition_cross_output_words=[4, 0],
+            computations_per_run=256,
+        )
+        comparison = compare_static_vs_rtr(SequencingStrategy.IDH, static, rtr, 100000, system)
+        assert comparison.static.total > 0 and comparison.rtr.total > 0

@@ -1,0 +1,397 @@
+"""Tests for the HLS estimator stack (repro.hls)."""
+
+import pytest
+
+from repro.arch import xc4044
+from repro.dfg import OpKind, chain_dfg, fir_tap_dfg, vector_product_dfg
+from repro.errors import EstimationError, SchedulingError, SynthesisError
+from repro.hls import (
+    AugmentedController,
+    ControllerPhase,
+    ControllerSpec,
+    TaskEstimator,
+    alap_schedule,
+    allocation_candidates,
+    asap_schedule,
+    bind_schedule,
+    build_datapath,
+    controller_for_schedule,
+    emit_vhdl_like,
+    functional_unit_class,
+    library_for_family,
+    list_schedule,
+    merge_dfgs,
+    minimal_allocation,
+    mobility,
+    parallelism_limited_allocation,
+    required_unit_classes,
+    xc4000_library,
+    xc6200_library,
+)
+from repro.hls.layout import LayoutModel
+from repro.hls.rtl import RtlDesign
+from repro.jpeg import build_dct_task_graph
+from repro.units import ns
+
+
+class TestComponentLibrary:
+    def test_adder_area_scales_with_width(self):
+        library = xc4000_library()
+        small = library.component_for(OpKind.ADD, 8)
+        large = library.component_for(OpKind.ADD, 24)
+        assert large.area_clbs > small.area_clbs
+
+    def test_multiplier_area_quadratic(self):
+        library = xc4000_library()
+        nine = library.component_for(OpKind.MUL, 9)
+        seventeen = library.component_for(OpKind.MUL, 17)
+        assert seventeen.area_clbs > 2.5 * nine.area_clbs
+
+    def test_multiplier_slower_than_adder(self):
+        library = xc4000_library()
+        assert (
+            library.component_for(OpKind.MUL, 16).delay
+            > library.component_for(OpKind.ADD, 16).delay
+        )
+
+    def test_component_supports_kind(self):
+        library = xc4000_library()
+        alu = library.component_for(OpKind.ADD, 16)
+        assert alu.supports(OpKind.SUB) and not alu.supports(OpKind.MUL)
+
+    def test_cycles_at_multicycle(self):
+        library = xc4000_library()
+        mul = library.component_for(OpKind.MUL, 17)
+        assert mul.cycles_at(ns(20)) >= 2
+        assert mul.cycles_at(ns(200)) == 1
+
+    def test_functional_unit_classes(self):
+        assert functional_unit_class(OpKind.ADD) == "alu"
+        assert functional_unit_class(OpKind.MUL) == "multiplier"
+        assert functional_unit_class(OpKind.MEMORY_READ) == "memory_port"
+
+    def test_unknown_family_falls_back(self):
+        library = library_for_family("virtex-9999")
+        assert library.family == "virtex-9999"
+        assert library.component_for(OpKind.ADD, 8).area_clbs >= 1
+
+    def test_xc6200_library_differs(self):
+        assert (
+            xc6200_library().component_for(OpKind.MUL, 9).area_clbs
+            >= xc4000_library().component_for(OpKind.MUL, 9).area_clbs
+        )
+
+    def test_controller_area_grows_with_states(self):
+        library = xc4000_library()
+        assert library.controller_area(64) > library.controller_area(4)
+
+    def test_mux_area_grows_with_inputs(self):
+        library = xc4000_library()
+        assert library.mux_area(16, 8) > library.mux_area(16, 2)
+
+
+class TestScheduling:
+    def test_asap_respects_dependencies(self):
+        dfg = vector_product_dfg(4)
+        schedule = asap_schedule(dfg)
+        schedule.validate_dependencies(dfg)
+
+    def test_asap_chain_makespan(self):
+        assert asap_schedule(chain_dfg(5)).makespan == 5
+
+    def test_alap_equals_asap_makespan_by_default(self):
+        dfg = vector_product_dfg(4)
+        assert alap_schedule(dfg).makespan == asap_schedule(dfg).makespan
+
+    def test_alap_with_loose_deadline(self):
+        dfg = chain_dfg(3)
+        schedule = alap_schedule(dfg, deadline=10)
+        assert schedule.makespan <= 10
+        schedule.validate_dependencies(dfg)
+
+    def test_alap_rejects_tight_deadline(self):
+        with pytest.raises(SchedulingError):
+            alap_schedule(chain_dfg(5), deadline=2)
+
+    def test_mobility_zero_on_chain_compute_ops(self):
+        dfg = chain_dfg(4)
+        values = mobility(dfg)
+        compute_names = {op.name for op in dfg.compute_operations()}
+        assert all(values[name] == 0 for name in compute_names)
+
+    def test_mobility_nonzero_on_fir_multipliers(self):
+        # In a transposed-form FIR the later taps' multipliers have slack.
+        dfg = fir_tap_dfg(4)
+        values = mobility(dfg)
+        mul_names = [op.name for op in dfg.compute_operations() if op.kind is OpKind.MUL]
+        assert any(values[name] > 0 for name in mul_names)
+
+    def test_list_schedule_respects_unit_limits(self):
+        dfg = vector_product_dfg(4)
+        schedule = list_schedule(dfg, {"multiplier": 1, "alu": 1})
+        assert schedule.unit_usage()["multiplier"] == 1
+        schedule.validate_dependencies(dfg)
+
+    def test_list_schedule_more_units_is_no_slower(self):
+        dfg = vector_product_dfg(4)
+        serial = list_schedule(dfg, {"multiplier": 1, "alu": 1})
+        parallel = list_schedule(dfg, {"multiplier": 4, "alu": 2})
+        assert parallel.makespan <= serial.makespan
+
+    def test_list_schedule_multicycle_durations(self):
+        dfg = vector_product_dfg(2)
+
+        def duration_of(kind, width):
+            return 3 if kind is OpKind.MUL else 1
+
+        schedule = list_schedule(dfg, {"multiplier": 1, "alu": 1}, duration_of)
+        mul_ops = [op for op in schedule.operations.values() if op.kind is OpKind.MUL]
+        assert all(op.duration == 3 for op in mul_ops)
+        schedule.validate_dependencies(dfg)
+
+    def test_list_schedule_rejects_zero_units(self):
+        with pytest.raises(SchedulingError):
+            list_schedule(vector_product_dfg(2), {"multiplier": 0})
+
+    def test_operations_in_cycle(self):
+        schedule = list_schedule(vector_product_dfg(4), {"multiplier": 2, "alu": 1})
+        for cycle in range(schedule.makespan):
+            for op in schedule.operations_in_cycle(cycle):
+                assert op.start_cycle <= cycle < op.end_cycle
+
+
+class TestAllocation:
+    def test_minimal_allocation_one_instance_per_class(self):
+        allocation = minimal_allocation(vector_product_dfg(4), xc4000_library())
+        assert allocation.instances == {"multiplier": 1, "alu": 1}
+
+    def test_parallelism_limited_allocation(self):
+        allocation = parallelism_limited_allocation(vector_product_dfg(4), xc4000_library())
+        assert allocation.instances["multiplier"] >= 2
+
+    def test_allocation_candidates_monotone_area(self):
+        candidates = allocation_candidates(vector_product_dfg(4), xc4000_library())
+        areas = [c.total_functional_area() for c in candidates]
+        assert areas == sorted(areas)
+        assert len(candidates) >= 2
+
+    def test_required_unit_classes(self):
+        counts = required_unit_classes(vector_product_dfg(4))
+        assert counts == {"multiplier": 4, "alu": 3}
+
+    def test_multiplier_sized_by_operand_width(self):
+        # An 8x9 multiply produces a 17-bit result but is still a 9-bit multiplier.
+        allocation = minimal_allocation(
+            vector_product_dfg(4, input_width=8, coefficient_width=9), xc4000_library()
+        )
+        assert allocation.components["multiplier"].width == 9
+
+    def test_binding_covers_all_compute_ops(self):
+        dfg = vector_product_dfg(4)
+        schedule = list_schedule(dfg, {"multiplier": 2, "alu": 1})
+        binding = bind_schedule(schedule, dfg)
+        assert set(binding.assignments) == {op.name for op in dfg.compute_operations()}
+
+    def test_minimal_allocation_rejects_empty_dfg(self):
+        from repro.dfg import DataFlowGraph, Operation
+
+        empty = DataFlowGraph("empty")
+        empty.add_operation(Operation("i", OpKind.INPUT))
+        with pytest.raises(EstimationError):
+            minimal_allocation(empty, xc4000_library())
+
+
+class TestEstimator:
+    def test_estimates_are_positive_and_fit(self):
+        estimator = TaskEstimator(xc4044(), max_clock_period=ns(100))
+        estimate = estimator.estimate_dfg(vector_product_dfg(4, 8, 9), env_io_words=5)
+        assert estimate.clbs > 0
+        assert estimate.cycles > 0
+        assert estimate.clbs <= 1600
+        assert estimate.delay == pytest.approx(estimate.cycles * estimate.clock_period)
+
+    def test_wider_operands_cost_more(self):
+        estimator = TaskEstimator(xc4044(), max_clock_period=ns(100))
+        narrow = estimator.estimate_dfg(vector_product_dfg(4, 8, 9))
+        wide = estimator.estimate_dfg(vector_product_dfg(4, 16, 17))
+        assert wide.clbs > narrow.clbs
+        assert wide.clock_period >= narrow.clock_period
+
+    def test_clock_respects_user_constraint(self):
+        estimator = TaskEstimator(xc4044(), max_clock_period=ns(60))
+        estimate = estimator.estimate_dfg(vector_product_dfg(4, 16, 17))
+        assert estimate.clock_period <= ns(60) + 1e-15
+
+    def test_delay_goal_is_at_least_as_fast(self):
+        area_estimator = TaskEstimator(xc4044(), max_clock_period=ns(100), goal="area")
+        delay_estimator = TaskEstimator(xc4044(), max_clock_period=ns(100), goal="delay")
+        dfg = vector_product_dfg(4, 8, 9)
+        assert delay_estimator.estimate_dfg(dfg).delay <= area_estimator.estimate_dfg(dfg).delay + 1e-15
+
+    def test_io_words_add_cycles(self):
+        estimator = TaskEstimator(xc4044(), max_clock_period=ns(100))
+        without = estimator.estimate_dfg(vector_product_dfg(4, 8, 9), env_io_words=0)
+        with_io = estimator.estimate_dfg(vector_product_dfg(4, 8, 9), env_io_words=8)
+        assert with_io.cycles == without.cycles + 8
+
+    def test_estimate_task_graph_fills_costs(self):
+        graph = build_dct_task_graph(attach_dfgs=True)
+        for name in graph.task_names():
+            graph.set_cost(name, graph.task(name).cost)  # keep paper costs
+        estimator = TaskEstimator(xc4044(), max_clock_period=ns(100))
+        # force=False must not overwrite existing costs
+        estimator.estimate_task_graph(graph)
+        assert graph.task("t1_r0c0").clbs == 70
+        # force=True re-estimates
+        estimator.estimate_task_graph(graph, force=True)
+        assert graph.task("t1_r0c0").clbs != 70
+
+    def test_estimate_task_graph_requires_dfg_or_cost(self):
+        from repro.taskgraph import Task, TaskGraph
+
+        graph = TaskGraph("g")
+        graph.add_task(Task("orphan"))
+        estimator = TaskEstimator(xc4044())
+        with pytest.raises(EstimationError):
+            estimator.estimate_task_graph(graph)
+
+    def test_composite_estimate_shares_units(self):
+        estimator = TaskEstimator(xc4044(), max_clock_period=ns(100))
+        dfgs = [vector_product_dfg(4, 8, 9, name=f"vp{i}") for i in range(8)]
+        composite = estimator.estimate_composite(dfgs)
+        individual = estimator.estimate_dfg(dfgs[0])
+        # Sharing functional units: the composite is far smaller than 8x one task.
+        assert composite.clbs < 8 * individual.clbs
+
+    def test_merge_dfgs_counts(self):
+        merged = merge_dfgs([vector_product_dfg(4), vector_product_dfg(4)])
+        assert len(merged) == 2 * len(vector_product_dfg(4))
+
+    def test_invalid_goal_rejected(self):
+        with pytest.raises(EstimationError):
+            TaskEstimator(xc4044(), goal="power")
+
+    def test_layout_model_inflates_area(self):
+        aggressive = LayoutModel(base_area_overhead=0.5, congestion_area_overhead=0.5)
+        relaxed = LayoutModel(base_area_overhead=0.0, congestion_area_overhead=0.0)
+        device = xc4044()
+        assert aggressive.adjusted_area(1000, device) > relaxed.adjusted_area(1000, device)
+        assert relaxed.adjusted_area(1000, device) == 1000
+
+    def test_layout_model_wire_delay_grows_with_utilisation(self):
+        model = LayoutModel()
+        device = xc4044()
+        assert model.adjusted_clock_period(ns(20), 1500, device) > model.adjusted_clock_period(
+            ns(20), 100, device
+        )
+
+
+class TestController:
+    def test_cycles_per_invocation_formula(self):
+        spec = ControllerSpec("p1", datapath_states=10, iteration_bound=4)
+        assert spec.cycles_per_invocation() == 1 + 4 * 11
+
+    def test_run_to_finish_matches_formula(self):
+        controller = controller_for_schedule("p1", 7, 5)
+        controller.send_start()
+        cycles = controller.run_to_finish()
+        assert cycles == controller.spec.cycles_per_invocation()
+        assert controller.finish
+        assert controller.iterations_completed == 5
+
+    def test_iteration_bound_one(self):
+        controller = controller_for_schedule("p", 3, 1)
+        controller.send_start()
+        controller.run_to_finish()
+        assert controller.iterations_completed == 1
+
+    def test_restart_after_finish(self):
+        controller = controller_for_schedule("p", 3, 2)
+        controller.send_start()
+        controller.run_to_finish()
+        controller.send_start()
+        assert not controller.finish
+        controller.run_to_finish()
+        assert controller.iterations_completed == 2
+
+    def test_start_while_busy_rejected(self):
+        controller = controller_for_schedule("p", 3, 2)
+        controller.send_start()
+        controller.step()
+        with pytest.raises(SynthesisError):
+            controller.send_start()
+
+    def test_phase_progression(self):
+        controller = controller_for_schedule("p", 2, 1)
+        controller.send_start()
+        assert controller.state.phase is ControllerPhase.RUNNING
+        controller.run_to_finish()
+        assert controller.state.phase is ControllerPhase.FINISHED
+
+    def test_counter_width_must_hold_bound(self):
+        with pytest.raises(SynthesisError):
+            ControllerSpec("p", datapath_states=2, iteration_bound=70000, counter_width=16)
+
+    def test_state_names(self):
+        controller = controller_for_schedule("p", 3, 2)
+        names = controller.state_names()
+        assert names[0] == "S_START" and names[-1] == "S_CHECK_ITER"
+        assert len(names) == controller.spec.total_states
+
+
+class TestDatapathAndRtl:
+    def _make_design(self):
+        library = xc4000_library()
+        dfg = vector_product_dfg(4, 8, 9, name="vp")
+        allocation = minimal_allocation(dfg, library)
+        schedule = list_schedule(dfg, allocation.unit_limits())
+        datapath = build_datapath("vp_dp", dfg, allocation, schedule, library)
+        controller = controller_for_schedule("vp_ctrl", schedule.makespan, 2048)
+        return RtlDesign(
+            name="config1",
+            datapath=datapath,
+            controller=controller,
+            clock_period=ns(50),
+            estimated_clbs=70,
+            memory_layout={"M1": 0, "M2": 16},
+        )
+
+    def test_datapath_structure(self):
+        design = self._make_design()
+        counts = design.datapath.component_counts()
+        assert counts["functional_units"] == 2  # one multiplier, one ALU
+        assert counts["registers"] > 0
+        assert counts["memory_ports"] == 1
+
+    def test_datapath_muxes_for_shared_units(self):
+        design = self._make_design()
+        # Four products share one multiplier: a steering mux must exist.
+        assert any("multiplier" in mux.name for mux in design.datapath.muxes)
+
+    def test_rtl_design_properties(self):
+        design = self._make_design()
+        assert design.iteration_bound == 2048
+        assert design.cycles_per_iteration > 0
+
+    def test_vhdl_emission_contains_interface(self):
+        text = emit_vhdl_like(self._make_design())
+        assert "entity config1 is" in text
+        assert "finish" in text
+        assert "S_CHECK_ITER" in text
+        assert "mem_addr" in text
+
+    def test_vhdl_emission_mentions_iteration_counter(self):
+        text = emit_vhdl_like(self._make_design())
+        assert "iter_count" in text
+        assert "iteration_bound" in text
+
+    def test_rtl_rejects_bad_clock(self):
+        design = self._make_design()
+        with pytest.raises(SynthesisError):
+            RtlDesign(
+                name="bad",
+                datapath=design.datapath,
+                controller=design.controller,
+                clock_period=0.0,
+                estimated_clbs=1,
+            )

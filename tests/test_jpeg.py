@@ -1,0 +1,352 @@
+"""Tests for the JPEG case-study package (repro.jpeg)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError, SpecificationError
+from repro.jpeg import (
+    DCT_SIZE,
+    DctTaskCosts,
+    HuffmanCode,
+    JpegCodesign,
+    JpegLikeCodec,
+    build_dct_task_graph,
+    dct_accuracy,
+    dct_matrix,
+    default_table,
+    dequantize,
+    expected_paper_partitioning,
+    forward_dct,
+    forward_dct_by_vector_products,
+    forward_dct_fixed_point,
+    forward_dct_two_stage,
+    inverse_dct,
+    inverse_zigzag,
+    quantize,
+    rtr_partition_delays,
+    run_length_decode,
+    run_length_encode,
+    scale_table,
+    static_design_delay,
+    synthetic_image,
+    t1_task_name,
+    t2_task_name,
+    table_workloads,
+    workload_from_blocks,
+    zigzag,
+    zigzag_order,
+)
+from repro.jpeg.codesign import HardwareExecutionTrace
+from repro.units import ns
+
+
+@pytest.fixture
+def random_blocks():
+    rng = np.random.default_rng(42)
+    return rng.uniform(-128, 127, size=(8, 4, 4))
+
+
+class TestDct:
+    def test_dct_matrix_is_orthonormal(self):
+        for size in (4, 8):
+            c = dct_matrix(size)
+            assert np.allclose(c @ c.T, np.eye(size), atol=1e-12)
+
+    def test_forward_inverse_roundtrip(self, random_blocks):
+        for block in random_blocks:
+            assert np.allclose(inverse_dct(forward_dct(block)), block, atol=1e-9)
+
+    def test_two_stage_equals_direct(self, random_blocks):
+        for block in random_blocks:
+            _, result = forward_dct_two_stage(block)
+            assert np.allclose(result, forward_dct(block), atol=1e-9)
+
+    def test_vector_product_formulation_equals_matrix(self, random_blocks):
+        for block in random_blocks:
+            assert np.allclose(
+                forward_dct_by_vector_products(block), forward_dct(block), atol=1e-9
+            )
+
+    def test_dc_coefficient_of_flat_block(self):
+        flat = np.full((4, 4), 10.0)
+        coefficients = forward_dct(flat)
+        assert coefficients[0, 0] == pytest.approx(40.0)  # 10 * size
+        assert np.allclose(coefficients.ravel()[1:], 0.0, atol=1e-10)
+
+    def test_8x8_supported(self):
+        rng = np.random.default_rng(0)
+        block = rng.uniform(-128, 127, size=(8, 8))
+        assert np.allclose(inverse_dct(forward_dct(block, 8), 8), block, atol=1e-9)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CodecError):
+            forward_dct(np.zeros((3, 4)))
+
+    def test_fixed_point_accuracy(self, random_blocks):
+        for block in random_blocks:
+            error = dct_accuracy(np.round(block))
+            assert error < 4.0  # a couple of LSBs on values up to ~508
+
+    def test_fixed_point_rejects_out_of_range(self):
+        with pytest.raises(CodecError):
+            forward_dct_fixed_point(np.full((4, 4), 300))
+
+
+class TestQuantizeZigzagHuffman:
+    def test_quantize_dequantize_bounded_error(self):
+        rng = np.random.default_rng(1)
+        coefficients = rng.uniform(-100, 100, size=(4, 4))
+        table = default_table(4)
+        reconstructed = dequantize(quantize(coefficients, table), table)
+        assert np.all(np.abs(reconstructed - coefficients) <= table / 2 + 1e-9)
+
+    def test_scale_table_quality_extremes(self):
+        table = default_table(8)
+        coarse = scale_table(table, 10)
+        fine = scale_table(table, 95)
+        assert np.all(coarse >= fine)
+        assert np.all(fine >= 1)
+
+    def test_scale_table_rejects_bad_quality(self):
+        with pytest.raises(CodecError):
+            scale_table(default_table(4), 0)
+
+    def test_zigzag_order_properties(self):
+        for size in (2, 4, 8):
+            order = zigzag_order(size)
+            assert len(order) == size * size
+            assert len(set(order)) == size * size
+            assert order[0] == (0, 0)
+            assert order[1] == (0, 1)
+
+    def test_zigzag_roundtrip(self):
+        rng = np.random.default_rng(2)
+        block = rng.integers(-50, 50, size=(4, 4))
+        assert np.array_equal(inverse_zigzag(zigzag(block), 4), block)
+
+    def test_run_length_roundtrip(self):
+        sequence = np.array([5, 0, 0, -3, 0, 0, 0, 1] + [0] * 8)
+        pairs = run_length_encode(sequence)
+        assert pairs[-1] == (0, 0)
+        assert np.array_equal(run_length_decode(pairs, 16), sequence)
+
+    def test_run_length_all_zero(self):
+        pairs = run_length_encode(np.zeros(16))
+        assert pairs == [(0, 0)]
+        assert np.array_equal(run_length_decode(pairs, 16), np.zeros(16))
+
+    def test_huffman_roundtrip(self):
+        symbols = [(0, 5), (0, 5), (1, -3), (0, 0), (0, 5), (2, 7), (0, 0)]
+        code = HuffmanCode.from_symbols(symbols)
+        assert code.decode(code.encode(symbols)) == symbols
+
+    def test_huffman_is_prefix_free(self):
+        code = HuffmanCode.from_frequencies({s: f for s, f in zip("abcdefg", [50, 20, 10, 8, 6, 4, 2])})
+        assert code.is_prefix_free()
+
+    def test_huffman_frequent_symbols_get_short_codes(self):
+        code = HuffmanCode.from_frequencies({"common": 1000, "rare": 1})
+        assert code.length_of("common") <= code.length_of("rare")
+
+    def test_huffman_single_symbol(self):
+        code = HuffmanCode.from_symbols(["only", "only"])
+        assert code.decode(code.encode(["only", "only"])) == ["only", "only"]
+
+    def test_huffman_rejects_unknown_symbol(self):
+        code = HuffmanCode.from_symbols(["a", "b"])
+        with pytest.raises(CodecError):
+            code.encode(["c"])
+
+    def test_huffman_rejects_truncated_stream(self):
+        code = HuffmanCode.from_frequencies({"a": 3, "b": 2, "c": 1})
+        bits = code.encode(["a", "b", "c"])
+        with pytest.raises(CodecError):
+            code.decode(bits[:-1])
+
+
+class TestCodec:
+    def test_roundtrip_psnr_reasonable(self):
+        image = synthetic_image(64, 64, seed=3)
+        codec = JpegLikeCodec(block_size=4, quality=75)
+        assert codec.roundtrip_psnr(image) > 28.0
+
+    def test_higher_quality_gives_higher_psnr(self):
+        image = synthetic_image(64, 64, seed=4)
+        low = JpegLikeCodec(4, quality=30).roundtrip_psnr(image)
+        high = JpegLikeCodec(4, quality=90).roundtrip_psnr(image)
+        assert high > low
+
+    def test_compression_ratio_above_one_on_smooth_image(self):
+        image = synthetic_image(64, 64, seed=5, pattern="gradient+noise")
+        encoded = JpegLikeCodec(4, quality=60).encode(image)
+        assert encoded.compression_ratio > 1.5
+
+    def test_flat_image_compresses_extremely_well(self):
+        image = synthetic_image(32, 32, pattern="flat")
+        encoded = JpegLikeCodec(4, quality=75).encode(image)
+        assert encoded.compression_ratio > 10
+
+    def test_block_split_merge_roundtrip(self):
+        codec = JpegLikeCodec(4)
+        image = synthetic_image(30, 26, seed=6)  # not a multiple of 4
+        blocks, ph, pw = codec.split_blocks(image)
+        merged = codec.merge_blocks(blocks, ph, pw, 26, 30)
+        assert np.allclose(merged, image)
+
+    def test_non_multiple_dimensions_roundtrip(self):
+        image = synthetic_image(33, 29, seed=7)
+        codec = JpegLikeCodec(4, quality=85)
+        decoded = codec.decode(codec.encode(image))
+        assert decoded.shape == image.shape
+
+    def test_8x8_blocks_supported(self):
+        image = synthetic_image(64, 64, seed=8)
+        codec = JpegLikeCodec(block_size=8, quality=75)
+        assert codec.roundtrip_psnr(image) > 28.0
+
+    def test_psnr_identical_images_is_infinite(self):
+        image = synthetic_image(16, 16)
+        assert JpegLikeCodec.psnr(image, image) == float("inf")
+
+    def test_encoded_block_count(self):
+        image = synthetic_image(64, 32, seed=9)
+        encoded = JpegLikeCodec(4).encode(image)
+        assert encoded.block_count == (64 // 4) * (32 // 4)
+
+    def test_rejects_non_2d_image(self):
+        with pytest.raises(CodecError):
+            JpegLikeCodec(4).encode(np.zeros((4, 4, 3)))
+
+
+class TestDctTaskGraph:
+    def test_structure_matches_figure8(self, dct_graph):
+        assert len(dct_graph) == 32
+        t1 = [t for t in dct_graph.tasks() if t.task_type == "T1"]
+        t2 = [t for t in dct_graph.tasks() if t.task_type == "T2"]
+        assert len(t1) == 16 and len(t2) == 16
+        assert dct_graph.edge_count() == 64
+        # Every T2 task depends on the four T1 tasks of its row.
+        for row in range(4):
+            for column in range(4):
+                preds = dct_graph.predecessors(t2_task_name(row, column))
+                assert sorted(preds) == sorted(t1_task_name(row, k) for k in range(4))
+
+    def test_paper_costs(self, dct_graph):
+        assert dct_graph.task(t1_task_name(0, 0)).clbs == 70
+        assert dct_graph.task(t2_task_name(0, 0)).clbs == 180
+        assert dct_graph.task(t1_task_name(0, 0)).delay == pytest.approx(ns(3400))
+        assert dct_graph.task(t2_task_name(0, 0)).delay == pytest.approx(ns(2520))
+
+    def test_data_volumes(self, dct_graph):
+        assert dct_graph.total_env_input_words() == 16
+        assert dct_graph.total_env_output_words() == 16
+        # Each T1 output is stored exactly once even with fan-out 4.
+        stage_words = sum(
+            dct_graph.edge_words(p, c) for p, c in dct_graph.edges()
+        )
+        assert stage_words == 16
+
+    def test_total_resources_exceed_device(self, dct_graph):
+        # 16*70 + 16*180 = 4000 CLBs: the reason temporal partitioning is needed.
+        assert dct_graph.total_resources()["clb"] == 4000
+
+    def test_expected_paper_partitioning_is_valid(self, dct_graph, paper_system):
+        from repro.partition import PartitionProblem, TemporalPartitioning, assert_valid
+
+        assignment = expected_paper_partitioning(dct_graph)
+        result = TemporalPartitioning(
+            graph=dct_graph,
+            assignment=assignment,
+            partition_count=3,
+            reconfiguration_time=paper_system.reconfiguration_time,
+        )
+        assert_valid(PartitionProblem.from_system(dct_graph, paper_system), result)
+        assert result.computation_latency == pytest.approx(ns(8440))
+
+    def test_static_and_rtr_latency_constants(self):
+        assert static_design_delay() == pytest.approx(ns(16000))
+        assert sum(rtr_partition_delays()) == pytest.approx(ns(8440))
+        assert static_design_delay() - sum(rtr_partition_delays()) == pytest.approx(ns(7560))
+
+    def test_estimator_costs_variant(self):
+        from repro.arch import xc4044
+
+        costs = DctTaskCosts.from_estimator(xc4044())
+        graph = build_dct_task_graph(costs=costs)
+        assert graph.task(t1_task_name(0, 0)).clbs > 0
+        assert graph.task(t2_task_name(0, 0)).clbs > graph.task(t1_task_name(0, 0)).clbs
+
+    def test_attach_dfgs(self):
+        graph = build_dct_task_graph(attach_dfgs=True)
+        assert graph.task(t1_task_name(1, 2)).dfg is not None
+
+
+class TestWorkloads:
+    def test_table_workloads_decreasing_and_exact(self):
+        workloads = table_workloads()
+        blocks = [w.block_count for w in workloads]
+        assert blocks[0] == 245760
+        assert blocks == sorted(blocks, reverse=True)
+
+    def test_workload_from_blocks_exact(self):
+        for count in (245760, 122880, 1024, 997):  # 997 is prime
+            assert workload_from_blocks("w", count).block_count == count
+
+    def test_workload_rejects_zero(self):
+        with pytest.raises(SpecificationError):
+            workload_from_blocks("w", 0)
+
+    def test_synthetic_image_range_and_shape(self):
+        image = synthetic_image(40, 20, seed=1)
+        assert image.shape == (20, 40)
+        assert image.min() >= 0.0 and image.max() <= 255.0
+
+    def test_synthetic_image_patterns(self):
+        flat = synthetic_image(16, 16, pattern="flat")
+        noise = synthetic_image(16, 16, pattern="noise")
+        assert flat.std() == 0.0
+        assert noise.std() > 10.0
+        with pytest.raises(SpecificationError):
+            synthetic_image(16, 16, pattern="fractal")
+
+
+class TestCodesign:
+    def test_hardware_model_matches_numpy(self, random_blocks):
+        codesign = JpegCodesign()
+        assert codesign.max_error_against_reference(random_blocks) < 1e-9
+
+    def test_hardware_model_with_ilp_partitioning(self, case_study_ilp, random_blocks):
+        codesign = JpegCodesign(case_study_ilp.partitioning)
+        assert codesign.max_error_against_reference(random_blocks) < 1e-9
+
+    def test_execution_trace_word_counts(self):
+        codesign = JpegCodesign()
+        trace = HardwareExecutionTrace()
+        codesign.execute_block(np.ones((4, 4)), trace)
+        # 32 tasks, each reading 4 words and writing 1.
+        assert trace.total_reads() == 128
+        assert trace.total_writes() == 32
+
+    def test_invalid_partitioning_detected(self, dct_graph):
+        """A partitioning that breaks the data flow (T2 before its T1 row) is
+        rejected by the functional model."""
+        from repro.partition import TemporalPartitioning
+
+        assignment = expected_paper_partitioning(dct_graph)
+        # Move one T1 task after its consumers.
+        assignment[t1_task_name(0, 0)] = 3
+        assignment[t2_task_name(0, 0)] = 2
+        bad = TemporalPartitioning(
+            graph=dct_graph,
+            assignment=assignment,
+            partition_count=3,
+            reconfiguration_time=0.0,
+        )
+        codesign = JpegCodesign(bad)
+        with pytest.raises(CodecError):
+            codesign.execute_block(np.ones((4, 4)))
+
+    def test_software_time_positive(self):
+        assert JpegCodesign.software_time_per_block(50e6) > 0
+        with pytest.raises(CodecError):
+            JpegCodesign.software_time_per_block(0)

@@ -1,0 +1,322 @@
+"""Tests for temporal partitioning (repro.partition)."""
+
+import pytest
+
+from repro.arch import clbs
+from repro.errors import PartitioningError, PartitionValidationError
+from repro.ilp import SolveStatus, solve
+from repro.partition import (
+    FormulationOptions,
+    IlpTemporalPartitioner,
+    LevelClusteringPartitioner,
+    ListTemporalPartitioner,
+    PartitionProblem,
+    TemporalPartitioning,
+    TemporalPartitioningFormulation,
+    assert_valid,
+    compare_partitionings,
+    compute_metrics,
+    partition_summary_rows,
+    validate_partitioning,
+)
+from repro.taskgraph import Task, TaskGraph, clb_cost, linear_pipeline, random_dsp_task_graph
+from repro.units import ms, ns
+
+from .conftest import make_problem
+
+
+class TestPartitionProblem:
+    def test_requires_estimated_tasks(self):
+        graph = TaskGraph("g")
+        graph.add_task(Task("a"))
+        with pytest.raises(PartitioningError):
+            make_problem(graph)
+
+    def test_minimum_partitions(self, dct_graph):
+        problem = make_problem(dct_graph)
+        assert problem.minimum_partitions() == 3
+
+    def test_from_system(self, dct_graph, paper_system):
+        problem = PartitionProblem.from_system(dct_graph, paper_system)
+        assert problem.memory_words == 65536
+        assert problem.resource_capacity["clb"] == 1600
+
+    def test_partition_cap_default_is_task_count(self, two_task_graph):
+        assert make_problem(two_task_graph).partition_cap() == 2
+
+    def test_negative_memory_rejected(self, two_task_graph):
+        with pytest.raises(PartitioningError):
+            PartitionProblem(
+                graph=two_task_graph,
+                resource_capacity=clbs(100),
+                memory_words=-1,
+                reconfiguration_time=0.0,
+            )
+
+
+class TestResultObject:
+    def _result(self, graph, assignment, partitions, ct=ms(100)):
+        return TemporalPartitioning(
+            graph=graph,
+            assignment=assignment,
+            partition_count=partitions,
+            reconfiguration_time=ct,
+            method="manual",
+        )
+
+    def test_partition_delay_is_longest_internal_chain(self, two_task_graph):
+        same = self._result(two_task_graph, {"a": 1, "b": 1}, 1)
+        assert same.partition_delays[0] == pytest.approx(ns(300))
+        split = self._result(two_task_graph, {"a": 1, "b": 2}, 2)
+        assert split.partition_delays == pytest.approx([ns(100), ns(200)])
+
+    def test_total_latency_includes_reconfiguration(self, two_task_graph):
+        result = self._result(two_task_graph, {"a": 1, "b": 2}, 2, ct=ms(100))
+        assert result.total_latency == pytest.approx(0.2 + ns(300))
+
+    def test_boundary_words(self, two_task_graph):
+        result = self._result(two_task_graph, {"a": 1, "b": 2}, 2)
+        assert result.boundary_words(1) == 4
+        assert result.max_boundary_words() == 4
+
+    def test_boundary_words_single_partition(self, two_task_graph):
+        result = self._result(two_task_graph, {"a": 1, "b": 1}, 1)
+        assert result.max_boundary_words() == 0
+
+    def test_cut_edges(self, two_task_graph):
+        result = self._result(two_task_graph, {"a": 1, "b": 2}, 2)
+        assert result.cut_edges(1) == [("a", "b")]
+
+    def test_incomplete_assignment_rejected(self, two_task_graph):
+        with pytest.raises(PartitioningError):
+            self._result(two_task_graph, {"a": 1}, 1)
+
+    def test_out_of_range_partition_rejected(self, two_task_graph):
+        with pytest.raises(PartitioningError):
+            self._result(two_task_graph, {"a": 1, "b": 5}, 2)
+
+    def test_tasks_in_partition(self, two_task_graph):
+        result = self._result(two_task_graph, {"a": 1, "b": 2}, 2)
+        assert result.tasks_in_partition(1) == ["a"]
+        with pytest.raises(PartitioningError):
+            result.tasks_in_partition(3)
+
+
+class TestFormulation:
+    def test_model_sizes_scale_with_bound(self, dct_graph, paper_system):
+        problem = PartitionProblem.from_system(dct_graph, paper_system)
+        small = TemporalPartitioningFormulation(problem, 3).statistics()
+        large = TemporalPartitioningFormulation(problem, 4).statistics()
+        assert large["variables"] > small["variables"]
+        assert large["constraints"] > small["constraints"]
+
+    def test_single_partition_infeasible_for_dct(self, dct_graph, paper_system):
+        problem = PartitionProblem.from_system(dct_graph, paper_system)
+        formulation = TemporalPartitioningFormulation(problem, 1)
+        assert solve(formulation.model).status is SolveStatus.INFEASIBLE
+
+    def test_two_partitions_infeasible_for_dct(self, dct_graph, paper_system):
+        problem = PartitionProblem.from_system(dct_graph, paper_system)
+        formulation = TemporalPartitioningFormulation(problem, 2)
+        assert solve(formulation.model).status is SolveStatus.INFEASIBLE
+
+    @pytest.mark.parametrize("order_form", ["paper", "position"])
+    @pytest.mark.parametrize("linkage_form", ["aggregated", "pairwise"])
+    def test_formulation_variants_agree(self, small_problem, order_form, linkage_form):
+        options = FormulationOptions(order_form=order_form, linkage_form=linkage_form)
+        partitioner = IlpTemporalPartitioner(options=options)
+        result = partitioner.partition(small_problem)
+        reference = IlpTemporalPartitioner().partition(small_problem)
+        assert result.total_latency == pytest.approx(reference.total_latency)
+
+    @pytest.mark.parametrize("delay_form", ["path", "chain"])
+    def test_delay_forms_agree(self, small_problem, delay_form):
+        options = FormulationOptions(delay_form=delay_form)
+        result = IlpTemporalPartitioner(options=options).partition(small_problem)
+        reference = IlpTemporalPartitioner().partition(small_problem)
+        assert result.total_latency == pytest.approx(reference.total_latency)
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(PartitioningError):
+            FormulationOptions(order_form="bogus")
+        with pytest.raises(PartitioningError):
+            FormulationOptions(delay_form="bogus")
+
+
+class TestIlpPartitioner:
+    def test_dct_case_study_partitioning(self, dct_graph, paper_system):
+        problem = PartitionProblem.from_system(dct_graph, paper_system)
+        partitioner = IlpTemporalPartitioner()
+        result = partitioner.partition(problem)
+        assert_valid(problem, result)
+        assert result.partition_count == 3
+        sizes = sorted(info.task_count for info in result.partitions)
+        assert sizes == [8, 8, 16]
+        # All T1 in the first partition, T2 split 8/8 across the later two.
+        first = {dct_graph.task(n).task_type for n in result.tasks_in_partition(1)}
+        assert first == {"T1"}
+        assert result.computation_latency == pytest.approx(ns(8440))
+        report = partitioner.last_report
+        assert report.chosen_bound == 3
+        assert report.attempted_bounds[0] == 3
+
+    def test_ilp_beats_list_on_dct(self, dct_graph, paper_system):
+        problem = PartitionProblem.from_system(dct_graph, paper_system)
+        ilp = IlpTemporalPartitioner().partition(problem)
+        heuristic = ListTemporalPartitioner().partition(problem)
+        comparison = compare_partitionings(heuristic, ilp)
+        assert comparison.candidate_wins
+        assert heuristic.computation_latency == pytest.approx(ns(10960))
+
+    def test_memory_constraint_forces_split_awareness(self):
+        # Two parallel producer->consumer chains; memory too small to hold both
+        # intermediate transfers across one boundary, but everything fits in
+        # one partition resource-wise only if split... capacity forces 2
+        # partitions; the solver must pick a cut whose traffic fits.
+        graph = TaskGraph("mem")
+        graph.add_task(Task("p1", cost=clb_cost(300, ns(100))), env_input_words=1)
+        graph.add_task(Task("p2", cost=clb_cost(300, ns(100))), env_input_words=1)
+        graph.add_task(Task("c1", cost=clb_cost(300, ns(100))), env_output_words=1)
+        graph.add_task(Task("c2", cost=clb_cost(300, ns(100))), env_output_words=1)
+        graph.add_edge("p1", "c1", words=30)
+        graph.add_edge("p2", "c2", words=3)
+        problem = make_problem(graph, clb_capacity=700, memory_words=20, ct=ms(1))
+        result = IlpTemporalPartitioner().partition(problem)
+        assert_valid(problem, result)
+        for boundary in range(1, result.partition_count):
+            assert result.boundary_words(boundary) <= 20
+
+    def test_infeasible_memory_reported(self):
+        graph = TaskGraph("impossible")
+        graph.add_task(Task("a", cost=clb_cost(300, ns(100))))
+        graph.add_task(Task("b", cost=clb_cost(300, ns(100))))
+        graph.add_edge("a", "b", words=100)
+        # Device too small for both tasks together, memory too small for the cut.
+        problem = make_problem(graph, clb_capacity=400, memory_words=10, ct=ms(1))
+        with pytest.raises(PartitioningError):
+            IlpTemporalPartitioner().partition(problem)
+
+    def test_relaxes_partition_bound_when_needed(self):
+        # Resources allow 2 partitions, but the temporal order of a 3-chain with
+        # per-task resources exceeding half the device forces 3.
+        graph = linear_pipeline([400, 400, 400], [ns(100)] * 3, words_per_edge=2)
+        problem = make_problem(graph, clb_capacity=500, memory_words=100, ct=ms(1))
+        partitioner = IlpTemporalPartitioner()
+        result = partitioner.partition(problem)
+        assert result.partition_count == 3
+        assert partitioner.last_report.attempted_bounds == [3]
+
+    def test_explore_extra_partitions(self, small_problem):
+        base = IlpTemporalPartitioner().partition(small_problem)
+        explorer = IlpTemporalPartitioner(explore_extra_partitions=2)
+        explored = explorer.partition(small_problem)
+        # Exploring more bounds can never return something worse.
+        assert explored.total_latency <= base.total_latency + 1e-12
+
+    def test_single_task_graph(self):
+        graph = TaskGraph("single")
+        graph.add_task(Task("only", cost=clb_cost(100, ns(50))), env_input_words=1)
+        problem = make_problem(graph, clb_capacity=200, memory_words=16, ct=ms(1))
+        result = IlpTemporalPartitioner().partition(problem)
+        assert result.partition_count == 1
+        assert result.computation_latency == pytest.approx(ns(50))
+
+    def test_branch_and_bound_backend_agrees(self, small_problem):
+        scipy_result = IlpTemporalPartitioner(backend="scipy").partition(small_problem)
+        bnb_result = IlpTemporalPartitioner(backend="branch-and-bound").partition(small_problem)
+        assert bnb_result.total_latency == pytest.approx(scipy_result.total_latency)
+
+
+class TestHeuristicPartitioners:
+    def test_list_partitioner_valid_on_random_graphs(self):
+        for seed in range(4):
+            graph = random_dsp_task_graph(task_count=25, seed=seed)
+            problem = make_problem(graph, clb_capacity=800, memory_words=4096, ct=ms(10))
+            result = ListTemporalPartitioner().partition(problem)
+            assert_valid(problem, result)
+
+    def test_level_partitioner_valid_on_random_graphs(self):
+        for seed in range(4):
+            graph = random_dsp_task_graph(task_count=25, seed=seed)
+            problem = make_problem(graph, clb_capacity=800, memory_words=4096, ct=ms(10))
+            result = LevelClusteringPartitioner().partition(problem)
+            assert_valid(problem, result)
+
+    def test_ilp_never_worse_than_heuristics(self):
+        for seed in (0, 1):
+            graph = random_dsp_task_graph(task_count=14, seed=seed, max_level_width=4)
+            problem = make_problem(graph, clb_capacity=900, memory_words=4096, ct=ms(10))
+            ilp = IlpTemporalPartitioner().partition(problem)
+            for heuristic in (ListTemporalPartitioner(), LevelClusteringPartitioner()):
+                other = heuristic.partition(problem)
+                assert ilp.total_latency <= other.total_latency + 1e-12
+
+    def test_list_priority_rules(self, dct_graph, paper_system):
+        problem = PartitionProblem.from_system(dct_graph, paper_system)
+        for priority in ("resource", "delay", "topological"):
+            result = ListTemporalPartitioner(priority=priority).partition(problem)
+            assert_valid(problem, result)
+
+    def test_list_unknown_priority(self):
+        with pytest.raises(PartitioningError):
+            ListTemporalPartitioner(priority="alphabetical")
+
+    def test_list_respects_memory_constraint(self):
+        graph = linear_pipeline([200, 200, 200], [ns(100)] * 3, words_per_edge=50)
+        problem = make_problem(graph, clb_capacity=250, memory_words=60, ct=ms(1))
+        result = ListTemporalPartitioner().partition(problem)
+        assert_valid(problem, result)
+
+
+class TestValidationAndMetrics:
+    def test_validation_catches_order_violation(self, two_task_graph):
+        problem = make_problem(two_task_graph, clb_capacity=150, memory_words=16)
+        bad = TemporalPartitioning(
+            graph=two_task_graph,
+            assignment={"a": 2, "b": 1},
+            partition_count=2,
+            reconfiguration_time=ms(1),
+            method="bad",
+        )
+        report = validate_partitioning(problem, bad)
+        assert not report.is_valid
+        assert any("temporal order" in violation for violation in report.violations)
+        with pytest.raises(PartitionValidationError):
+            report.raise_if_invalid()
+
+    def test_validation_catches_resource_violation(self, two_task_graph):
+        problem = make_problem(two_task_graph, clb_capacity=150, memory_words=16)
+        bad = TemporalPartitioning(
+            graph=two_task_graph,
+            assignment={"a": 1, "b": 1},
+            partition_count=1,
+            reconfiguration_time=ms(1),
+        )
+        report = validate_partitioning(problem, bad)
+        assert any("exceeding the capacity" in violation for violation in report.violations)
+
+    def test_validation_catches_memory_violation(self, two_task_graph):
+        problem = make_problem(two_task_graph, clb_capacity=150, memory_words=2)
+        bad = TemporalPartitioning(
+            graph=two_task_graph,
+            assignment={"a": 1, "b": 2},
+            partition_count=2,
+            reconfiguration_time=ms(1),
+        )
+        report = validate_partitioning(problem, bad)
+        assert any("memory" in violation for violation in report.violations)
+
+    def test_metrics(self, dct_graph, paper_system):
+        problem = PartitionProblem.from_system(dct_graph, paper_system)
+        result = IlpTemporalPartitioner().partition(problem)
+        metrics = compute_metrics(result, problem.resource_capacity)
+        assert metrics.partition_count == 3
+        assert metrics.max_boundary_words == 16
+        assert 0 < metrics.mean_utilisation <= 1
+        assert metrics.delay_imbalance >= 1.0
+        assert metrics.reconfiguration_overhead == pytest.approx(0.3)
+
+    def test_summary_rows(self, case_study_ilp):
+        rows = partition_summary_rows(case_study_ilp.partitioning)
+        assert len(rows) == 3
+        assert rows[0]["task_types"] == {"T1": 16}

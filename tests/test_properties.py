@@ -1,0 +1,276 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import clbs, generic_system
+from repro.fission import (
+    RtrTimingSpec,
+    SequencerPlan,
+    SequencingStrategy,
+    count_configuration_loads,
+    fdh_execution_time,
+    idh_execution_time,
+    run_sequencer,
+    SequencerCallbacks,
+    static_execution_time,
+    static_timing_spec,
+)
+from repro.jpeg import HuffmanCode, forward_dct, inverse_dct, inverse_zigzag, zigzag
+from repro.jpeg.zigzag import run_length_decode, run_length_encode
+from repro.memmap import MemoryBlock, MemorySegment, SegmentKind, build_memory_map
+from repro.memmap.address import AddressGenerator
+from repro.partition import (
+    IlpTemporalPartitioner,
+    ListTemporalPartitioner,
+    PartitionProblem,
+    validate_partitioning,
+)
+from repro.taskgraph import partition_lower_bound, random_dsp_task_graph
+from repro.units import ceil_div, next_power_of_two
+from repro.simulate import RtrExecutionSimulator
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Unit helpers
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_next_power_of_two_properties(value):
+    result = next_power_of_two(value)
+    assert result >= max(1, value)
+    assert result & (result - 1) == 0
+    if value > 1:
+        assert result < 2 * value
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+def test_ceil_div_properties(numerator, denominator):
+    result = ceil_div(numerator, denominator)
+    assert result * denominator >= numerator
+    assert (result - 1) * denominator < numerator or result == 0
+
+
+# ---------------------------------------------------------------------------
+# DCT / codec stages
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_dct_roundtrip_property(seed):
+    rng = np.random.default_rng(seed)
+    block = rng.uniform(-128, 127, size=(4, 4))
+    assert np.allclose(inverse_dct(forward_dct(block)), block, atol=1e-8)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_dct_preserves_energy(seed):
+    """Orthonormal transform: Parseval's theorem holds."""
+    rng = np.random.default_rng(seed)
+    block = rng.uniform(-128, 127, size=(4, 4))
+    assert np.sum(block ** 2) == pytest.approx(np.sum(forward_dct(block) ** 2), rel=1e-9)
+
+
+@given(st.lists(st.integers(min_value=-255, max_value=255), min_size=16, max_size=16))
+def test_zigzag_roundtrip_property(values):
+    block = np.array(values).reshape(4, 4)
+    assert np.array_equal(inverse_zigzag(zigzag(block), 4), block)
+
+
+@given(st.lists(st.integers(min_value=-64, max_value=64), min_size=16, max_size=16))
+def test_run_length_roundtrip_property(values):
+    sequence = np.array(values)
+    assert np.array_equal(run_length_decode(run_length_encode(sequence), 16), sequence)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(-32, 32)), min_size=1, max_size=200
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_huffman_roundtrip_property(symbols):
+    code = HuffmanCode.from_symbols(symbols)
+    assert code.decode(code.encode(symbols)) == symbols
+    assert code.is_prefix_free()
+
+
+@given(
+    st.dictionaries(
+        st.integers(0, 30), st.integers(min_value=1, max_value=1000), min_size=2, max_size=20
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_huffman_is_near_entropy_optimal(frequencies):
+    """Average code length is within one bit of the entropy (Huffman optimality)."""
+    code = HuffmanCode.from_frequencies(frequencies)
+    total = sum(frequencies.values())
+    probabilities = [count / total for count in frequencies.values()]
+    entropy = -sum(p * np.log2(p) for p in probabilities if p > 0)
+    assert entropy <= code.expected_length(frequencies) <= entropy + 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Memory blocks and address generation
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=8))
+def test_memory_block_offsets_are_disjoint(sizes):
+    block = MemoryBlock(partition_index=1)
+    for index, words in enumerate(sizes):
+        block.add_segment(MemorySegment(f"M{index}", words, SegmentKind.CROSS_INPUT))
+    intervals = sorted(
+        (block.offset_of(f"M{index}"), block.offset_of(f"M{index}") + words)
+        for index, words in enumerate(sizes)
+    )
+    for (_, first_end), (second_start, _) in zip(intervals, intervals[1:]):
+        assert second_start >= first_end
+    assert block.natural_words == sum(sizes)
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=5),
+    st.integers(min_value=1, max_value=16),
+)
+def test_address_generation_no_overlap_between_iterations(sizes, iterations):
+    block = MemoryBlock(partition_index=1)
+    for index, words in enumerate(sizes):
+        block.add_segment(MemorySegment(f"M{index}", words, SegmentKind.CROSS_INPUT))
+    block.round_to_power_of_two()
+    generator = AddressGenerator(block, scheme="concatenation")
+    seen = set()
+    for iteration in range(iterations):
+        for index, words in enumerate(sizes):
+            for address in generator.iter_segment_addresses(iteration, f"M{index}"):
+                assert address not in seen
+                seen.add(address)
+    first, last = generator.address_range(iterations)
+    assert all(first <= address < last for address in seen)
+
+
+# ---------------------------------------------------------------------------
+# Partitioning invariants on random task graphs
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=6, max_value=18))
+@SLOW
+def test_list_partitioner_always_valid(seed, task_count):
+    graph = random_dsp_task_graph(task_count=task_count, seed=seed)
+    system = generic_system(clb_capacity=800, memory_words=8192, reconfiguration_time=0.01)
+    problem = PartitionProblem.from_system(graph, system)
+    result = ListTemporalPartitioner().partition(problem)
+    report = validate_partitioning(problem, result)
+    assert report.is_valid
+    assert result.partition_count >= partition_lower_bound(graph, clbs(800))
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_ilp_partitioner_no_worse_than_list(seed):
+    graph = random_dsp_task_graph(task_count=10, seed=seed, max_level_width=3)
+    system = generic_system(clb_capacity=700, memory_words=8192, reconfiguration_time=0.01)
+    problem = PartitionProblem.from_system(graph, system)
+    ilp = IlpTemporalPartitioner().partition(problem)
+    heuristic = ListTemporalPartitioner().partition(problem)
+    assert validate_partitioning(problem, ilp).is_valid
+    assert ilp.total_latency <= heuristic.total_latency + 1e-12
+
+
+@given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=6, max_value=20))
+@SLOW
+def test_memory_map_boundaries_match_partitioning(seed, task_count):
+    graph = random_dsp_task_graph(task_count=task_count, seed=seed)
+    system = generic_system(clb_capacity=800, memory_words=8192, reconfiguration_time=0.01)
+    problem = PartitionProblem.from_system(graph, system)
+    result = ListTemporalPartitioner().partition(problem)
+    memory_map = build_memory_map(result)
+    from repro.memmap import boundary_words_from_map
+
+    for boundary in range(1, result.partition_count):
+        assert boundary_words_from_map(memory_map, boundary) == result.boundary_words(boundary)
+
+
+# ---------------------------------------------------------------------------
+# Sequencing / timing invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=500),
+    st.integers(min_value=0, max_value=5000),
+)
+def test_configuration_load_counts_match_trace(partitions, k, total):
+    for strategy in SequencingStrategy:
+        plan = SequencerPlan(strategy, partition_count=partitions, computations_per_run=k)
+        counter = {"configs": 0, "computations": 0}
+        callbacks = SequencerCallbacks(
+            load_configuration=lambda p: counter.__setitem__("configs", counter["configs"] + 1),
+            load_input_block=lambda p, r: None,
+            start_and_wait=lambda p, r, c: counter.__setitem__(
+                "computations", counter["computations"] + c
+            ),
+            read_output_block=lambda p, r: None,
+        )
+        run_sequencer(plan, total, callbacks)
+        assert counter["configs"] == count_configuration_loads(plan, total)
+        # Every computation is executed on every partition exactly once.
+        assert counter["computations"] == total * partitions
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=1, max_value=20000),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_simulator_matches_analytic_model_property(partitions, k, total, seed):
+    """For arbitrary designs the event simulator equals the closed-form model."""
+    rng = np.random.default_rng(seed)
+    delays = [float(rng.uniform(1e-7, 1e-5)) for _ in range(partitions)]
+    env_in = [int(rng.integers(0, 8)) for _ in range(partitions)]
+    env_out = [int(rng.integers(0, 8)) for _ in range(partitions)]
+    cross_in = [0] + [int(rng.integers(0, 8)) for _ in range(partitions - 1)]
+    cross_out = [int(rng.integers(0, 8)) for _ in range(partitions - 1)] + [0]
+    spec = RtrTimingSpec(
+        partition_delays=delays,
+        partition_env_input_words=env_in,
+        partition_env_output_words=env_out,
+        partition_cross_input_words=cross_in,
+        partition_cross_output_words=cross_out,
+        computations_per_run=k,
+    )
+    system = generic_system(memory_words=10**9, reconfiguration_time=0.001)
+    simulator = RtrExecutionSimulator(system, check_memory=False)
+    for strategy, analytic_fn in (
+        (SequencingStrategy.FDH, fdh_execution_time),
+        (SequencingStrategy.IDH, idh_execution_time),
+    ):
+        simulated = simulator.simulate(spec, strategy, total)
+        analytic = analytic_fn(spec, total, system)
+        # The simulator accumulates tens of thousands of small event durations
+        # while the analytic model multiplies once, so allow for floating-point
+        # accumulation error (relative 1e-6 is far below any modelling effect).
+        assert simulated.total_time == pytest.approx(analytic.total, rel=1e-6, abs=1e-9)
+
+
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=30, deadline=None)
+def test_static_time_monotone_in_workload(blocks, batch):
+    spec = static_timing_spec(1e-5, 16, 16, blocks_per_invocation=batch)
+    system = generic_system(reconfiguration_time=0.01)
+    smaller = static_execution_time(spec, blocks, system).total
+    larger = static_execution_time(spec, blocks + 1, system).total
+    assert larger >= smaller

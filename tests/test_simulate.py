@@ -1,0 +1,215 @@
+"""Tests for the execution simulator (repro.simulate)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fission import (
+    SequencingStrategy,
+    fdh_execution_time,
+    idh_execution_time,
+    static_execution_time,
+)
+from repro.simulate import (
+    EventKind,
+    RtrExecutionSimulator,
+    SimulationEngine,
+    StaticExecutionSimulator,
+    breakdown_table,
+    configuration_sequence,
+    format_events,
+    per_partition_execution_time,
+)
+from repro.units import ms, ns, us
+
+
+class TestEngine:
+    def test_advance_accumulates_time(self):
+        engine = SimulationEngine()
+        engine.advance(EventKind.CONFIGURE, ms(100))
+        engine.advance(EventKind.EXECUTE, ms(50))
+        assert engine.current_time == pytest.approx(ms(150))
+        assert engine.time_spent_on(EventKind.CONFIGURE) == pytest.approx(ms(100))
+        assert engine.event_count() == 2
+        assert engine.event_count(EventKind.EXECUTE) == 1
+
+    def test_events_are_contiguous(self):
+        engine = SimulationEngine()
+        for duration in (1e-3, 2e-3, 3e-3):
+            engine.advance(EventKind.EXECUTE, duration)
+        for earlier, later in zip(engine.events, engine.events[1:]):
+            assert later.start_time == pytest.approx(earlier.end_time)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().advance(EventKind.EXECUTE, -1.0)
+
+    def test_memory_tracking(self):
+        engine = SimulationEngine(memory_capacity_words=100)
+        engine.allocate_memory(60)
+        engine.allocate_memory(40)
+        assert engine.peak_memory_words == 100
+        engine.release_memory(50)
+        assert engine.memory_in_use_words == 50
+
+    def test_memory_overflow_detected(self):
+        engine = SimulationEngine(memory_capacity_words=100)
+        engine.allocate_memory(90)
+        with pytest.raises(SimulationError):
+            engine.allocate_memory(11)
+
+    def test_over_release_detected(self):
+        engine = SimulationEngine()
+        engine.allocate_memory(10)
+        with pytest.raises(SimulationError):
+            engine.release_memory(11)
+
+    def test_breakdown_sums_to_total(self):
+        engine = SimulationEngine()
+        engine.advance(EventKind.CONFIGURE, 0.1)
+        engine.advance(EventKind.TRANSFER_IN, 0.2)
+        engine.advance(EventKind.EXECUTE, 0.3)
+        breakdown = engine.breakdown()
+        components = sum(value for key, value in breakdown.items() if key != "total")
+        assert components == pytest.approx(breakdown["total"])
+
+
+class TestRtrSimulator:
+    @pytest.mark.parametrize("strategy", [SequencingStrategy.FDH, SequencingStrategy.IDH])
+    @pytest.mark.parametrize("blocks", [1, 2048, 10000, 245760])
+    def test_matches_analytic_model(self, case_study_ilp, strategy, blocks):
+        """The event simulator and the closed-form model are independent
+        implementations of the same semantics and must agree."""
+        simulator = RtrExecutionSimulator(case_study_ilp.system)
+        simulated = simulator.simulate(case_study_ilp.rtr_spec, strategy, blocks)
+        if strategy is SequencingStrategy.FDH:
+            analytic = fdh_execution_time(case_study_ilp.rtr_spec, blocks, case_study_ilp.system)
+        else:
+            analytic = idh_execution_time(case_study_ilp.rtr_spec, blocks, case_study_ilp.system)
+        assert simulated.total_time == pytest.approx(analytic.total, rel=1e-9)
+        assert simulated.reconfiguration_time == pytest.approx(analytic.reconfiguration, rel=1e-9)
+        assert simulated.computation_time == pytest.approx(analytic.computation, rel=1e-9)
+        assert simulated.transfer_time == pytest.approx(analytic.data_transfer, rel=1e-9)
+
+    def test_configuration_load_counts(self, case_study_ilp):
+        simulator = RtrExecutionSimulator(case_study_ilp.system)
+        fdh = simulator.simulate(case_study_ilp.rtr_spec, SequencingStrategy.FDH, 245760)
+        idh = simulator.simulate(case_study_ilp.rtr_spec, SequencingStrategy.IDH, 245760)
+        assert fdh.configuration_loads == 360
+        assert idh.configuration_loads == 3
+
+    def test_memory_never_exceeds_board_capacity(self, case_study_ilp):
+        simulator = RtrExecutionSimulator(case_study_ilp.system, check_memory=True)
+        result = simulator.simulate(case_study_ilp.rtr_spec, SequencingStrategy.FDH, 4096)
+        assert result.peak_memory_words <= case_study_ilp.system.memory_capacity_words
+
+    def test_configuration_sequence_patterns(self, case_study_ilp):
+        simulator = RtrExecutionSimulator(case_study_ilp.system)
+        fdh = simulator.simulate(
+            case_study_ilp.rtr_spec, SequencingStrategy.FDH, 4096, keep_events=True
+        )
+        idh = simulator.simulate(
+            case_study_ilp.rtr_spec, SequencingStrategy.IDH, 4096, keep_events=True
+        )
+        assert configuration_sequence(fdh.events) == [1, 2, 3, 1, 2, 3]
+        assert configuration_sequence(idh.events) == [1, 2, 3]
+
+    def test_per_partition_execution_times(self, case_study_ilp):
+        simulator = RtrExecutionSimulator(case_study_ilp.system)
+        result = simulator.simulate(
+            case_study_ilp.rtr_spec, SequencingStrategy.IDH, 2048, keep_events=True
+        )
+        per_partition = per_partition_execution_time(result.events)
+        assert per_partition[1] == pytest.approx(2048 * ns(3400))
+        assert per_partition[2] == pytest.approx(2048 * ns(2520))
+
+    def test_zero_workload(self, case_study_ilp):
+        simulator = RtrExecutionSimulator(case_study_ilp.system)
+        result = simulator.simulate(case_study_ilp.rtr_spec, SequencingStrategy.IDH, 0)
+        assert result.total_time == 0 and result.runs == 0
+
+    def test_negative_workload_rejected(self, case_study_ilp):
+        with pytest.raises(SimulationError):
+            RtrExecutionSimulator(case_study_ilp.system).simulate(
+                case_study_ilp.rtr_spec, SequencingStrategy.IDH, -1
+            )
+
+    def test_inconsistent_design_overflows_memory(self, case_study_ilp):
+        """A spec claiming a k larger than the memory allows must fail loudly."""
+        from dataclasses import replace
+
+        bad_spec = replace(case_study_ilp.rtr_spec, computations_per_run=4096)
+        simulator = RtrExecutionSimulator(case_study_ilp.system, check_memory=True)
+        with pytest.raises(SimulationError):
+            simulator.simulate(bad_spec, SequencingStrategy.FDH, 8192)
+
+
+class TestStaticSimulator:
+    @pytest.mark.parametrize("blocks", [1, 100, 245760])
+    def test_matches_analytic_model(self, case_study_ilp, blocks):
+        simulator = StaticExecutionSimulator(case_study_ilp.system)
+        simulated = simulator.simulate(case_study_ilp.static_spec, blocks)
+        analytic = static_execution_time(case_study_ilp.static_spec, blocks, case_study_ilp.system)
+        assert simulated.total_time == pytest.approx(analytic.total, rel=1e-9)
+        assert simulated.computation_time == pytest.approx(analytic.computation, rel=1e-9)
+        assert simulated.transfer_time == pytest.approx(analytic.data_transfer, rel=1e-9)
+
+    def test_aggregation_keeps_totals_exact(self, case_study_ilp):
+        detailed = StaticExecutionSimulator(case_study_ilp.system, detailed_invocation_limit=10**9)
+        folded = StaticExecutionSimulator(case_study_ilp.system, detailed_invocation_limit=10)
+        blocks = 5000
+        assert folded.simulate(case_study_ilp.static_spec, blocks).total_time == pytest.approx(
+            detailed.simulate(case_study_ilp.static_spec, blocks).total_time, rel=1e-9
+        )
+
+    def test_aggregation_reduces_event_count(self, case_study_ilp):
+        folded = StaticExecutionSimulator(case_study_ilp.system, detailed_invocation_limit=10)
+        result = folded.simulate(case_study_ilp.static_spec, 5000)
+        assert result.event_count < 100
+
+    def test_zero_workload(self, case_study_ilp):
+        result = StaticExecutionSimulator(case_study_ilp.system).simulate(
+            case_study_ilp.static_spec, 0
+        )
+        assert result.total_time == 0 and result.invocations == 0
+
+
+class TestSimulatedHeadlines:
+    def test_simulated_idh_improvement_matches_paper(self, case_study_ilp):
+        """End-to-end: the simulators alone reproduce the ~42 % headline."""
+        static = StaticExecutionSimulator(case_study_ilp.system).simulate(
+            case_study_ilp.static_spec, 245760
+        )
+        rtr = RtrExecutionSimulator(case_study_ilp.system).simulate(
+            case_study_ilp.rtr_spec, SequencingStrategy.IDH, 245760
+        )
+        improvement = (static.total_time - rtr.total_time) / static.total_time
+        assert improvement == pytest.approx(0.42, abs=0.06)
+
+    def test_simulated_fdh_is_worse_than_static(self, case_study_ilp):
+        static = StaticExecutionSimulator(case_study_ilp.system).simulate(
+            case_study_ilp.static_spec, 245760
+        )
+        rtr = RtrExecutionSimulator(case_study_ilp.system).simulate(
+            case_study_ilp.rtr_spec, SequencingStrategy.FDH, 245760
+        )
+        assert rtr.total_time > static.total_time
+
+
+class TestTraceHelpers:
+    def test_format_events_limit(self, case_study_ilp):
+        simulator = RtrExecutionSimulator(case_study_ilp.system)
+        result = simulator.simulate(
+            case_study_ilp.rtr_spec, SequencingStrategy.FDH, 8192, keep_events=True
+        )
+        text = format_events(result.events, limit=5)
+        assert "more events shown" in text
+
+    def test_breakdown_table_renders(self, case_study_ilp):
+        static = StaticExecutionSimulator(case_study_ilp.system).simulate(
+            case_study_ilp.static_spec, 1000
+        )
+        rtr = RtrExecutionSimulator(case_study_ilp.system).simulate(
+            case_study_ilp.rtr_spec, SequencingStrategy.IDH, 1000
+        )
+        table = breakdown_table({"static": static.breakdown, "rtr-idh": rtr.breakdown})
+        assert "static" in table and "rtr-idh" in table and "execute" in table

@@ -1,0 +1,53 @@
+"""Tests for the one-shot reproduction report (repro.experiments.summary)."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    ClaimCheck,
+    format_reproduction_report,
+    reproduction_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report(case_study_reference):
+    return reproduction_report(case_study_reference)
+
+
+class TestReproductionReport:
+    def test_every_claim_within_band(self, report):
+        failed = report.failed()
+        assert report.all_ok, f"claims outside expectation bands: {failed}"
+
+    def test_covers_all_experiments(self, report):
+        experiments = {check.experiment for check in report.checks}
+        assert experiments >= {
+            "E3", "E4", "E5", "E6", "E7", "Table 1", "Table 2",
+            "Figure 4", "Figure 5", "Figure 8",
+        }
+
+    def test_has_at_least_a_dozen_checks(self, report):
+        assert len(report.checks) >= 12
+
+    def test_rows_are_renderable(self, report):
+        text = format_reproduction_report(report)
+        assert "Reproduction report" in text
+        assert "All claims reproduced" in text
+        assert "IDH improvement" in text
+
+    def test_claim_check_row_shape(self):
+        check = ClaimCheck("E0", "demo", 1, 2, False, note="why")
+        row = check.as_row()
+        assert row["ok"] == "NO" and row["note"] == "why"
+
+    def test_failed_listing(self, report):
+        assert report.failed() == []
+
+
+class TestCliReportCommand:
+    def test_report_command_exit_code_and_output(self, capsys):
+        assert main(["report", "--no-ilp"]) == 0
+        out = capsys.readouterr().out
+        assert "All claims reproduced" in out
+        assert "Figure 8" in out

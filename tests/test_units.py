@@ -1,0 +1,124 @@
+"""Unit tests for repro.units (time/data conversions and integer helpers)."""
+
+import pytest
+
+from repro import units
+from repro.errors import SpecificationError
+
+
+class TestTimeConversions:
+    def test_ns_to_seconds(self):
+        assert units.ns(100) == pytest.approx(1e-7)
+
+    def test_us_to_seconds(self):
+        assert units.us(500) == pytest.approx(5e-4)
+
+    def test_ms_to_seconds(self):
+        assert units.ms(100) == pytest.approx(0.1)
+
+    def test_seconds_identity(self):
+        assert units.seconds(2.5) == 2.5
+
+    def test_roundtrip_ns(self):
+        assert units.to_ns(units.ns(123.0)) == pytest.approx(123.0)
+
+    def test_roundtrip_us(self):
+        assert units.to_us(units.us(7.5)) == pytest.approx(7.5)
+
+    def test_roundtrip_ms(self):
+        assert units.to_ms(units.ms(42.0)) == pytest.approx(42.0)
+
+    def test_format_time_picks_ns(self):
+        assert units.format_time(100e-9) == "100.0 ns"
+
+    def test_format_time_picks_us(self):
+        assert "us" in units.format_time(5e-6)
+
+    def test_format_time_picks_ms(self):
+        assert "ms" in units.format_time(0.25)
+
+    def test_format_time_picks_seconds(self):
+        assert units.format_time(2.0).endswith(" s")
+
+    def test_format_time_zero(self):
+        assert units.format_time(0) == "0 s"
+
+    def test_format_time_negative(self):
+        assert units.format_time(-0.25).startswith("-")
+
+
+class TestFrequency:
+    def test_mhz(self):
+        assert units.mhz(33) == pytest.approx(33e6)
+
+    def test_period_from_frequency(self):
+        assert units.period_from_frequency(100e6) == pytest.approx(10e-9)
+
+    def test_frequency_from_period(self):
+        assert units.frequency_from_period(10e-9) == pytest.approx(100e6)
+
+    def test_period_rejects_nonpositive(self):
+        with pytest.raises(SpecificationError):
+            units.period_from_frequency(0)
+
+    def test_frequency_rejects_nonpositive(self):
+        with pytest.raises(SpecificationError):
+            units.frequency_from_period(-1)
+
+
+class TestDataSizes:
+    def test_kilowords(self):
+        assert units.kilowords(64) == 65536
+
+    def test_words_to_bytes_32bit(self):
+        assert units.words_to_bytes(1024, 32) == 4096
+
+    def test_bytes_to_words_rounds_up(self):
+        assert units.bytes_to_words(5, 32) == 2
+
+    def test_words_to_bytes_rejects_odd_width(self):
+        with pytest.raises(SpecificationError):
+            units.words_to_bytes(10, 12)
+
+    def test_format_words_k_suffix(self):
+        assert units.format_words(65536) == "64K words"
+
+    def test_format_words_m_suffix(self):
+        assert units.format_words(2 * 1024 * 1024) == "2M words"
+
+    def test_format_words_plain(self):
+        assert units.format_words(100) == "100 words"
+
+
+class TestIntegerHelpers:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [(0, 1), (1, 1), (2, 2), (3, 4), (32, 32), (33, 64), (65535, 65536)],
+    )
+    def test_next_power_of_two(self, value, expected):
+        assert units.next_power_of_two(value) == expected
+
+    def test_next_power_of_two_rejects_negative(self):
+        with pytest.raises(SpecificationError):
+            units.next_power_of_two(-1)
+
+    @pytest.mark.parametrize("value, expected", [(1, True), (2, True), (3, False), (0, False)])
+    def test_is_power_of_two(self, value, expected):
+        assert units.is_power_of_two(value) is expected
+
+    def test_ceil_div_exact(self):
+        assert units.ceil_div(245760, 2048) == 120
+
+    def test_ceil_div_rounds_up(self):
+        assert units.ceil_div(245761, 2048) == 121
+
+    def test_ceil_div_zero_numerator(self):
+        assert units.ceil_div(0, 5) == 0
+
+    def test_ceil_div_rejects_zero_denominator(self):
+        with pytest.raises(SpecificationError):
+            units.ceil_div(10, 0)
+
+    def test_ceil_div_rejects_negative(self):
+        with pytest.raises(SpecificationError):
+            units.ceil_div(-1, 5)
