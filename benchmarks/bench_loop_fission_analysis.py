@@ -10,7 +10,7 @@ memory per board invocation.
 from __future__ import annotations
 
 from repro.fission import analyse_fission
-from repro.memmap import SegmentKind, build_memory_map
+from repro.memmap import build_memory_map
 
 
 def test_loop_fission_analysis(benchmark, case_study):

@@ -7,7 +7,6 @@ experiment runs through) are visible.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.arch import xc4044
 from repro.dfg import vector_product_dfg

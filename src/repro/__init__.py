@@ -40,6 +40,7 @@ from . import (
     jpeg,
     memmap,
     partition,
+    runtime,
     simulate,
     synth,
     taskgraph,
@@ -48,15 +49,18 @@ from . import (
 from .arch import paper_case_study_system
 from .jpeg import build_dct_task_graph
 from .partition import IlpTemporalPartitioner, ListTemporalPartitioner, PartitionProblem
+from .runtime import EngineConfig, PartitionEngine
 from .synth import DesignFlow, FlowOptions
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DesignFlow",
+    "EngineConfig",
     "FlowOptions",
     "IlpTemporalPartitioner",
     "ListTemporalPartitioner",
+    "PartitionEngine",
     "PartitionProblem",
     "__version__",
     "arch",
@@ -71,6 +75,7 @@ __all__ = [
     "memmap",
     "paper_case_study_system",
     "partition",
+    "runtime",
     "simulate",
     "synth",
     "taskgraph",

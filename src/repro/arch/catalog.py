@@ -19,7 +19,7 @@ from typing import Callable, Dict
 from ..errors import ArchitectureError
 from ..units import kilowords, ms, ns, us
 from .board import ReconfigurableBoard, RtrSystem
-from .bus import HostLink, pci_link
+from .bus import HostLink
 from .device import FpgaDevice, clbs, make_device
 from .host import HostSpec
 

@@ -5,6 +5,9 @@ writing Python:
 
 * ``repro partition <taskgraph.json>`` — temporally partition a task graph
   (ILP or a heuristic) on a named or custom system and print the result;
+* ``repro partition-batch <taskgraph.json> ...`` — solve a whole batch of
+  partitioning problems through the caching/parallel engine, optionally
+  sweeping the reconfiguration time, with table/JSON/CSV output;
 * ``repro flow <taskgraph.json>`` — run the complete Figure-2 flow (partition,
   loop fission, memory map, host code);
 * ``repro table1`` / ``repro table2`` — regenerate the paper's tables;
@@ -19,6 +22,8 @@ entry points) for details.
 from __future__ import annotations
 
 import argparse
+import csv
+import json
 import sys
 from typing import List, Optional
 
@@ -42,6 +47,7 @@ from .partition import (
     assert_valid,
     compute_metrics,
 )
+from .runtime import EngineConfig, PartitionEngine, ct_sweep_jobs
 from .synth import DesignFlow, FlowOptions
 from .taskgraph import load as load_taskgraph
 from .units import format_time
@@ -65,7 +71,10 @@ def _load_graph(path: Optional[str]):
     """Load a task graph from JSON, or default to the case-study DCT graph."""
     if path is None or path == "dct":
         return build_dct_task_graph()
-    return load_taskgraph(path)
+    try:
+        return load_taskgraph(path)
+    except OSError as error:
+        raise ReproError(f"cannot read task graph {path!r}: {error}") from error
 
 
 # ---------------------------------------------------------------------------
@@ -103,6 +112,75 @@ def cmd_partition(args: argparse.Namespace) -> int:
               f"constraints, solved in {report.solve_time:.2f} s "
               f"(bounds tried: {report.attempted_bounds})")
     return 0
+
+
+def _format_batch_rows(rows: List[dict], fmt: str, stream) -> None:
+    """Write batch rows as an aligned table, JSON, or CSV."""
+    if fmt == "json":
+        json.dump(rows, stream, indent=2)
+        stream.write("\n")
+        return
+    if fmt == "csv":
+        writer = csv.DictWriter(stream, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+        return
+    from .experiments.report import format_table
+
+    stream.write(
+        format_table(
+            rows,
+            columns=[
+                "tag", "status", "source", "partitioner", "backend",
+                "partitions", "total_latency_s", "solve_time_s", "error",
+            ],
+            title="Batched temporal partitioning",
+        )
+    )
+    stream.write("\n")
+
+
+def cmd_partition_batch(args: argparse.Namespace) -> int:
+    system = _make_system(args)
+    engine = PartitionEngine(EngineConfig(
+        workers=args.workers,
+        partitioner=args.partitioner,
+        backend=args.backend,
+        time_limit=args.time_limit,
+        job_timeout=args.job_timeout,
+        cache_dir=args.cache_dir,
+    ))
+    if args.ct_sweep:
+        try:
+            ct_values = [float(value) / 1000.0 for value in args.ct_sweep.split(",")]
+        except ValueError:
+            print(f"error: --ct-sweep expects comma-separated milliseconds, "
+                  f"got {args.ct_sweep!r}", file=sys.stderr)
+            return 2
+    else:
+        ct_values = [system.reconfiguration_time]
+    jobs = []
+    for path in (args.taskgraphs or ["dct"]):
+        graph = _load_graph(path)
+        jobs.extend(ct_sweep_jobs(engine, graph, system, ct_values))
+    jobs = jobs * max(args.repeat, 1)
+    batch = engine.solve_batch(jobs)
+
+    rows = batch.rows()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8", newline="") as stream:
+            _format_batch_rows(rows, args.format, stream)
+    else:
+        _format_batch_rows(rows, args.format, sys.stdout)
+    print(batch.describe(), file=sys.stderr)
+    stats = engine.stats.snapshot()
+    print(
+        f"cache: {stats['cache_memory_hits']} memory hits, "
+        f"{stats['cache_disk_hits']} disk hits, {stats['cache_misses']} misses; "
+        f"{stats['deduped']} deduped in batch",
+        file=sys.stderr,
+    )
+    return 0 if batch.ok else 1
 
 
 def cmd_flow(args: argparse.Namespace) -> int:
@@ -224,6 +302,36 @@ def build_parser() -> argparse.ArgumentParser:
                            help="ILP solver backend")
     _add_system_arguments(partition)
     partition.set_defaults(handler=cmd_partition)
+
+    batch = subparsers.add_parser(
+        "partition-batch",
+        help="solve a batch of partitioning problems through the parallel engine",
+    )
+    batch.add_argument("taskgraphs", nargs="*", default=None, metavar="taskgraph",
+                       help="task-graph JSON files, or 'dct' for the case study (default)")
+    batch.add_argument("--partitioner", default="ilp", choices=["ilp", "list", "level"])
+    batch.add_argument("--backend", default="scipy",
+                       choices=["scipy", "branch-and-bound"],
+                       help="ILP solver backend")
+    batch.add_argument("--workers", type=int, default=0,
+                       help="worker processes for cache misses (0/1 = in-process)")
+    batch.add_argument("--ct-sweep", default="",
+                       help="comma-separated reconfiguration times in milliseconds; "
+                            "each graph is solved once per value")
+    batch.add_argument("--repeat", type=int, default=1,
+                       help="submit the job list this many times (cache/dedup demo)")
+    batch.add_argument("--time-limit", type=float, default=None,
+                       help="per-solve time limit in seconds (passed to the solver)")
+    batch.add_argument("--job-timeout", type=float, default=None,
+                       help="wall-clock limit in seconds for the batch's pool phase "
+                            "(requires --workers >= 2)")
+    batch.add_argument("--cache-dir", default=None,
+                       help="directory for the on-disk result cache")
+    batch.add_argument("--format", default="table", choices=["table", "json", "csv"])
+    batch.add_argument("--output", default=None,
+                       help="write the rows to this file instead of stdout")
+    _add_system_arguments(batch)
+    batch.set_defaults(handler=cmd_partition_batch)
 
     flow = subparsers.add_parser("flow", help="run the complete design flow")
     flow.add_argument("taskgraph", nargs="?", default="dct")

@@ -17,6 +17,7 @@ from .summary import (
     format_reproduction_report,
     reproduction_report,
 )
+from .sweeps import partitioning_ct_sweep
 from .table1 import Table1Result, breakeven_fdh_blocks, fdh_breakeven_workload, reproduce_table1
 from .table2 import Table2Result, reconfiguration_sweep, reproduce_table2, xc6000_conjecture
 
@@ -37,6 +38,7 @@ __all__ = [
     "fdh_breakeven_workload",
     "format_table",
     "paper_constants",
+    "partitioning_ct_sweep",
     "percentage",
     "reconfiguration_sweep",
     "reproduce_figure4",

@@ -11,7 +11,7 @@ simulator and the examples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from ..errors import FissionError
 from .strategies import SequencingStrategy

@@ -11,7 +11,7 @@ exploration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..dfg.analysis import max_parallelism
 from ..dfg.graph import DataFlowGraph

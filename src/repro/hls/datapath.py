@@ -11,7 +11,7 @@ controller and the execution simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..dfg.graph import DataFlowGraph
 from ..errors import SynthesisError

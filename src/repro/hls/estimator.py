@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..arch.device import CLB, FpgaDevice, ResourceVector
 from ..dfg.graph import DataFlowGraph

@@ -11,7 +11,7 @@ and none are needed for the evaluation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..errors import SynthesisError
 from .controller import AugmentedController
@@ -81,7 +81,7 @@ def emit_vhdl_like(design: RtlDesign) -> str:
     lines.append("    start      : in  std_logic;")
     lines.append("    finish     : out std_logic;")
     if dp.has_memory_port:
-        lines.append(f"    mem_addr   : out std_logic_vector(23 downto 0);")
+        lines.append("    mem_addr   : out std_logic_vector(23 downto 0);")
         lines.append(
             f"    mem_wdata  : out std_logic_vector({dp.memory_port_width - 1} downto 0);"
         )

@@ -61,7 +61,8 @@ def solve(
     if backend == "branch-and-bound":
         lp_solver = None
         if use_builtin_lp:
-            lp_solver = lambda form, iterations: solve_lp(form, max_iterations=iterations)
+            def lp_solver(form, iterations):
+                return solve_lp(form, max_iterations=iterations)
         return solve_branch_and_bound(
             model,
             lp_solver=lp_solver,

@@ -14,7 +14,7 @@ generated synthetically only for the functional codec examples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

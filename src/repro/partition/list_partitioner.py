@@ -14,7 +14,7 @@ unused there, increasing the overall latency).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..arch.device import ResourceVector
 from ..errors import PartitioningError

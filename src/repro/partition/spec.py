@@ -7,7 +7,7 @@ parameters ``R_max``, ``M_max`` and ``CT``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..arch.board import ReconfigurableBoard, RtrSystem

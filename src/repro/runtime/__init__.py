@@ -1,0 +1,61 @@
+"""Batched, parallel, caching execution layer for the partitioner.
+
+The paper's tool solves one ILP per invocation; production workloads solve
+*fleets* of them — the same graph swept across devices and reconfiguration
+times, or many graphs against one board.  This subsystem amortises that
+work:
+
+* :mod:`repro.runtime.canonical` — content hashing of problems;
+* :mod:`repro.runtime.cache` — LRU + on-disk result caches;
+* :mod:`repro.runtime.jobs` — job/outcome/report types;
+* :mod:`repro.runtime.worker` — the function worker processes run;
+* :mod:`repro.runtime.engine` — :class:`PartitionEngine` itself.
+"""
+
+from .cache import CacheStats, DiskCache, LruCache, ResultCache
+from .canonical import canonical_problem_dict, problem_fingerprint
+from .engine import (
+    BatchReport,
+    EngineConfig,
+    EngineStats,
+    PartitionEngine,
+    configure_shared_engine,
+    ct_sweep_jobs,
+    shared_engine,
+    system_sweep_jobs,
+)
+from .jobs import (
+    JobOutcome,
+    JobReport,
+    JobStatus,
+    PartitionJob,
+    ResultSource,
+    SolverSpec,
+    outcome_to_partitioning,
+)
+from .worker import execute_job
+
+__all__ = [
+    "BatchReport",
+    "CacheStats",
+    "DiskCache",
+    "EngineConfig",
+    "EngineStats",
+    "JobOutcome",
+    "JobReport",
+    "JobStatus",
+    "LruCache",
+    "PartitionEngine",
+    "PartitionJob",
+    "ResultCache",
+    "ResultSource",
+    "SolverSpec",
+    "canonical_problem_dict",
+    "configure_shared_engine",
+    "ct_sweep_jobs",
+    "execute_job",
+    "outcome_to_partitioning",
+    "problem_fingerprint",
+    "shared_engine",
+    "system_sweep_jobs",
+]

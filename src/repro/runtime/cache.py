@@ -1,0 +1,192 @@
+"""Result caches for the partitioning engine.
+
+Two layers with one façade:
+
+* :class:`LruCache` — in-process, bounded, O(1) recency updates;
+* :class:`DiskCache` — one JSON file per fingerprint, shared across
+  processes and interpreter runs (atomic writes via rename);
+* :class:`ResultCache` — consults memory first, then disk (promoting disk
+  hits into memory), and keeps hit/miss/store counters the engine reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from .jobs import JobOutcome
+
+
+class LruCache:
+    """A bounded least-recently-used mapping from fingerprint to outcome."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("LRU capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, JobOutcome]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def get(self, fingerprint: str) -> Optional[JobOutcome]:
+        """The cached outcome, refreshed to most-recently-used, or ``None``."""
+        outcome = self._entries.get(fingerprint)
+        if outcome is not None:
+            self._entries.move_to_end(fingerprint)
+        return outcome
+
+    def put(self, fingerprint: str, outcome: JobOutcome) -> None:
+        """Insert/refresh an entry, evicting the least recently used one."""
+        self._entries[fingerprint] = outcome
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+
+class DiskCache:
+    """A directory of ``<fingerprint>.json`` outcome files.
+
+    Corrupt or unreadable files are treated as misses (and removed when
+    possible) rather than propagating errors into the solve path.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[JobOutcome]:
+        """Load one outcome, or ``None`` on miss/corruption."""
+        path = self._path(fingerprint)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return JobOutcome.from_json_dict(json.load(handle))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, fingerprint: str, outcome: JobOutcome) -> None:
+        """Atomically persist one outcome."""
+        path = self._path(fingerprint)
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=str(self.directory),
+            prefix=f".{fingerprint[:12]}-",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(outcome.to_json_dict(), handle)
+            os.replace(handle.name, path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> None:
+        """Remove every cached outcome file."""
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+@dataclass
+class CacheStats:
+    """Counters the engine exposes for cache accounting."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_write_errors: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both layers."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+
+class ResultCache:
+    """Memory-over-disk cache façade with accounting."""
+
+    def __init__(
+        self,
+        lru_capacity: int = 256,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.memory = LruCache(lru_capacity)
+        self.disk = DiskCache(cache_dir) if cache_dir is not None else None
+        self.stats = CacheStats()
+
+    def get(self, fingerprint: str) -> Optional[JobOutcome]:
+        """Look up one fingerprint (memory first, then disk)."""
+        outcome = self.memory.get(fingerprint)
+        if outcome is not None:
+            self.stats.memory_hits += 1
+            return outcome
+        if self.disk is not None:
+            outcome = self.disk.get(fingerprint)
+            if outcome is not None:
+                self.stats.disk_hits += 1
+                self.memory.put(fingerprint, outcome)
+                return outcome
+        self.stats.misses += 1
+        return None
+
+    def put(self, fingerprint: str, outcome: JobOutcome) -> None:
+        """Store a successful outcome in every layer.
+
+        Failures are never cached: a timeout under one limit or a crash is
+        not a property of the problem.
+        """
+        if not outcome.ok:
+            return
+        self.stats.stores += 1
+        self.memory.put(fingerprint, outcome)
+        if self.disk is not None:
+            try:
+                self.disk.put(fingerprint, outcome)
+            except OSError:
+                # The disk layer is an optimisation; a full or read-only
+                # volume must not lose a batch that already solved.
+                self.stats.disk_write_errors += 1
+
+    def clear(self) -> None:
+        """Drop both layers (counters are kept)."""
+        self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()

@@ -1,0 +1,86 @@
+"""Canonical form and content hashing for partitioning problems.
+
+The engine's caches are keyed by *what is being solved*, not by object
+identity: two :class:`~repro.partition.spec.PartitionProblem` instances that
+describe the same task graph, capacity, memory and reconfiguration time must
+hash to the same key — in the same process, across processes, and across
+interpreter invocations (``PYTHONHASHSEED`` must not leak in).
+
+The canonical form is a plain nested dict of sorted, JSON-stable primitives;
+floats are encoded with ``float.hex`` so the digest captures the exact bit
+pattern rather than a rounded decimal rendering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+from ..partition.spec import PartitionProblem
+
+#: Version tag baked into every fingerprint; bump when the canonical form (or
+#: the meaning of a cached result) changes so stale disk caches never match.
+CANONICAL_VERSION = 1
+
+
+def _canonical_float(value: float) -> str:
+    """Bit-exact, platform-independent text form of a float."""
+    return float(value).hex()
+
+
+def canonical_problem_dict(problem: PartitionProblem) -> Dict[str, object]:
+    """The canonical (sorted, primitive-only) description of *problem*.
+
+    Task and edge order is sorted by name so insertion order — which does not
+    change the optimisation problem — does not change the key.
+    """
+    graph = problem.graph
+    tasks = []
+    for name in sorted(graph.task_names()):
+        task = graph.task(name)
+        tasks.append(
+            {
+                "name": name,
+                "resources": {
+                    kind: int(amount)
+                    for kind, amount in sorted(task.resources.as_dict().items())
+                },
+                "delay": _canonical_float(task.delay),
+                "type": task.task_type or "",
+                "env_in": graph.env_input_words(name),
+                "env_out": graph.env_output_words(name),
+            }
+        )
+    edges = sorted(
+        (producer, consumer, graph.edge_words(producer, consumer))
+        for producer, consumer in graph.edges()
+    )
+    return {
+        "version": CANONICAL_VERSION,
+        "tasks": tasks,
+        "edges": [list(edge) for edge in edges],
+        "resource_capacity": {
+            kind: int(amount)
+            for kind, amount in sorted(problem.resource_capacity.as_dict().items())
+        },
+        "memory_words": problem.memory_words,
+        "reconfiguration_time": _canonical_float(problem.reconfiguration_time),
+        "max_partitions": problem.max_partitions,
+    }
+
+
+def problem_fingerprint(
+    problem: PartitionProblem,
+    solver: Optional[Dict[str, object]] = None,
+) -> str:
+    """A stable sha256 hex digest of *problem* (plus optional solver config).
+
+    Passing the solver configuration keys the cache by (problem, solver) so a
+    ``list`` solve never shadows an ``ilp`` solve of the same instance.
+    """
+    payload = {"problem": canonical_problem_dict(problem)}
+    if solver is not None:
+        payload["solver"] = {str(k): solver[k] for k in sorted(solver)}
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

@@ -1,0 +1,89 @@
+"""The function that runs inside engine worker processes.
+
+Kept in its own module so :func:`execute_job` is importable by name in every
+worker (a requirement for pickling with ``ProcessPoolExecutor``) and so the
+engine module itself never has to be imported by workers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import ReproError
+from ..partition.greedy_partitioner import LevelClusteringPartitioner
+from ..partition.ilp_partitioner import IlpTemporalPartitioner
+from ..partition.list_partitioner import ListTemporalPartitioner
+from ..partition.result import TemporalPartitioning
+from ..partition.spec import PartitionProblem
+from .jobs import JobOutcome, JobStatus, PartitionJob, SolverSpec
+
+
+def _build_partitioner(solver: SolverSpec):
+    if solver.partitioner == "ilp":
+        return IlpTemporalPartitioner(
+            backend=solver.backend,
+            explore_extra_partitions=solver.explore_extra_partitions,
+            time_limit=solver.time_limit,
+        )
+    if solver.partitioner == "list":
+        return ListTemporalPartitioner()
+    return LevelClusteringPartitioner()
+
+
+def _solved_outcome(
+    fingerprint: str,
+    problem: PartitionProblem,
+    result: TemporalPartitioning,
+    solver: SolverSpec,
+    attempted_bounds,
+    elapsed: float,
+) -> JobOutcome:
+    return JobOutcome(
+        fingerprint=fingerprint,
+        status=JobStatus.SOLVED,
+        assignment=dict(result.assignment),
+        partition_count=result.partition_count,
+        total_latency=result.total_latency,
+        computation_latency=result.computation_latency,
+        objective_value=result.objective_value,
+        method=result.method or solver.partitioner,
+        backend=result.solver_backend or solver.backend,
+        solve_time=result.solve_time,
+        worker_time=elapsed,
+        attempted_bounds=attempted_bounds,
+    )
+
+
+def execute_job(job: PartitionJob) -> JobOutcome:
+    """Solve one job and return its outcome; never raises library errors.
+
+    Library failures (infeasible instance, solver error, bad spec) come back
+    as structured ``FAILED`` outcomes so one poisoned problem cannot take
+    down a whole batch. Only non-library exceptions propagate — those are
+    bugs, and the engine converts them into ``CRASHED`` reports.
+    """
+    fingerprint = job.fingerprint()
+    start = time.perf_counter()
+    try:
+        partitioner = _build_partitioner(job.solver)
+        result = partitioner.partition(job.problem)
+        attempted = None
+        last_report = getattr(partitioner, "last_report", None)
+        if last_report is not None:
+            attempted = list(last_report.attempted_bounds)
+        return _solved_outcome(
+            fingerprint,
+            job.problem,
+            result,
+            job.solver,
+            attempted,
+            time.perf_counter() - start,
+        )
+    except ReproError as error:
+        return JobOutcome(
+            fingerprint=fingerprint,
+            status=JobStatus.FAILED,
+            error=str(error),
+            error_kind=type(error).__name__,
+            worker_time=time.perf_counter() - start,
+        )

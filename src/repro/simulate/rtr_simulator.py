@@ -11,7 +11,7 @@ benches use whichever is more convenient.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from ..arch.board import RtrSystem
 from ..errors import SimulationError
@@ -168,12 +168,18 @@ class RtrExecutionSimulator:
                     label="datapath execution",
                 )
                 # Data consumed by this partition (its environment inputs and the
-                # cross-boundary data it read) is dead once it finishes.
+                # cross-boundary data it read) is dead once it finishes.  The
+                # release is clamped to the words actually resident: a spec whose
+                # declared cross-input volumes exceed what upstream partitions
+                # produced (possible for hand-written or randomly generated
+                # specs) must not drive the occupancy negative — for consistent
+                # specs, including ones with data crossing several boundaries,
+                # the clamp never engages and the lifetime is exact.
                 consumed = k_run * (
                     spec.partition_cross_input_words[partition - 1]
                     + spec.partition_env_input_words[partition - 1]
                 )
-                engine.release_memory(consumed)
+                engine.release_memory(min(consumed, engine.memory_in_use_words))
                 engine.advance(
                     EventKind.HOST_LOOP,
                     system.host.loop_iteration_overhead,

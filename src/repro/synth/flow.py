@@ -26,7 +26,6 @@ from ..hls.datapath import build_datapath
 from ..hls.estimator import TaskEstimator, merge_dfgs
 from ..hls.library import library_for_family
 from ..hls.rtl import RtlDesign
-from ..hls.scheduling import list_schedule
 from ..memmap.mapper import build_memory_map
 from ..partition.greedy_partitioner import LevelClusteringPartitioner
 from ..partition.ilp_partitioner import IlpTemporalPartitioner

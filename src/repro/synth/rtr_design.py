@@ -14,7 +14,7 @@ loop-fissioned, temporally partitioned application:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..arch.board import RtrSystem
 from ..errors import SynthesisError

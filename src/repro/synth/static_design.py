@@ -11,7 +11,7 @@ DFGs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..arch.device import FpgaDevice
 from ..errors import SynthesisError

@@ -8,7 +8,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.arch import clbs, generic_system, paper_case_study_system
+from partition_helpers import make_problem  # noqa: F401  (re-export for tests)
+from repro.arch import generic_system, paper_case_study_system
 from repro.experiments import build_case_study
 from repro.jpeg import build_dct_task_graph
 from repro.partition import PartitionProblem
@@ -82,13 +83,3 @@ def two_task_graph():
     graph.add_task(Task("b", cost=clb_cost(100, ns(200))), env_output_words=4)
     graph.add_edge("a", "b", words=4)
     return graph
-
-
-def make_problem(graph, clb_capacity=1600, memory_words=65536, ct=ms(100)):
-    """Helper used across partitioning tests to build problems tersely."""
-    return PartitionProblem(
-        graph=graph,
-        resource_capacity=clbs(clb_capacity),
-        memory_words=memory_words,
-        reconfiguration_time=ct,
-    )

@@ -1,0 +1,22 @@
+"""Plain (non-fixture) helpers shared by the partitioning tests.
+
+Kept outside ``conftest.py`` so test modules can import them directly:
+both ``tests/`` and ``benchmarks/`` have a ``conftest.py`` and only one of
+them can win the ``conftest`` module name when the whole repo is collected.
+"""
+
+from __future__ import annotations
+
+from repro.arch import clbs
+from repro.partition import PartitionProblem
+from repro.units import ms
+
+
+def make_problem(graph, clb_capacity=1600, memory_words=65536, ct=ms(100)):
+    """Helper used across partitioning tests to build problems tersely."""
+    return PartitionProblem(
+        graph=graph,
+        resource_capacity=clbs(clb_capacity),
+        memory_words=memory_words,
+        reconfiguration_time=ct,
+    )

@@ -14,7 +14,6 @@ from repro.arch import (
     generic_system,
     make_device,
     paper_case_study_board,
-    paper_case_study_system,
     pci_link,
     single_bank,
     system_by_name,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch import generic_system, paper_case_study_system
+from repro.arch import generic_system
 from repro.errors import FissionError
 from repro.fission import (
     RtrTimingSpec,

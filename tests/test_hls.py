@@ -6,7 +6,6 @@ from repro.arch import xc4044
 from repro.dfg import OpKind, chain_dfg, fir_tap_dfg, vector_product_dfg
 from repro.errors import EstimationError, SchedulingError, SynthesisError
 from repro.hls import (
-    AugmentedController,
     ControllerPhase,
     ControllerSpec,
     TaskEstimator,

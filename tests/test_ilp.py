@@ -5,8 +5,6 @@ import pytest
 from repro.errors import ModelError, SolverError
 from repro.ilp import (
     BACKENDS,
-    Constraint,
-    LinExpr,
     Model,
     Sense,
     SolveStatus,

@@ -21,7 +21,7 @@ from repro.partition import (
     compare_partitionings,
 )
 from repro.simulate import RtrExecutionSimulator, StaticExecutionSimulator
-from repro.synth import DesignFlow, FlowOptions, static_design_from_parameters
+from repro.synth import DesignFlow, static_design_from_parameters
 from repro.taskgraph import image_pipeline_task_graph, random_dsp_task_graph
 from repro.units import ms, ns, us
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import CodecError, SpecificationError
 from repro.jpeg import (
-    DCT_SIZE,
     DctTaskCosts,
     HuffmanCode,
     JpegCodesign,

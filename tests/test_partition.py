@@ -22,7 +22,7 @@ from repro.partition import (
 from repro.taskgraph import Task, TaskGraph, clb_cost, linear_pipeline, random_dsp_task_graph
 from repro.units import ms, ns
 
-from .conftest import make_problem
+from partition_helpers import make_problem
 
 
 class TestPartitionProblem:

@@ -1,0 +1,380 @@
+"""Tests for the batched partitioning engine (repro.runtime)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partition import IlpTemporalPartitioner, PartitionProblem
+from repro.runtime import (
+    DiskCache,
+    EngineConfig,
+    JobOutcome,
+    JobStatus,
+    LruCache,
+    PartitionEngine,
+    ResultSource,
+    SolverSpec,
+    configure_shared_engine,
+    ct_sweep_jobs,
+    problem_fingerprint,
+    shared_engine,
+)
+from repro.runtime.jobs import PartitionJob
+from repro.taskgraph import Task, TaskGraph, clb_cost, linear_pipeline
+from repro.units import ms, ns
+
+from partition_helpers import make_problem
+
+
+def _pipeline_problem(ct=ms(1), stages=3, clbs_per_stage=300):
+    graph = linear_pipeline(
+        stage_clbs=[clbs_per_stage] * stages,
+        stage_delays=[ns(100 * (i + 1)) for i in range(stages)],
+        words_per_edge=8,
+        env_input_words=8,
+        env_output_words=8,
+    )
+    return make_problem(graph, clb_capacity=500, memory_words=256, ct=ct)
+
+
+def _infeasible_problem():
+    """Two tasks that cannot share a partition, joined by an edge too fat
+    for the board memory — no feasible partitioning exists."""
+    graph = TaskGraph("infeasible")
+    graph.add_task(Task("a", cost=clb_cost(400, ns(100))), env_input_words=1)
+    graph.add_task(Task("b", cost=clb_cost(400, ns(100))), env_output_words=1)
+    graph.add_edge("a", "b", words=1000)
+    return make_problem(graph, clb_capacity=500, memory_words=16, ct=ms(1))
+
+
+# ---------------------------------------------------------------------------
+# Canonicalisation and hashing
+# ---------------------------------------------------------------------------
+
+class TestFingerprint:
+    def test_identical_problems_hash_identically(self):
+        assert problem_fingerprint(_pipeline_problem()) == problem_fingerprint(
+            _pipeline_problem()
+        )
+
+    def test_insertion_order_does_not_matter(self):
+        def build(order):
+            graph = TaskGraph("order")
+            tasks = {
+                "a": Task("a", cost=clb_cost(100, ns(100))),
+                "b": Task("b", cost=clb_cost(200, ns(200))),
+            }
+            for name in order:
+                graph.add_task(tasks[name])
+            graph.add_edge("a", "b", words=4)
+            return make_problem(graph)
+
+        assert problem_fingerprint(build("ab")) == problem_fingerprint(build("ba"))
+
+    def test_parameters_change_the_hash(self):
+        base = _pipeline_problem(ct=ms(1))
+        assert problem_fingerprint(base) != problem_fingerprint(
+            _pipeline_problem(ct=ms(2))
+        )
+
+    def test_solver_spec_changes_the_hash(self):
+        problem = _pipeline_problem()
+        ilp = PartitionJob(problem, SolverSpec(partitioner="ilp"))
+        lst = PartitionJob(problem, SolverSpec(partitioner="list"))
+        assert ilp.fingerprint() != lst.fingerprint()
+
+    def test_time_limit_does_not_change_the_hash(self):
+        problem = _pipeline_problem()
+        assert (
+            PartitionJob(problem, SolverSpec(time_limit=None)).fingerprint()
+            == PartitionJob(problem, SolverSpec(time_limit=30.0)).fingerprint()
+        )
+
+    def test_hash_stable_across_process_boundaries(self):
+        """The fingerprint must not depend on PYTHONHASHSEED or process state."""
+        script = textwrap.dedent(
+            """
+            from repro.runtime import problem_fingerprint
+            from repro.taskgraph import linear_pipeline
+            from repro.arch import clbs
+            from repro.partition import PartitionProblem
+            from repro.units import ms, ns
+
+            graph = linear_pipeline(
+                stage_clbs=[300, 300, 300],
+                stage_delays=[ns(100), ns(200), ns(300)],
+                words_per_edge=8,
+                env_input_words=8,
+                env_output_words=8,
+            )
+            problem = PartitionProblem(
+                graph=graph,
+                resource_capacity=clbs(500),
+                memory_words=256,
+                reconfiguration_time=ms(1),
+            )
+            print(problem_fingerprint(problem))
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "12345"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(p) for p in sys.path if p] or [""]
+        )
+        child = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert child.stdout.strip() == problem_fingerprint(_pipeline_problem())
+
+
+# ---------------------------------------------------------------------------
+# Cache layers
+# ---------------------------------------------------------------------------
+
+def _outcome(fingerprint="f" * 64):
+    return JobOutcome(
+        fingerprint=fingerprint,
+        status=JobStatus.SOLVED,
+        assignment={"a": 1},
+        partition_count=1,
+        total_latency=1.0,
+        computation_latency=0.5,
+        method="ilp",
+        backend="scipy",
+    )
+
+
+class TestCaches:
+    def test_lru_evicts_least_recently_used(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", _outcome("a"))
+        cache.put("b", _outcome("b"))
+        cache.get("a")  # refresh a; b is now the eviction candidate
+        cache.put("c", _outcome("c"))
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_disk_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("k" * 64, _outcome("k" * 64))
+        loaded = cache.get("k" * 64)
+        assert loaded is not None
+        assert loaded.assignment == {"a": 1}
+        assert loaded.status is JobStatus.SOLVED
+
+    def test_disk_corrupt_file_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        (tmp_path / ("c" * 64 + ".json")).write_text("not json", encoding="utf-8")
+        assert cache.get("c" * 64) is None
+        assert not (tmp_path / ("c" * 64 + ".json")).exists()
+
+    def test_outcome_json_roundtrip(self):
+        outcome = _outcome()
+        again = JobOutcome.from_json_dict(
+            json.loads(json.dumps(outcome.to_json_dict()))
+        )
+        assert again == outcome
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour
+# ---------------------------------------------------------------------------
+
+class TestEngine:
+    def test_cache_hit_miss_accounting(self, tmp_path):
+        engine = PartitionEngine(EngineConfig(cache_dir=tmp_path))
+        problem = _pipeline_problem()
+
+        first = engine.solve_batch([problem])
+        assert first[0].source is ResultSource.SOLVE
+        assert engine.stats.cache.misses == 1
+        assert engine.stats.cache.stores == 1
+
+        second = engine.solve_batch([problem])
+        assert second[0].source is ResultSource.MEMORY_CACHE
+        assert engine.stats.cache.memory_hits == 1
+
+        # A brand new engine sees the on-disk result.
+        fresh = PartitionEngine(EngineConfig(cache_dir=tmp_path))
+        third = fresh.solve_batch([fresh.make_job(problem)])
+        assert third[0].source is ResultSource.DISK_CACHE
+        assert fresh.stats.cache.disk_hits == 1
+        assert fresh.stats.solved == 1
+
+    def test_batch_dedup_solves_once(self):
+        engine = PartitionEngine(EngineConfig())
+        problem = _pipeline_problem()
+        batch = engine.solve_batch([problem, problem, problem])
+        sources = [report.source for report in batch]
+        assert sources[0] is ResultSource.SOLVE
+        assert sources[1:] == [ResultSource.BATCH_DEDUP, ResultSource.BATCH_DEDUP]
+        assert engine.stats.deduped == 2
+        assert engine.stats.cache.misses == 1
+
+    def test_failures_are_not_cached(self):
+        engine = PartitionEngine(EngineConfig())
+        problem = _infeasible_problem()
+        engine.solve_batch([problem])
+        engine.solve_batch([problem])
+        # Both attempts ran the solver: no hit was served for a failure.
+        assert engine.stats.cache.misses == 2
+        assert engine.stats.cache.hits == 0
+
+    def test_batch_matches_serial_partitioner(self, dct_graph, paper_system):
+        ct_values = [ms(1), ms(5), ms(20)]
+        engine = PartitionEngine(EngineConfig(workers=2))
+        batch = engine.solve_batch(
+            ct_sweep_jobs(engine, dct_graph, paper_system, ct_values)
+        )
+        assert batch.ok
+        partitioner = IlpTemporalPartitioner()
+        for ct, report in zip(ct_values, batch):
+            problem = PartitionProblem.from_system(
+                dct_graph, paper_system.with_reconfiguration_time(ct)
+            )
+            expected = partitioner.partition(problem)
+            assert report.outcome.partition_count == expected.partition_count
+            assert report.outcome.total_latency == pytest.approx(
+                expected.total_latency, abs=1e-15
+            )
+            rehydrated = report.partitioning()
+            assert rehydrated.assignment == expected.assignment
+            assert rehydrated.total_latency == pytest.approx(
+                expected.total_latency, abs=1e-15
+            )
+
+    def test_infeasible_problem_yields_structured_failure(self):
+        engine = PartitionEngine(EngineConfig())
+        report = engine.solve_batch([_infeasible_problem()])[0]
+        assert report.outcome.status is JobStatus.FAILED
+        assert report.outcome.error_kind == "PartitioningError"
+        assert "no feasible" in report.outcome.error
+        with pytest.raises(PartitioningError):
+            report.partitioning()
+
+    def test_solve_raises_on_failure(self):
+        engine = PartitionEngine(EngineConfig())
+        with pytest.raises(PartitioningError, match="failed"):
+            engine.solve(_infeasible_problem())
+
+    def test_job_timeout_surfaces_structured_error(self, dct_graph, paper_system):
+        engine = PartitionEngine(EngineConfig(workers=2, job_timeout=0.01))
+        problem = PartitionProblem.from_system(dct_graph, paper_system)
+        report = engine.solve_batch([engine.make_job(problem)])[0]
+        assert report.outcome.status is JobStatus.TIMEOUT
+        assert "wall-clock" in report.outcome.error
+        assert engine.stats.timeouts == 1
+
+    def test_unpicklable_job_surfaces_structured_crash(self):
+        engine = PartitionEngine(EngineConfig(workers=2))
+        problem = _pipeline_problem()
+        problem.graph.poison = lambda: None  # lambdas cannot be pickled
+        report = engine.solve_batch([engine.make_job(problem)])[0]
+        assert report.outcome.status is JobStatus.CRASHED
+        assert report.outcome.error
+        assert engine.stats.crashes == 1
+
+    @pytest.mark.skipif(
+        sys.platform != "linux", reason="relies on fork-based worker start"
+    )
+    def test_dead_worker_surfaces_structured_crash(self, monkeypatch):
+        import repro.runtime.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "execute_job", _kill_worker)
+        engine = PartitionEngine(EngineConfig(workers=2))
+        batch = engine.solve_batch([_pipeline_problem(), _pipeline_problem(ct=ms(2))])
+        for report in batch:
+            assert report.outcome.status is JobStatus.CRASHED
+            assert "died" in report.outcome.error or report.outcome.error
+        assert engine.stats.crashes == 2
+
+    def test_mixed_batch_keeps_order_and_isolation(self):
+        """A failing job must not disturb its neighbours' results."""
+        engine = PartitionEngine(EngineConfig())
+        good = _pipeline_problem()
+        batch = engine.solve_batch([good, _infeasible_problem(), good])
+        assert batch[0].ok and batch[2].ok
+        assert not batch[1].ok
+        assert batch[2].source is ResultSource.BATCH_DEDUP
+
+    def test_job_timeout_requires_pool_workers(self):
+        with pytest.raises(PartitioningError, match="workers >= 2"):
+            EngineConfig(workers=0, job_timeout=1.0)
+        with pytest.raises(PartitioningError, match="workers >= 2"):
+            EngineConfig(workers=1, job_timeout=1.0)
+
+    def test_disk_write_failure_does_not_lose_the_batch(self, tmp_path, monkeypatch):
+        engine = PartitionEngine(EngineConfig(cache_dir=tmp_path))
+
+        def broken_put(fingerprint, outcome):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(engine.cache.disk, "put", broken_put)
+        batch = engine.solve_batch([_pipeline_problem()])
+        assert batch.ok
+        assert engine.stats.cache.disk_write_errors == 1
+
+    def test_cached_rows_report_zero_wall_time(self):
+        engine = PartitionEngine(EngineConfig())
+        problem = _pipeline_problem()
+        engine.solve_batch([problem])
+        warm = engine.solve_batch([problem])[0]
+        assert warm.source is ResultSource.MEMORY_CACHE
+        assert warm.wall_time == 0.0
+        assert warm.outcome.solve_time > 0.0  # original cost stays visible
+
+    def test_rejects_bad_submission_type(self):
+        engine = PartitionEngine(EngineConfig())
+        with pytest.raises(PartitioningError, match="expected"):
+            engine.solve_batch(["not a problem"])
+
+    def test_list_and_level_partitioners_dispatch(self):
+        engine = PartitionEngine(EngineConfig())
+        problem = _pipeline_problem()
+        for partitioner in ("list", "level"):
+            report = engine.solve_batch(
+                [engine.make_job(problem, partitioner=partitioner)]
+            )[0]
+            assert report.ok
+            assert report.outcome.method == partitioner or report.outcome.method
+
+
+def _kill_worker(job):
+    os._exit(13)
+
+
+# ---------------------------------------------------------------------------
+# Shared engine / experiments wiring
+# ---------------------------------------------------------------------------
+
+class TestSharedEngine:
+    def test_case_study_reuses_cached_solve(self):
+        from repro.experiments import build_case_study
+
+        engine = PartitionEngine(EngineConfig())
+        first = build_case_study(use_ilp=True, engine=engine)
+        second = build_case_study(use_ilp=True, engine=engine)
+        assert engine.stats.solved == 2  # two jobs accounted...
+        assert engine.stats.cache.misses == 1  # ...but only one actual solve
+        assert engine.stats.cache.memory_hits == 1
+        assert first.partitioning.assignment == second.partitioning.assignment
+
+    def test_shared_engine_is_a_singleton(self):
+        original = shared_engine()
+        try:
+            assert shared_engine() is original
+            replaced = configure_shared_engine(EngineConfig(lru_capacity=8))
+            assert shared_engine() is replaced
+            assert shared_engine() is not original
+        finally:
+            # Restore so other tests keep their warm cache.
+            import repro.runtime.engine as engine_module
+
+            engine_module._shared_engine = original

@@ -19,7 +19,7 @@ from repro.simulate import (
     format_events,
     per_partition_execution_time,
 )
-from repro.units import ms, ns, us
+from repro.units import ms, ns
 
 
 class TestEngine:
@@ -101,6 +101,54 @@ class TestRtrSimulator:
         simulator = RtrExecutionSimulator(case_study_ilp.system, check_memory=True)
         result = simulator.simulate(case_study_ilp.rtr_spec, SequencingStrategy.FDH, 4096)
         assert result.peak_memory_words <= case_study_ilp.system.memory_capacity_words
+
+    def test_fdh_skip_edge_data_stays_resident(self):
+        """Cross data spanning several boundaries (P1 -> P3) must stay in
+        board memory until its consumer finishes, not be freed when the
+        intermediate partition completes."""
+        from repro.arch import generic_system
+        from repro.fission.strategies import RtrTimingSpec
+
+        spec = RtrTimingSpec(
+            partition_delays=[ns(100), ns(100), ns(100)],
+            partition_env_input_words=[2, 0, 0],
+            partition_env_output_words=[0, 0, 2],
+            partition_cross_input_words=[0, 0, 4],
+            partition_cross_output_words=[4, 0, 0],
+            computations_per_run=1,
+        )
+        system = generic_system(memory_words=6, reconfiguration_time=ms(1))
+        simulator = RtrExecutionSimulator(system, check_memory=True)
+        result = simulator.simulate(spec, SequencingStrategy.FDH, 1)
+        # 2 env-input words + the 4 skip-edge words held through P2 and P3.
+        assert result.peak_memory_words == 6
+
+        tight = RtrExecutionSimulator(
+            generic_system(memory_words=5, reconfiguration_time=ms(1)),
+            check_memory=True,
+        )
+        with pytest.raises(SimulationError, match="overflow"):
+            tight.simulate(spec, SequencingStrategy.FDH, 1)
+
+    def test_fdh_tolerates_inconsistent_cross_volumes(self):
+        """Hand-written specs whose cross-input volumes exceed what upstream
+        produced must simulate without the occupancy going negative
+        (regression for a hypothesis-found crash)."""
+        from repro.arch import generic_system
+        from repro.fission.strategies import RtrTimingSpec
+
+        spec = RtrTimingSpec(
+            partition_delays=[ns(100), ns(100)],
+            partition_env_input_words=[6, 4],
+            partition_env_output_words=[3, 1],
+            partition_cross_input_words=[0, 6],
+            partition_cross_output_words=[1, 0],
+            computations_per_run=1,
+        )
+        system = generic_system(memory_words=10**6, reconfiguration_time=ms(1))
+        simulator = RtrExecutionSimulator(system, check_memory=False)
+        result = simulator.simulate(spec, SequencingStrategy.FDH, 1)
+        assert result.total_time > 0
 
     def test_configuration_sequence_patterns(self, case_study_ilp):
         simulator = RtrExecutionSimulator(case_study_ilp.system)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch import paper_case_study_system, xc4044
+from repro.arch import xc4044
 from repro.errors import SynthesisError
 from repro.fission import SequencingStrategy
 from repro.hls import emit_vhdl_like

@@ -13,7 +13,6 @@ from repro.taskgraph import (
     count_root_to_leaf_paths,
     critical_path,
     downstream_tasks,
-    figure4_example,
     fork_join,
     from_json,
     image_pipeline_task_graph,
