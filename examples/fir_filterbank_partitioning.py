@@ -5,66 +5,35 @@ Run with::
     python examples/fir_filterbank_partitioning.py
 
 The paper's technique is not DCT-specific: any loop-enclosed DSP task graph
-can be temporally partitioned and loop-fissioned.  This example builds a
-four-channel FIR filter bank followed by an energy detector — a typical
-front-end for a software-radio style application — describes each task by its
-operation-level data-flow graph, lets the library's HLS estimator derive
-``R(t)``/``D(t)`` for a mid-size FPGA, and then runs the complete flow on a
-board whose reconfiguration overhead is 10 ms.
+can be temporally partitioned and loop-fissioned.  This example uses the
+``fir_filterbank`` entry of the workload catalog — a four-channel FIR filter
+bank followed by an energy detector, a typical front-end for a
+software-radio style application.  Each task is described by its
+operation-level data-flow graph, the library's HLS estimator derives
+``R(t)``/``D(t)`` for a mid-size FPGA, and the complete flow runs on a board
+whose reconfiguration overhead is 10 ms.  (The graph builder itself lives in
+:mod:`repro.workloads.library`; ``repro flow --workload fir_filterbank``
+runs the same scenario from the shell.)
 """
 
 from __future__ import annotations
 
-from repro.arch import generic_system
-from repro.dfg import fir_tap_dfg, sum_of_products_dfg, vector_product_dfg
 from repro.fission import SequencingStrategy, compare_static_vs_rtr, static_timing_spec
 from repro.partition import compute_metrics
-from repro.synth import DesignFlow, FlowOptions
-from repro.taskgraph import Task, TaskGraph
-from repro.units import format_time, ms, ns
-
-
-def build_filterbank_graph(channels: int = 4, taps: int = 8) -> TaskGraph:
-    """A *channels*-channel FIR filter bank with per-channel energy detectors.
-
-    Every task carries its operation-level DFG; costs are filled in by the
-    HLS estimator inside the design flow.
-    """
-    graph = TaskGraph("fir_filterbank")
-    graph.add_task(
-        Task("window", dfg=vector_product_dfg(8, input_width=12, coefficient_width=12,
-                                              name="window"), task_type="window"),
-        env_input_words=taps,
-    )
-    for channel in range(channels):
-        fir_name = f"fir{channel}"
-        graph.add_task(
-            Task(fir_name, dfg=fir_tap_dfg(taps, input_width=12, coefficient_width=12,
-                                           name=fir_name), task_type="fir"),
-        )
-        graph.add_edge("window", fir_name, words=taps)
-        energy_name = f"energy{channel}"
-        graph.add_task(
-            Task(energy_name, dfg=sum_of_products_dfg(4, width=16, name=energy_name),
-                 task_type="energy"),
-            env_output_words=1,
-        )
-        graph.add_edge(fir_name, energy_name, words=4)
-    return graph
+from repro.synth import DesignFlow
+from repro.units import format_time
+from repro.workloads import get_workload
 
 
 def main() -> None:
-    graph = build_filterbank_graph()
-    system = generic_system(
-        clb_capacity=900,
-        memory_words=16384,
-        reconfiguration_time=ms(10),
-    )
+    workload = get_workload("fir_filterbank")
+    graph = workload.build_graph()
+    system = workload.default_system()
     print("Target system")
     print(system.describe())
     print()
 
-    flow = DesignFlow(system, FlowOptions(max_clock_period=ns(80)))
+    flow = DesignFlow(system, workload.flow_options())
     design = flow.build(graph)
     print(design.describe())
     print()

@@ -16,6 +16,7 @@ The public API is organised by subsystem:
 * :mod:`repro.synth` — the end-to-end design flow and design artefacts;
 * :mod:`repro.simulate` — execution simulation of static and RTR designs;
 * :mod:`repro.jpeg` — the JPEG/DCT case study;
+* :mod:`repro.workloads` — the registry of named, parameterised scenarios;
 * :mod:`repro.experiments` — drivers regenerating the paper's tables and figures.
 
 Quickstart::
@@ -45,18 +46,22 @@ from . import (
     synth,
     taskgraph,
     units,
+    workloads,
 )
 from .arch import paper_case_study_system
 from .jpeg import build_dct_task_graph
 from .partition import IlpTemporalPartitioner, ListTemporalPartitioner, PartitionProblem
 from .runtime import EngineConfig, PartitionEngine
-from .synth import DesignFlow, FlowOptions
+from .synth import DesignFlow, FlowEngine, FlowJob, FlowOptions
+from .workloads import get_workload, register_workload, workload_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DesignFlow",
     "EngineConfig",
+    "FlowEngine",
+    "FlowJob",
     "FlowOptions",
     "IlpTemporalPartitioner",
     "ListTemporalPartitioner",
@@ -69,15 +74,19 @@ __all__ = [
     "errors",
     "experiments",
     "fission",
+    "get_workload",
     "hls",
     "ilp",
     "jpeg",
     "memmap",
     "paper_case_study_system",
     "partition",
+    "register_workload",
     "runtime",
     "simulate",
     "synth",
     "taskgraph",
     "units",
+    "workload_names",
+    "workloads",
 ]

@@ -8,8 +8,12 @@ writing Python:
 * ``repro partition-batch <taskgraph.json> ...`` — solve a whole batch of
   partitioning problems through the caching/parallel engine, optionally
   sweeping the reconfiguration time, with table/JSON/CSV output;
-* ``repro flow <taskgraph.json>`` — run the complete Figure-2 flow (partition,
-  loop fission, memory map, host code);
+* ``repro flow`` — run the complete Figure-2 flow (partition, loop fission,
+  memory map, host code) on a task-graph file or a registered workload
+  (``--workload jpeg_dct``), or a whole batch of workload flows through the
+  flow engine (``--workload all --batch``);
+* ``repro workloads list`` / ``repro workloads show <name>`` — browse the
+  workload catalog;
 * ``repro table1`` / ``repro table2`` — regenerate the paper's tables;
 * ``repro case-study`` — print the full case-study summary (partitioning,
   fission analysis, headline comparisons);
@@ -25,6 +29,7 @@ import argparse
 import csv
 import json
 import sys
+from dataclasses import replace as dataclasses_replace
 from typing import List, Optional
 
 from .arch import SYSTEM_PRESETS, generic_system, system_by_name
@@ -48,15 +53,31 @@ from .partition import (
     compute_metrics,
 )
 from .runtime import EngineConfig, PartitionEngine, ct_sweep_jobs
-from .synth import DesignFlow, FlowOptions
+from .synth import DesignFlow, FlowEngine, FlowOptions, workload_flow_jobs
 from .taskgraph import load as load_taskgraph
 from .units import format_time
+
+#: Default target-system preset applied when none is chosen explicitly.
+DEFAULT_SYSTEM = "paper-xc4044"
+
+
+def _version() -> str:
+    """The installed distribution version (source-tree fallback)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro-rtr-partitioning")
+    except Exception:  # noqa: BLE001 - metadata is best-effort
+        from . import __version__
+
+        return __version__
 
 
 def _make_system(args: argparse.Namespace):
     """Build the target system from --system / --clbs / --memory / --ct."""
-    if args.system != "custom":
-        system = system_by_name(args.system)
+    chosen = args.system or DEFAULT_SYSTEM
+    if chosen != "custom":
+        system = system_by_name(chosen)
         if args.ct is not None:
             system = system.with_reconfiguration_time(args.ct / 1000.0)
         return system
@@ -65,6 +86,18 @@ def _make_system(args: argparse.Namespace):
         memory_words=args.memory,
         reconfiguration_time=(args.ct if args.ct is not None else 10.0) / 1000.0,
     )
+
+
+def _parse_ct_sweep(text: str) -> Optional[List[float]]:
+    """Parse a comma-separated millisecond list into seconds (None if empty)."""
+    if not text:
+        return None
+    try:
+        return [float(value) / 1000.0 for value in text.split(",")]
+    except ValueError:
+        raise ReproError(
+            f"--ct-sweep expects comma-separated milliseconds, got {text!r}"
+        )
 
 
 def _load_graph(path: Optional[str]):
@@ -150,15 +183,7 @@ def cmd_partition_batch(args: argparse.Namespace) -> int:
         job_timeout=args.job_timeout,
         cache_dir=args.cache_dir,
     ))
-    if args.ct_sweep:
-        try:
-            ct_values = [float(value) / 1000.0 for value in args.ct_sweep.split(",")]
-        except ValueError:
-            print(f"error: --ct-sweep expects comma-separated milliseconds, "
-                  f"got {args.ct_sweep!r}", file=sys.stderr)
-            return 2
-    else:
-        ct_values = [system.reconfiguration_time]
+    ct_values = _parse_ct_sweep(args.ct_sweep) or [system.reconfiguration_time]
     jobs = []
     for path in (args.taskgraphs or ["dct"]):
         graph = _load_graph(path)
@@ -183,13 +208,144 @@ def cmd_partition_batch(args: argparse.Namespace) -> int:
     return 0 if batch.ok else 1
 
 
-def cmd_flow(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.taskgraph)
-    system = _make_system(args)
-    options = FlowOptions(
-        partitioner=args.partitioner,
-        round_memory_blocks=args.round_blocks,
+def cmd_workloads_list(args: argparse.Namespace) -> int:
+    from .workloads import catalog_errors, iter_workloads
+
+    # Optional-dependency failures must not break catalog browsing: the
+    # package records import-time library failures instead of raising.
+    for message in catalog_errors():
+        print(f"note: part of the catalog is unavailable ({message})")
+    registered = list(iter_workloads())
+    if not registered:
+        print("No workloads registered"
+              + (" — install the missing dependencies above to enable the "
+                 "builtin catalog." if catalog_errors() else "."))
+        return 0
+    print("Registered workloads:")
+    for workload in registered:
+        try:
+            graph = workload.build_graph()
+            stats = f"{len(graph):>3} tasks, {graph.edge_count():>3} edges"
+        except Exception as error:  # noqa: BLE001 - keep listing the rest
+            stats = f"unavailable ({type(error).__name__}: {error})"
+        variants = len(workload.variants())
+        suffix = f"  [{variants} variants]" if variants > 1 else ""
+        print(f"  {workload.name:<16} {stats:<22} {workload.description}{suffix}")
+    return 0
+
+
+def cmd_workloads_show(args: argparse.Namespace) -> int:
+    from .workloads import get_workload
+
+    workload = get_workload(args.name)
+    print(workload.describe())
+    graph = workload.build_graph()
+    print(f"  graph: {len(graph)} tasks, {graph.edge_count()} edges, "
+          f"env I/O {graph.total_env_input_words()}/{graph.total_env_output_words()} words")
+    print(f"  system: {workload.default_system().describe()}")
+    if len(workload.variants()) > 1:
+        print("  variants:")
+        for variant in workload.variants():
+            print(f"    {variant.name}")
+    return 0
+
+
+def _flow_batch(args: argparse.Namespace) -> int:
+    """``repro flow --batch``: workload flows through the flow engine."""
+    if not args.workload:
+        print("error: --batch requires --workload (a name, or 'all')", file=sys.stderr)
+        return 2
+    from .workloads import workload_names
+
+    names = workload_names() if args.workload == "all" else [args.workload]
+    flow_engine = FlowEngine(
+        config=EngineConfig(workers=args.workers, cache_dir=args.cache_dir)
     )
+    ct_values = _parse_ct_sweep(args.ct_sweep)
+    if ct_values is None and args.ct is not None:
+        ct_values = [args.ct / 1000.0]
+    jobs = workload_flow_jobs(
+        names=names,
+        ct_values=ct_values,
+        system=_make_system(args) if args.system is not None else None,
+        variants=args.variants,
+        partitioner=args.partitioner,
+    )
+    if args.round_blocks:
+        for job in jobs:
+            job.options = dataclasses_replace(job.options, round_memory_blocks=True)
+    if not jobs:
+        print("no flow jobs to run (is the workload catalog empty?)", file=sys.stderr)
+        return 0
+    batch = flow_engine.run_batch(jobs)
+    rows = batch.rows()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8", newline="") as stream:
+            _format_flow_rows(rows, args.format, stream)
+    else:
+        _format_flow_rows(rows, args.format, sys.stdout)
+    print(batch.describe(), file=sys.stderr)
+    return 0 if batch.ok else 1
+
+
+def _format_flow_rows(rows: List[dict], fmt: str, stream) -> None:
+    """Write flow-batch rows as an aligned table, JSON, or CSV."""
+    if fmt == "json":
+        json.dump(rows, stream, indent=2)
+        stream.write("\n")
+        return
+    if fmt == "csv":
+        if not rows:
+            return
+        writer = csv.DictWriter(stream, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+        return
+    from .experiments.report import format_table
+
+    stream.write(
+        format_table(
+            rows,
+            columns=[
+                "tag", "workload", "status", "partition_source", "partitions",
+                "k", "block_delay_ns", "total_latency_s", "error",
+            ],
+            title="Batched design flows",
+        )
+    )
+    stream.write("\n")
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    if args.workload and args.taskgraph != "dct":
+        print("error: pass either a task-graph file or --workload, not both",
+              file=sys.stderr)
+        return 2
+    if args.batch:
+        return _flow_batch(args)
+    if args.workload:
+        from .workloads import get_workload
+
+        workload = get_workload(args.workload)
+        graph = workload.build_graph()
+        options = workload.flow_options()
+        if args.partitioner is not None:
+            options = dataclasses_replace(options, partitioner=args.partitioner)
+        if args.round_blocks:
+            options = dataclasses_replace(options, round_memory_blocks=True)
+        if args.system is None:
+            system = workload.default_system()
+            if args.ct is not None:
+                system = system.with_reconfiguration_time(args.ct / 1000.0)
+        else:
+            system = _make_system(args)
+    else:
+        graph = _load_graph(args.taskgraph)
+        system = _make_system(args)
+        options = FlowOptions(
+            partitioner=args.partitioner or "ilp",
+            round_memory_blocks=args.round_blocks,
+        )
     design = DesignFlow(system, options).build(graph)
     print(design.describe())
     print()
@@ -268,11 +424,14 @@ def cmd_case_study(args: argparse.Namespace) -> int:
 # Argument parsing
 # ---------------------------------------------------------------------------
 
-def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_system_arguments(
+    parser: argparse.ArgumentParser, default: Optional[str] = DEFAULT_SYSTEM
+) -> None:
     parser.add_argument(
-        "--system", default="paper-xc4044",
+        "--system", default=default,
         choices=sorted(SYSTEM_PRESETS) + ["custom"],
-        help="target system preset (default: the paper's XC4044 board)",
+        help="target system preset (default: the paper's XC4044 board, or the "
+             "workload's own system when --workload is given)",
     )
     parser.add_argument("--clbs", type=int, default=1000,
                         help="CLB capacity for --system custom")
@@ -288,10 +447,26 @@ def build_parser() -> argparse.ArgumentParser:
         description="Temporal partitioning and loop fission for RTR FPGA synthesis "
                     "(DAC 1999 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {_version()}",
+        help="print the package version and exit",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     systems = subparsers.add_parser("systems", help="list the named system presets")
     systems.set_defaults(handler=cmd_systems)
+
+    workloads = subparsers.add_parser(
+        "workloads", help="browse the registered workload catalog"
+    )
+    workloads_sub = workloads.add_subparsers(dest="workloads_command", required=True)
+    workloads_list = workloads_sub.add_parser("list", help="list registered workloads")
+    workloads_list.set_defaults(handler=cmd_workloads_list)
+    workloads_show = workloads_sub.add_parser(
+        "show", help="show one workload in detail"
+    )
+    workloads_show.add_argument("name", help="registered workload name")
+    workloads_show.set_defaults(handler=cmd_workloads_show)
 
     partition = subparsers.add_parser("partition", help="temporally partition a task graph")
     partition.add_argument("taskgraph", nargs="?", default="dct",
@@ -333,9 +508,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_arguments(batch)
     batch.set_defaults(handler=cmd_partition_batch)
 
-    flow = subparsers.add_parser("flow", help="run the complete design flow")
+    flow = subparsers.add_parser(
+        "flow", help="run the complete design flow (file, workload, or batch)"
+    )
     flow.add_argument("taskgraph", nargs="?", default="dct")
-    flow.add_argument("--partitioner", default="ilp", choices=["ilp", "list", "level"])
+    flow.add_argument("--workload", default=None,
+                      help="run a registered workload instead of a task-graph file "
+                           "('all' with --batch runs the whole catalog)")
+    flow.add_argument("--batch", action="store_true",
+                      help="run workload flows as a batch through the flow engine")
+    flow.add_argument("--variants", action="store_true",
+                      help="with --batch: expand each workload's parameter sweep")
+    flow.add_argument("--workers", type=int, default=0,
+                      help="with --batch: worker processes for partition-stage misses")
+    flow.add_argument("--ct-sweep", default="",
+                      help="with --batch: comma-separated reconfiguration times (ms)")
+    flow.add_argument("--cache-dir", default=None,
+                      help="with --batch: directory for the on-disk result cache")
+    flow.add_argument("--format", default="table", choices=["table", "json", "csv"],
+                      help="with --batch: output format")
+    flow.add_argument("--output", default=None,
+                      help="with --batch: write the rows to this file instead of stdout")
+    flow.add_argument("--partitioner", default=None, choices=["ilp", "list", "level"],
+                      help="partitioner override (default: the workload's own choice, "
+                           "or ilp for task-graph files)")
     flow.add_argument("--strategy", default="idh", choices=["fdh", "idh"])
     flow.add_argument("--round-blocks", action="store_true",
                       help="round memory blocks to powers of two (concatenation addressing)")
@@ -343,7 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="workload size for a static-vs-RTR comparison")
     flow.add_argument("--static-block-delay-ns", type=float, default=0.0,
                       help="per-computation delay of the static baseline, in ns")
-    _add_system_arguments(flow)
+    _add_system_arguments(flow, default=None)
     flow.set_defaults(handler=cmd_flow)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1 (FDH)")

@@ -36,6 +36,10 @@ class ArchitectureError(SpecificationError):
     """A target-architecture description is inconsistent or incomplete."""
 
 
+class WorkloadError(SpecificationError):
+    """A workload registration or lookup in the workload registry failed."""
+
+
 class EstimationError(ReproError):
     """The HLS estimator could not produce an estimate for a task."""
 

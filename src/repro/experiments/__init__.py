@@ -2,6 +2,7 @@
 
 from . import paper_constants
 from .case_study import CaseStudy, build_case_study
+from .cross_workload import cross_workload_summary, format_cross_workload_table
 from .figures import (
     Figure4Result,
     Figure5Result,
@@ -35,6 +36,8 @@ __all__ = [
     "breakeven_fdh_blocks",
     "build_case_study",
     "comparison_row",
+    "cross_workload_summary",
+    "format_cross_workload_table",
     "fdh_breakeven_workload",
     "format_table",
     "paper_constants",

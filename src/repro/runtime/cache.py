@@ -12,6 +12,7 @@ Two layers with one façade:
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from collections import OrderedDict
@@ -20,6 +21,8 @@ from pathlib import Path
 from typing import Optional, Union
 
 from .jobs import JobOutcome
+
+logger = logging.getLogger(__name__)
 
 
 class LruCache:
@@ -59,8 +62,11 @@ class LruCache:
 class DiskCache:
     """A directory of ``<fingerprint>.json`` outcome files.
 
-    Corrupt or unreadable files are treated as misses (and removed when
-    possible) rather than propagating errors into the solve path.
+    Truncated, corrupt or schema-mismatched files are treated as misses —
+    logged, removed when possible, and overwritten by the next store —
+    rather than propagating errors into the solve path: a half-written
+    entry (e.g. a process killed mid-write on a filesystem without atomic
+    rename) must never take a whole batch down.
     """
 
     def __init__(self, directory: Union[str, Path]) -> None:
@@ -78,7 +84,11 @@ class DiskCache:
                 return JobOutcome.from_json_dict(json.load(handle))
         except FileNotFoundError:
             return None
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            logger.warning(
+                "treating corrupt cache entry %s as a miss (%s: %s)",
+                path.name, type(error).__name__, error,
+            )
             try:
                 path.unlink()
             except OSError:

@@ -1,6 +1,14 @@
-"""End-to-end synthesis flow (Figure 2) and design artefacts."""
+"""End-to-end synthesis flow (Figure 2), batch flow service and artefacts."""
 
 from .flow import PARTITIONERS, DesignFlow, FlowOptions
+from .flow_engine import (
+    FlowBatchReport,
+    FlowEngine,
+    FlowJob,
+    FlowReport,
+    FlowStage,
+    workload_flow_jobs,
+)
 from .rtr_design import RtrDesign
 from .static_design import (
     StaticDesign,
@@ -10,10 +18,16 @@ from .static_design import (
 
 __all__ = [
     "DesignFlow",
+    "FlowBatchReport",
+    "FlowEngine",
+    "FlowJob",
     "FlowOptions",
+    "FlowReport",
+    "FlowStage",
     "PARTITIONERS",
     "RtrDesign",
     "StaticDesign",
     "static_design_from_estimator",
     "static_design_from_parameters",
+    "workload_flow_jobs",
 ]

@@ -4,9 +4,15 @@
 memory mapping -> controller/RTL synthesis -> host code``
 
 :class:`DesignFlow` wires the library's pieces together with one call.  Every
-stage can also be driven individually (that is what the benches and several
-tests do); the flow exists so the examples and downstream users get the
-one-call experience the SPARCS environment offered.
+stage is exposed as its own method (:meth:`~DesignFlow.estimate`,
+:meth:`~DesignFlow.partition`, :meth:`~DesignFlow.map_memory`,
+:meth:`~DesignFlow.analyse`, :meth:`~DesignFlow.timing`,
+:meth:`~DesignFlow.generate_rtl`, :meth:`~DesignFlow.assemble`) so drivers
+that want per-stage control — most importantly the batched
+:class:`~repro.synth.flow_engine.FlowEngine`, which routes the partition
+stage through the caching/parallel partition engine — run exactly the same
+code as the one-call :meth:`~DesignFlow.build` experience the SPARCS
+environment offered.
 """
 
 from __future__ import annotations
@@ -99,23 +105,55 @@ class DesignFlow:
         assert_valid(problem, result)
         return result
 
-    def build(self, graph: TaskGraph, name: Optional[str] = None) -> RtrDesign:
-        """Run every stage and return the finished :class:`RtrDesign`."""
-        graph = self.estimate(graph)
-        partitioning = self.partition(graph)
-        memory_map = build_memory_map(
+    def map_memory(self, partitioning: TemporalPartitioning):
+        """Memory-mapping stage: lay inter-partition data out in board memory."""
+        return build_memory_map(
             partitioning, round_to_power_of_two=self.options.round_memory_blocks
         )
-        fission = analyse_fission(
+
+    def analyse(self, partitioning: TemporalPartitioning, memory_map):
+        """Loop-fission stage: derive ``k`` and the limiting partition."""
+        return analyse_fission(
             partitioning,
             self.system.memory_capacity_words,
             memory_map=memory_map,
             round_blocks_to_power_of_two=self.options.round_memory_blocks,
         )
-        timing = rtr_timing_spec(partitioning, fission, memory_map)
-        configurations: List[RtlDesign] = []
-        if self.options.generate_rtl:
-            configurations = self._generate_rtl(graph, partitioning, fission)
+
+    def timing(self, partitioning: TemporalPartitioning, fission, memory_map):
+        """Timing stage: the RTR timing spec the analytic models consume."""
+        return rtr_timing_spec(partitioning, fission, memory_map)
+
+    def assemble(
+        self,
+        graph: TaskGraph,
+        partitioning: TemporalPartitioning,
+        name: Optional[str] = None,
+        memory_map=None,
+        fission=None,
+        timing=None,
+        configurations: Optional[List[RtlDesign]] = None,
+    ) -> RtrDesign:
+        """Run every post-partitioning stage and return the :class:`RtrDesign`.
+
+        *graph* must be the estimated graph the partitioning was produced
+        from.  Splitting this from :meth:`build` lets batch drivers obtain
+        the partitioning elsewhere (e.g. from the partition engine's cache)
+        and still finish the flow through the exact same code path.  Stage
+        artefacts already computed (memory map, fission analysis, timing
+        spec, RTL configurations) can be passed in so drivers that time the
+        stages individually do not pay for them twice.
+        """
+        if memory_map is None:
+            memory_map = self.map_memory(partitioning)
+        if fission is None:
+            fission = self.analyse(partitioning, memory_map)
+        if timing is None:
+            timing = self.timing(partitioning, fission, memory_map)
+        if configurations is None:
+            configurations = []
+            if self.options.generate_rtl:
+                configurations = self.generate_rtl(graph, partitioning, fission)
         design = RtrDesign(
             name=name or f"{graph.name}-rtr",
             system=self.system,
@@ -131,11 +169,17 @@ class DesignFlow:
             )
         return design
 
+    def build(self, graph: TaskGraph, name: Optional[str] = None) -> RtrDesign:
+        """Run every stage and return the finished :class:`RtrDesign`."""
+        graph = self.estimate(graph)
+        partitioning = self.partition(graph)
+        return self.assemble(graph, partitioning, name=name)
+
     # ------------------------------------------------------------------
     # RTL generation per temporal partition
     # ------------------------------------------------------------------
 
-    def _generate_rtl(
+    def generate_rtl(
         self,
         graph: TaskGraph,
         partitioning: TemporalPartitioning,

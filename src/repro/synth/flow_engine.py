@@ -1,0 +1,415 @@
+"""The batch-capable design-flow service.
+
+:class:`FlowEngine` turns :class:`~repro.synth.flow.DesignFlow` from a
+one-problem-at-a-time call into a throughput-oriented service: a whole list
+of (graph, system, options) flow jobs is accepted at once, the dominant
+partition stage is routed through the caching/parallel
+:class:`~repro.runtime.engine.PartitionEngine` (canonical-hash dedup,
+LRU + disk caches, process-pool fan-out), and every other stage runs through
+the same :class:`DesignFlow` stage methods the single-call path uses —
+individually timed, with structured per-stage failure reports so one broken
+scenario never takes a batch down.
+
+Workload-catalog integration lives in :func:`workload_flow_jobs`, which
+expands registered workloads (optionally their deterministic parameter
+sweeps and a reconfiguration-time sweep) into a flat job list.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..arch.board import RtrSystem
+from ..errors import ReproError, SynthesisError
+from ..partition.spec import PartitionProblem
+from ..runtime.engine import EngineConfig, PartitionEngine
+from ..runtime.jobs import JobReport, ResultSource
+from ..taskgraph.graph import TaskGraph
+from .flow import DesignFlow, FlowOptions
+from .rtr_design import RtrDesign
+
+
+class FlowStage(str, enum.Enum):
+    """The stages a flow job passes through, in order."""
+
+    ESTIMATE = "estimate"
+    PARTITION = "partition"
+    MEMORY_MAP = "memory-map"
+    FISSION = "fission"
+    TIMING = "timing"
+    RTL = "rtl"
+    ASSEMBLE = "assemble"
+
+
+@dataclass
+class FlowJob:
+    """One unit of flow work: a task graph, a target system and options."""
+
+    graph: TaskGraph
+    system: RtrSystem
+    options: FlowOptions = field(default_factory=FlowOptions)
+    tag: str = ""
+    workload: str = ""
+
+    @property
+    def name(self) -> str:
+        """Display name (tag, falling back to the graph name)."""
+        return self.tag or self.graph.name
+
+
+@dataclass
+class FlowReport:
+    """Everything one flow job produced: the design or a structured failure."""
+
+    job: FlowJob
+    design: Optional[RtrDesign] = None
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    partition_source: str = ""
+    failed_stage: str = ""
+    error: str = ""
+    error_kind: str = ""
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a finished design."""
+        return self.design is not None
+
+    @property
+    def cached_partition(self) -> bool:
+        """Whether the partition stage was served without running a solver."""
+        return self.partition_source not in ("", ResultSource.SOLVE.value)
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for tabular/JSON/CSV presentation."""
+        row: Dict[str, object] = {
+            "tag": self.job.name,
+            "workload": self.job.workload,
+            "status": "ok" if self.ok else f"failed:{self.failed_stage or 'unknown'}",
+            "partition_source": self.partition_source,
+            "partitions": self.design.partition_count if self.ok else 0,
+            "k": self.design.computations_per_run if self.ok else 0,
+            "block_delay_ns": self.design.block_delay * 1e9 if self.ok else 0.0,
+            "total_latency_s": (
+                self.design.partitioning.total_latency if self.ok else 0.0
+            ),
+            "wall_time_s": self.wall_time,
+            "error": self.error,
+        }
+        return row
+
+
+@dataclass
+class FlowBatchReport:
+    """Everything one :meth:`FlowEngine.run_batch` call produced."""
+
+    reports: List[FlowReport]
+    wall_time: float
+    workers_used: int
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def __getitem__(self, index: int) -> FlowReport:
+        return self.reports[index]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every job produced a finished design."""
+        return all(report.ok for report in self.reports)
+
+    def failures(self) -> List[FlowReport]:
+        """Jobs that did not finish."""
+        return [report for report in self.reports if not report.ok]
+
+    def designs(self) -> List[Optional[RtrDesign]]:
+        """Per-job designs in submission order (``None`` for failures)."""
+        return [report.design for report in self.reports]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-job rows for tabular/JSON/CSV output."""
+        return [report.row() for report in self.reports]
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        cached = sum(1 for report in self.reports if report.cached_partition)
+        status = "all ok" if self.ok else f"{len(self.failures())} failed"
+        return (
+            f"flow batch of {len(self.reports)} jobs in {self.wall_time:.2f} s "
+            f"({self.workers_used} worker(s); {cached} cached partitionings; {status})"
+        )
+
+
+class FlowEngine:
+    """Batched, cached, parallel end-to-end design flows.
+
+    The engine layers on a :class:`~repro.runtime.engine.PartitionEngine`:
+    the temporal-partitioning stage — by far the most expensive — is
+    submitted for the whole batch at once, so identical (graph, system,
+    solver) jobs dedup, repeats hit the LRU/disk caches, and misses fan out
+    across the partition engine's worker pool.  Every other stage runs
+    in-process through :class:`DesignFlow`'s stage methods.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[PartitionEngine] = None,
+        config: Optional[EngineConfig] = None,
+        **overrides,
+    ) -> None:
+        if engine is not None and (config is not None or overrides):
+            raise SynthesisError(
+                "pass either a PartitionEngine or an EngineConfig/overrides, not both"
+            )
+        if engine is None:
+            engine = PartitionEngine(config or EngineConfig(**overrides))
+        self.engine = engine
+
+    @property
+    def stats(self):
+        """Cumulative partition-engine statistics (jobs, caches, workers)."""
+        return self.engine.stats
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def run_batch(self, jobs: Sequence[FlowJob]) -> FlowBatchReport:
+        """Run a whole batch of flow jobs; the report preserves order."""
+        start = time.perf_counter()
+        reports = [FlowReport(job=job) for job in jobs]
+
+        # Stage 1: estimation, in-process (cheap next to the ILP solve).
+        # Estimation attaches costs to the graph, so an unestimated graph is
+        # copied first: one graph shared by jobs targeting different systems
+        # must not inherit the first job's costs (or mutate the caller's).
+        estimated: Dict[int, TaskGraph] = {}
+        for index, job in enumerate(jobs):
+            graph = self._run_stage(
+                reports[index],
+                FlowStage.ESTIMATE,
+                lambda job=job: DesignFlow(job.system, job.options).estimate(
+                    job.graph if job.graph.all_estimated() else job.graph.copy()
+                ),
+            )
+            if graph is not None:
+                estimated[index] = graph
+
+        # Stage 2: temporal partitioning, one engine batch for all survivors
+        # (dedup + caches + worker pool live inside the partition engine).
+        partition_reports = self._partition_batch(jobs, reports, estimated)
+
+        # Stage 3: the remaining stages, per job, individually timed.
+        for index, partition_report in partition_reports.items():
+            report = reports[index]
+            report.partition_source = partition_report.source.value
+            report.stage_seconds[FlowStage.PARTITION.value] = (
+                partition_report.wall_time
+            )
+            if not partition_report.ok:
+                report.failed_stage = FlowStage.PARTITION.value
+                report.error = partition_report.outcome.error
+                report.error_kind = partition_report.outcome.error_kind
+                continue
+            self._finish_job(report, estimated[index], partition_report)
+
+        for report in reports:
+            report.wall_time = sum(report.stage_seconds.values())
+
+        batch = FlowBatchReport(
+            reports=reports,
+            wall_time=time.perf_counter() - start,
+            workers_used=self.engine.config.workers,
+        )
+        return batch
+
+    def run(self, job: FlowJob) -> RtrDesign:
+        """Run one flow job and return the design (raising on failure)."""
+        report = self.run_batch([job])[0]
+        if report.design is None:
+            raise SynthesisError(
+                f"flow job {report.job.name!r} failed at stage "
+                f"{report.failed_stage or 'unknown'}: {report.error or 'no detail'}"
+            )
+        return report.design
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _partition_batch(
+        self,
+        jobs: Sequence[FlowJob],
+        reports: List[FlowReport],
+        estimated: Dict[int, TaskGraph],
+    ) -> Dict[int, JobReport]:
+        """Submit every estimable job's partition problem as one batch."""
+        engine_jobs = []
+        indices: List[int] = []
+        for index in sorted(estimated):
+            job = jobs[index]
+            try:
+                problem = PartitionProblem.from_system(estimated[index], job.system)
+            except ReproError as error:
+                report = reports[index]
+                report.failed_stage = FlowStage.PARTITION.value
+                report.error = str(error)
+                report.error_kind = type(error).__name__
+                continue
+            engine_jobs.append(
+                self.engine.make_job(
+                    problem,
+                    tag=job.name,
+                    partitioner=job.options.partitioner,
+                    backend=job.options.ilp_backend,
+                )
+            )
+            indices.append(index)
+        if not engine_jobs:
+            return {}
+        batch = self.engine.solve_batch(engine_jobs)
+        return dict(zip(indices, batch))
+
+    def _finish_job(
+        self, report: FlowReport, graph: TaskGraph, partition_report: JobReport
+    ) -> None:
+        """Run memory map, fission, timing, RTL and assembly for one job."""
+        job = report.job
+        flow = DesignFlow(job.system, job.options)
+        partitioning = self._run_stage(
+            report, FlowStage.PARTITION, partition_report.partitioning, accumulate=True
+        )
+        if partitioning is None:
+            return
+        memory_map = self._run_stage(
+            report, FlowStage.MEMORY_MAP, lambda: flow.map_memory(partitioning)
+        )
+        if memory_map is None:
+            return
+        fission = self._run_stage(
+            report, FlowStage.FISSION, lambda: flow.analyse(partitioning, memory_map)
+        )
+        if fission is None:
+            return
+        timing = self._run_stage(
+            report,
+            FlowStage.TIMING,
+            lambda: flow.timing(partitioning, fission, memory_map),
+        )
+        if timing is None:
+            return
+        configurations: Optional[List] = []
+        if job.options.generate_rtl:
+            configurations = self._run_stage(
+                report,
+                FlowStage.RTL,
+                lambda: flow.generate_rtl(graph, partitioning, fission),
+            )
+            if configurations is None:
+                return
+        design = self._run_stage(
+            report,
+            FlowStage.ASSEMBLE,
+            lambda: flow.assemble(
+                graph,
+                partitioning,
+                name=f"{job.name}-rtr",
+                memory_map=memory_map,
+                fission=fission,
+                timing=timing,
+                configurations=configurations,
+            ),
+        )
+        report.design = design
+
+    def _run_stage(self, report, stage, fn, accumulate: bool = False):
+        """Run one stage, timing it; ``None`` plus a structured failure on error."""
+        start = time.perf_counter()
+        try:
+            return fn()
+        except ReproError as error:
+            report.failed_stage = stage.value
+            report.error = str(error)
+            report.error_kind = type(error).__name__
+            return None
+        finally:
+            elapsed = time.perf_counter() - start
+            key = stage.value
+            if accumulate:
+                report.stage_seconds[key] = report.stage_seconds.get(key, 0.0) + elapsed
+            else:
+                report.stage_seconds[key] = elapsed
+
+
+# ---------------------------------------------------------------------------
+# Workload-catalog integration
+# ---------------------------------------------------------------------------
+
+def workload_flow_jobs(
+    names: Optional[Sequence[str]] = None,
+    ct_values: Optional[Sequence[float]] = None,
+    system: Optional[RtrSystem] = None,
+    variants: bool = False,
+    partitioner: Optional[str] = None,
+) -> List[FlowJob]:
+    """Expand registered workloads into a flat :class:`FlowJob` list.
+
+    Parameters
+    ----------
+    names:
+        Workload names to expand (default: every registered workload).
+    ct_values:
+        Optional reconfiguration times (seconds); each workload/variant is
+        swept across them (default: the workload system's own ``CT``).
+    system:
+        Optional target system overriding every workload's default.
+    variants:
+        Expand each workload's deterministic parameter sweep instead of
+        just its default parameterisation.
+    partitioner:
+        Optional partitioner-name override applied to every job's options.
+    """
+    # Imported lazily: the workload catalog itself imports FlowOptions from
+    # this package, so a module-level import would be circular.
+    from ..workloads import WorkloadVariant, get_workload, workload_names
+
+    jobs: List[FlowJob] = []
+    for name in names if names is not None else workload_names():
+        workload = get_workload(name)
+        expansion = (
+            workload.variants()
+            if variants
+            else [WorkloadVariant(workload.name, dict(workload.default_params))]
+        )
+        for variant in expansion:
+            graph = workload.build_graph(**variant.params)
+            base_system = system or workload.default_system()
+            options = workload.flow_options()
+            if partitioner is not None:
+                options = replace(options, partitioner=partitioner)
+            cts = list(ct_values) if ct_values else [base_system.reconfiguration_time]
+            for ct in cts:
+                target = (
+                    base_system
+                    if ct == base_system.reconfiguration_time
+                    else base_system.with_reconfiguration_time(ct)
+                )
+                tag = variant.name
+                if len(cts) > 1:
+                    tag = f"{tag}@ct={ct * 1e3:g}ms"
+                jobs.append(
+                    FlowJob(
+                        graph=graph,
+                        system=target,
+                        options=options,
+                        tag=tag,
+                        workload=workload.name,
+                    )
+                )
+    return jobs

@@ -1,0 +1,89 @@
+"""The workload catalog: named, parameterised scenarios for the design flow.
+
+The paper evaluates one benchmark (the JPEG/DCT case study).  This package
+turns "a benchmark" into a first-class concept so the flow, the experiment
+drivers and the CLI all consume *workloads* — registry entries that bundle a
+task-graph builder, its parameters, a default target system, flow options
+and reference expectations:
+
+* :mod:`repro.workloads.base` — the :class:`Workload` descriptor and
+  deterministic parameter-sweep expansion;
+* :mod:`repro.workloads.registry` — ``@register_workload`` and name lookup;
+* :mod:`repro.workloads.library` — the built-in catalog (``jpeg_dct``,
+  ``fir_filterbank``, ``random_layered``, ``wavelet_pyramid``,
+  ``matmul_pipeline``).
+
+Quickstart::
+
+    from repro.workloads import get_workload
+
+    workload = get_workload("jpeg_dct")
+    graph = workload.build_graph()
+    system = workload.default_system()
+"""
+
+from typing import List
+
+from .base import Workload, WorkloadVariant, variant_name
+from .registry import (
+    get_workload,
+    iter_workloads,
+    register,
+    register_workload,
+    unregister_workload,
+    workload_names,
+)
+
+#: Import-time failures of the builtin catalog (normally empty).  The
+#: registry itself has no optional dependencies, but individual workload
+#: libraries may: a missing one must degrade the catalog (``repro workloads
+#: list`` reports it and exits 0), not break ``import repro``.
+_CATALOG_ERRORS: List[str] = []
+
+try:
+    from .library import (
+        build_fir_filterbank_graph,
+        build_jpeg_dct_graph,
+        build_matmul_pipeline_graph,
+        build_random_layered_graph,
+        build_wavelet_pyramid_graph,
+    )
+except ImportError as _library_error:  # pragma: no cover - needs a broken env
+    _CATALOG_ERRORS.append(str(_library_error))
+
+    def _unavailable_builder(*_args, **_params):
+        from ..errors import WorkloadError
+
+        raise WorkloadError(
+            f"builtin workload library unavailable: {_CATALOG_ERRORS[0]}"
+        )
+
+    build_fir_filterbank_graph = _unavailable_builder
+    build_jpeg_dct_graph = _unavailable_builder
+    build_matmul_pipeline_graph = _unavailable_builder
+    build_random_layered_graph = _unavailable_builder
+    build_wavelet_pyramid_graph = _unavailable_builder
+
+
+def catalog_errors() -> List[str]:
+    """Import-time failures of the builtin catalog (empty when healthy)."""
+    return list(_CATALOG_ERRORS)
+
+
+__all__ = [
+    "Workload",
+    "WorkloadVariant",
+    "catalog_errors",
+    "build_fir_filterbank_graph",
+    "build_jpeg_dct_graph",
+    "build_matmul_pipeline_graph",
+    "build_random_layered_graph",
+    "build_wavelet_pyramid_graph",
+    "get_workload",
+    "iter_workloads",
+    "register",
+    "register_workload",
+    "unregister_workload",
+    "variant_name",
+    "workload_names",
+]

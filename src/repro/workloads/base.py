@@ -1,0 +1,178 @@
+"""The :class:`Workload` descriptor — one entry of the workload catalog.
+
+A workload packages everything the flow needs to run one scenario
+end-to-end without the caller hard-coding anything:
+
+* a **task-graph builder** (a callable taking keyword parameters),
+* the **default parameters** the builder is invoked with,
+* a **target system** factory (board, memory, reconfiguration time),
+* the **flow options** the scenario should be synthesised under,
+* **reference expectations** (e.g. the partition count the paper reports)
+  that tests and the cross-workload summary check against, and
+* an optional deterministic **parameter sweep** that expands the workload
+  into a family of variants (seeded generators sweep their seeds here).
+
+Workloads are registered in :mod:`repro.workloads.registry` and looked up by
+name from the CLI, the experiment drivers and the flow engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..arch.board import RtrSystem
+from ..arch.catalog import paper_case_study_system
+from ..errors import WorkloadError
+from ..synth.flow import FlowOptions
+from ..taskgraph.graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class WorkloadVariant:
+    """One concrete parameterisation of a workload."""
+
+    name: str
+    params: Mapping[str, object]
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        if not self.params:
+            return self.name
+        rendered = ", ".join(f"{key}={value}" for key, value in sorted(self.params.items()))
+        return f"{self.name} ({rendered})"
+
+
+def variant_name(workload_name: str, params: Mapping[str, object]) -> str:
+    """The canonical display name of a parameterised variant."""
+    if not params:
+        return workload_name
+    rendered = ",".join(f"{key}={value}" for key, value in sorted(params.items()))
+    return f"{workload_name}[{rendered}]"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, registerable scenario for the design flow.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``[a-z0-9_]+`` by convention).
+    builder:
+        Callable returning a :class:`~repro.taskgraph.graph.TaskGraph`;
+        invoked with ``default_params`` merged with caller overrides.
+    description:
+        One-line summary shown by ``repro workloads list``.
+    default_params:
+        Keyword arguments the builder is called with by default.
+    system_factory:
+        Zero-argument callable building the scenario's default target
+        system (defaults to the paper's XC4044 board).
+    flow_options_factory:
+        Zero-argument callable building the scenario's default
+        :class:`~repro.synth.flow.FlowOptions` (defaults to ``FlowOptions()``).
+    expectations:
+        Reference values the scenario should reproduce (e.g.
+        ``{"partitions": 3, "computations_per_run": 2048}``); checked by
+        tests and reported by the cross-workload summary.
+    sweep:
+        Mapping of parameter name to the sequence of values the parameter
+        sweep explores; :meth:`variants` expands the cartesian product in a
+        deterministic (sorted-key) order.
+    tags:
+        Free-form labels (``"paper"``, ``"synthetic"``, ...) for filtering.
+    """
+
+    name: str
+    builder: Callable[..., TaskGraph]
+    description: str = ""
+    default_params: Mapping[str, object] = field(default_factory=dict)
+    system_factory: Callable[[], RtrSystem] = paper_case_study_system
+    flow_options_factory: Optional[Callable[[], FlowOptions]] = None
+    expectations: Mapping[str, object] = field(default_factory=dict)
+    sweep: Mapping[str, Sequence[object]] = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("workload name must not be empty")
+        if not callable(self.builder):
+            raise WorkloadError(f"workload {self.name!r} builder must be callable")
+        for parameter in self.sweep:
+            if not self.sweep[parameter]:
+                raise WorkloadError(
+                    f"workload {self.name!r} sweeps parameter {parameter!r} over "
+                    "an empty value list"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def build_graph(self, **overrides) -> TaskGraph:
+        """Build the task graph with the default parameters plus *overrides*."""
+        params: Dict[str, object] = {**self.default_params, **overrides}
+        try:
+            graph = self.builder(**params)
+        except TypeError as error:
+            raise WorkloadError(
+                f"workload {self.name!r} rejected parameters {sorted(params)}: {error}"
+            ) from error
+        graph.validate()
+        return graph
+
+    def default_system(self) -> RtrSystem:
+        """The scenario's default target system."""
+        return self.system_factory()
+
+    def flow_options(self) -> FlowOptions:
+        """The scenario's default flow options (a fresh instance per call)."""
+        if self.flow_options_factory is None:
+            return FlowOptions()
+        return self.flow_options_factory()
+
+    # ------------------------------------------------------------------
+    # Parameter sweeps
+    # ------------------------------------------------------------------
+
+    def variants(self) -> List[WorkloadVariant]:
+        """Deterministic expansion of the parameter sweep.
+
+        Without a sweep this is the single default variant.  With one, the
+        cartesian product of the swept values is enumerated with the
+        parameter names sorted, so the order (and every variant's canonical
+        hash) is identical across runs and processes.
+        """
+        if not self.sweep:
+            return [WorkloadVariant(self.name, dict(self.default_params))]
+        keys = sorted(self.sweep)
+        variants: List[WorkloadVariant] = []
+        for values in itertools.product(*(self.sweep[key] for key in keys)):
+            swept = dict(zip(keys, values))
+            params = {**self.default_params, **swept}
+            variants.append(WorkloadVariant(variant_name(self.name, swept), params))
+        return variants
+
+    def describe(self) -> str:
+        """Multi-line human readable summary."""
+        lines = [f"workload {self.name}: {self.description or '(no description)'}"]
+        if self.tags:
+            lines.append(f"  tags: {', '.join(self.tags)}")
+        if self.default_params:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.default_params.items())
+            )
+            lines.append(f"  default parameters: {rendered}")
+        if self.sweep:
+            rendered = "; ".join(
+                f"{key} in {list(values)}" for key, values in sorted(self.sweep.items())
+            )
+            lines.append(f"  sweep: {rendered} ({len(self.variants())} variants)")
+        if self.expectations:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.expectations.items())
+            )
+            lines.append(f"  expectations: {rendered}")
+        return "\n".join(lines)

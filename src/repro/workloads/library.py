@@ -1,0 +1,252 @@
+"""The built-in workload catalog.
+
+Five workload families ship with the library:
+
+* ``jpeg_dct`` — the paper's JPEG/DCT case study (Figure 8), now just one
+  registry entry rather than the hard-coded benchmark every driver built;
+* ``fir_filterbank`` — the DFG-described FIR filter bank promoted from
+  ``examples/fir_filterbank_partitioning.py``; costs come from the HLS
+  estimator inside the flow;
+* ``random_layered`` — seeded random layered DAGs with DSP-like statistics
+  (deterministic: same seed, same graph, same canonical hash);
+* ``wavelet_pyramid`` — a dyadic discrete-wavelet-transform analysis
+  pyramid (per-level low/high-pass pairs with decimating data volumes);
+* ``matmul_pipeline`` — a two-stage blocked matrix-product pipeline
+  (``T = A.B`` row tasks feeding ``Y = T.C`` row tasks), the DCT case
+  study's structure generalised to arbitrary dimension.
+
+All builders are plain functions returning a
+:class:`~repro.taskgraph.graph.TaskGraph`; registration happens through the
+:func:`~repro.workloads.registry.register_workload` decorator, and the
+parameter sweeps declared here expand deterministically via
+``Workload.variants()``.
+"""
+
+from __future__ import annotations
+
+from ..arch.catalog import generic_system
+from ..dfg.builders import fir_tap_dfg, sum_of_products_dfg, vector_product_dfg
+from ..errors import SpecificationError
+from ..jpeg.taskgraph_builder import build_dct_task_graph
+from ..synth.flow import FlowOptions
+from ..taskgraph.builders import random_dsp_task_graph
+from ..taskgraph.graph import TaskGraph
+from ..taskgraph.task import Task, clb_cost
+from ..units import ms, ns
+from .registry import register_workload
+
+
+# ---------------------------------------------------------------------------
+# Paper case study
+# ---------------------------------------------------------------------------
+
+@register_workload(
+    "jpeg_dct",
+    description="DAC'99 JPEG case study: the 32-task 4x4 DCT graph on the XC4044 board",
+    default_params={"attach_dfgs": False},
+    expectations={"partitions": 3, "computations_per_run": 2048},
+    tags=("paper", "image"),
+)
+def build_jpeg_dct_graph(attach_dfgs: bool = False) -> TaskGraph:
+    """The case-study DCT graph (paper-reported costs)."""
+    return build_dct_task_graph(attach_dfgs=attach_dfgs)
+
+
+# ---------------------------------------------------------------------------
+# FIR filter bank (promoted from the example)
+# ---------------------------------------------------------------------------
+
+def _fir_filterbank_system():
+    return generic_system(
+        clb_capacity=900, memory_words=16384, reconfiguration_time=ms(10)
+    )
+
+
+def _fir_filterbank_options():
+    return FlowOptions(max_clock_period=ns(80))
+
+
+@register_workload(
+    "fir_filterbank",
+    description="four-channel FIR filter bank + energy detectors, costed by the HLS estimator",
+    default_params={"channels": 4, "taps": 8},
+    system=_fir_filterbank_system,
+    flow_options=_fir_filterbank_options,
+    expectations={"partitions": 5},
+    sweep={"channels": (2, 4, 8)},
+    tags=("dsp", "estimated"),
+)
+def build_fir_filterbank_graph(channels: int = 4, taps: int = 8) -> TaskGraph:
+    """A *channels*-channel FIR filter bank with per-channel energy detectors.
+
+    Every task carries its operation-level DFG; costs are filled in by the
+    HLS estimator inside the design flow (the estimation stage).
+    """
+    if channels < 1:
+        raise SpecificationError("channels must be >= 1")
+    if taps < 1:
+        raise SpecificationError("taps must be >= 1")
+    graph = TaskGraph("fir_filterbank")
+    graph.add_task(
+        Task("window", dfg=vector_product_dfg(8, input_width=12, coefficient_width=12,
+                                              name="window"), task_type="window"),
+        env_input_words=taps,
+    )
+    for channel in range(channels):
+        fir_name = f"fir{channel}"
+        graph.add_task(
+            Task(fir_name, dfg=fir_tap_dfg(taps, input_width=12, coefficient_width=12,
+                                           name=fir_name), task_type="fir"),
+        )
+        graph.add_edge("window", fir_name, words=taps)
+        energy_name = f"energy{channel}"
+        graph.add_task(
+            Task(energy_name, dfg=sum_of_products_dfg(4, width=16, name=energy_name),
+                 task_type="energy"),
+            env_output_words=1,
+        )
+        graph.add_edge(fir_name, energy_name, words=4)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Seeded random layered DAGs
+# ---------------------------------------------------------------------------
+
+def _random_layered_system():
+    return generic_system(
+        clb_capacity=600, memory_words=8192, reconfiguration_time=ms(5)
+    )
+
+
+@register_workload(
+    "random_layered",
+    description="seeded random layered DAG with DSP-like cost statistics",
+    default_params={"task_count": 12, "seed": 0, "max_level_width": 4},
+    system=_random_layered_system,
+    sweep={"seed": (0, 1, 2, 3), "task_count": (12, 18)},
+    tags=("synthetic", "seeded"),
+)
+def build_random_layered_graph(
+    task_count: int = 12, seed: int = 0, max_level_width: int = 4
+) -> TaskGraph:
+    """A reproducible random layered task graph (same seed, same graph)."""
+    return random_dsp_task_graph(
+        task_count=task_count,
+        seed=seed,
+        max_level_width=max_level_width,
+        name=f"random_layered-{task_count}-s{seed}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Wavelet analysis pyramid
+# ---------------------------------------------------------------------------
+
+def _wavelet_system():
+    return generic_system(
+        clb_capacity=450, memory_words=4096, reconfiguration_time=ms(2)
+    )
+
+
+@register_workload(
+    "wavelet_pyramid",
+    description="dyadic DWT analysis pyramid: per-level low/high-pass pairs, decimating",
+    default_params={"levels": 3, "samples": 64, "taps": 6},
+    system=_wavelet_system,
+    expectations={"partitions": 4},
+    sweep={"levels": (2, 3, 4)},
+    tags=("synthetic", "dsp"),
+)
+def build_wavelet_pyramid_graph(
+    levels: int = 3, samples: int = 64, taps: int = 6
+) -> TaskGraph:
+    """A *levels*-deep discrete-wavelet-transform analysis pyramid.
+
+    Each level filters its input through a low-pass/high-pass pair and
+    decimates by two: the low-pass output feeds the next level, the
+    high-pass (detail) coefficients leave for the environment.  Data
+    volumes halve per level, which exercises the memory-mapping and
+    fission stages with asymmetric inter-partition transfers.
+    """
+    if levels < 1:
+        raise SpecificationError("levels must be >= 1")
+    if samples < (1 << levels):
+        raise SpecificationError(
+            f"samples must be at least 2**levels ({1 << levels}), got {samples}"
+        )
+    if taps < 1:
+        raise SpecificationError("taps must be >= 1")
+    graph = TaskGraph(f"wavelet_pyramid-l{levels}")
+    graph.add_task(
+        Task("analysis_window", cost=clb_cost(180, ns(400)), task_type="linebuffer"),
+        env_input_words=samples,
+    )
+    previous = "analysis_window"
+    for level in range(levels):
+        words_in = samples >> level
+        words_out = samples >> (level + 1)
+        lowpass = f"lp{level}"
+        highpass = f"hp{level}"
+        graph.add_task(
+            Task(lowpass, cost=clb_cost(60 + 20 * taps, ns(150 * taps)),
+                 task_type="lowpass", metadata={"level": level}),
+            env_output_words=words_out if level == levels - 1 else 0,
+        )
+        graph.add_task(
+            Task(highpass, cost=clb_cost(50 + 18 * taps, ns(140 * taps)),
+                 task_type="highpass", metadata={"level": level}),
+            env_output_words=words_out,
+        )
+        graph.add_edge(previous, lowpass, words=words_in)
+        graph.add_edge(previous, highpass, words=words_in)
+        previous = lowpass
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Blocked matrix-product pipeline
+# ---------------------------------------------------------------------------
+
+def _matmul_system():
+    return generic_system(
+        clb_capacity=800, memory_words=4096, reconfiguration_time=ms(2)
+    )
+
+
+@register_workload(
+    "matmul_pipeline",
+    description="two-stage blocked matrix product (T=A.B rows feeding Y=T.C rows)",
+    default_params={"dim": 4},
+    system=_matmul_system,
+    expectations={"partitions": 2},
+    sweep={"dim": (2, 4, 6)},
+    tags=("synthetic", "kernel"),
+)
+def build_matmul_pipeline_graph(dim: int = 4) -> TaskGraph:
+    """A ``dim x dim`` two-stage matrix-product pipeline.
+
+    Stage one computes the rows of ``T = A.B`` (narrow operands), stage two
+    the rows of ``Y = T.C`` (wider intermediate operands, hence larger and
+    slower tasks) — the DCT case study's T1/T2 structure generalised to any
+    dimension.  Each second-stage row consumes exactly its first-stage row,
+    so the inter-stage volume is ``dim`` words per row.
+    """
+    if dim < 1:
+        raise SpecificationError("dim must be >= 1")
+    graph = TaskGraph(f"matmul_pipeline-d{dim}")
+    for row in range(dim):
+        graph.add_task(
+            Task(f"ab_r{row}", cost=clb_cost(90 + 10 * dim, ns(120 * dim)),
+                 task_type="stage1", metadata={"row": row}),
+            env_input_words=dim,
+        )
+    for row in range(dim):
+        name = f"tc_r{row}"
+        graph.add_task(
+            Task(name, cost=clb_cost(120 + 15 * dim, ns(160 * dim)),
+                 task_type="stage2", metadata={"row": row}),
+            env_output_words=dim,
+        )
+        graph.add_edge(f"ab_r{row}", name, words=dim)
+    return graph

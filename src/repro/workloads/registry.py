@@ -1,0 +1,116 @@
+"""The process-wide workload registry.
+
+Workloads register themselves with the :func:`register_workload` decorator::
+
+    @register_workload(
+        "my_pipeline",
+        description="a three-stage example",
+        default_params={"stages": 3},
+        system=my_system_factory,
+        expectations={"partitions": 2},
+    )
+    def build_my_pipeline(stages: int = 3) -> TaskGraph:
+        ...
+
+and are looked up by name with :func:`get_workload`.  Registration is
+import-time side-effect free beyond the dictionary insert: builders run only
+when a graph is actually requested, so importing the catalog never pays for
+an expensive builder, and a failing builder surfaces where the graph is
+built (``repro workloads list`` degrades it to an "unavailable" row) rather
+than as an import-time crash.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..arch.board import RtrSystem
+from ..errors import WorkloadError
+from ..synth.flow import FlowOptions
+from ..taskgraph.graph import TaskGraph
+from .base import Workload
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload, replace: bool = False) -> Workload:
+    """Add *workload* to the registry.
+
+    Duplicate names are an error unless *replace* is given — silently
+    shadowing a workload would make experiment provenance ambiguous.
+    """
+    if not replace and workload.name in _REGISTRY:
+        raise WorkloadError(
+            f"workload {workload.name!r} is already registered; pass replace=True "
+            "to overwrite it deliberately"
+        )
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def register_workload(
+    name: str,
+    *,
+    description: str = "",
+    default_params: Optional[Mapping[str, object]] = None,
+    system: Optional[Callable[[], RtrSystem]] = None,
+    flow_options: Optional[Callable[[], FlowOptions]] = None,
+    expectations: Optional[Mapping[str, object]] = None,
+    sweep: Optional[Mapping[str, Sequence[object]]] = None,
+    tags: Tuple[str, ...] = (),
+    replace: bool = False,
+) -> Callable[[Callable[..., TaskGraph]], Callable[..., TaskGraph]]:
+    """Decorator form of :func:`register`: wrap a task-graph builder.
+
+    The decorated function is returned unchanged, so it stays directly
+    callable (examples and tests use the builders without the registry).
+    """
+
+    def decorator(builder: Callable[..., TaskGraph]) -> Callable[..., TaskGraph]:
+        workload = Workload(
+            name=name,
+            builder=builder,
+            description=description,
+            default_params=dict(default_params or {}),
+            expectations=dict(expectations or {}),
+            sweep=dict(sweep or {}),
+            tags=tuple(tags),
+            **({"system_factory": system} if system is not None else {}),
+            flow_options_factory=flow_options,
+        )
+        register(workload, replace=replace)
+        return builder
+
+    return decorator
+
+
+def unregister_workload(name: str) -> None:
+    """Remove one workload (mainly for tests and plugin teardown)."""
+    try:
+        del _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(f"workload {name!r} is not registered")
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name.
+
+    >>> get_workload("jpeg_dct").name
+    'jpeg_dct'
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none registered)"
+        raise WorkloadError(f"unknown workload {name!r}; known: {known}")
+
+
+def workload_names() -> List[str]:
+    """Sorted names of every registered workload."""
+    return sorted(_REGISTRY)
+
+
+def iter_workloads() -> Iterator[Workload]:
+    """Iterate over registered workloads in name order."""
+    for name in workload_names():
+        yield _REGISTRY[name]

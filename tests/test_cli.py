@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -27,6 +29,17 @@ class TestParser:
     def test_unknown_partitioner_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["partition", "--partitioner", "annealing"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ") and out.split()[1][0].isdigit()
+
+    def test_workloads_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workloads"])
 
 
 class TestCommands:
@@ -81,6 +94,76 @@ class TestCommands:
         assert main(["case-study", "--no-ilp"]) == 0
         out = capsys.readouterr().out
         assert "k=2048" in out and "XC6000" in out
+
+    def test_workloads_list(self, capsys):
+        assert main(["workloads", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("jpeg_dct", "fir_filterbank", "matmul_pipeline",
+                     "random_layered", "wavelet_pyramid"):
+            assert name in out
+
+    def test_workloads_list_survives_a_broken_builder(self, capsys):
+        """A workload whose builder raises must not break the listing."""
+        from repro.errors import SpecificationError
+        from repro.workloads import register_workload, unregister_workload
+
+        @register_workload("broken_for_list_test", description="always fails")
+        def build_broken(**_params):
+            raise SpecificationError("synthetic failure for the listing test")
+
+        try:
+            assert main(["workloads", "list"]) == 0
+            out = capsys.readouterr().out
+            assert "broken_for_list_test" in out and "unavailable" in out
+        finally:
+            unregister_workload("broken_for_list_test")
+
+    def test_workloads_show(self, capsys):
+        assert main(["workloads", "show", "matmul_pipeline"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul_pipeline" in out and "8 tasks" in out and "variants" in out
+
+    def test_workloads_show_unknown_exits_cleanly(self, capsys):
+        assert main(["workloads", "show", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_flow_with_workload(self, capsys):
+        assert main(["flow", "--workload", "matmul_pipeline"]) == 0
+        out = capsys.readouterr().out
+        assert "2 configurations" in out and "host sequencing code" in out
+
+    def test_flow_batch_requires_workload(self, capsys):
+        assert main(["flow", "--batch"]) == 2
+        assert "--workload" in capsys.readouterr().err
+
+    def test_flow_rejects_file_and_workload_together(self, capsys):
+        assert main(["flow", "graph.json", "--workload", "jpeg_dct"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_flow_batch_honours_system_and_ct_overrides(self, capsys):
+        assert main([
+            "flow", "--workload", "matmul_pipeline", "--batch",
+            "--system", "custom", "--clbs", "800", "--memory", "4096",
+            "--ct", "1", "--format", "json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1 and rows[0]["status"] == "ok"
+        # CT=1ms (not the workload default 2ms): 2 reconfigurations + compute.
+        assert rows[0]["total_latency_s"] == pytest.approx(
+            2 * 0.001 + rows[0]["block_delay_ns"] * 1e-9
+        )
+
+    def test_flow_batch_with_ct_sweep_csv(self, capsys):
+        assert main([
+            "flow", "--workload", "matmul_pipeline", "--batch",
+            "--ct-sweep", "1,5", "--format", "csv",
+        ]) == 0
+        captured = capsys.readouterr()
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        assert len(lines) == 3  # header + one row per CT value
+        assert "matmul_pipeline[" not in lines[1]  # default params, no variant tag
+        assert "@ct=1ms" in lines[1] and "@ct=5ms" in lines[2]
+        assert "flow batch of 2 jobs" in captured.err
 
     def test_error_reported_cleanly(self, tmp_path, capsys):
         # A task graph that cannot be partitioned (task larger than the device)

@@ -48,6 +48,7 @@ class TestExamples:
         "fir_filterbank_partitioning.py",
         "ilp_vs_list_partitioning.py",
         "generate_rtl_configurations.py",
+        "workload_batch_flows.py",
     ]
 
     def test_all_examples_present(self):
@@ -84,13 +85,15 @@ class TestExamples:
             "bench_ablation_formulation.py",
             "bench_ablation_memory_sweep.py",
             "bench_substrates.py",
+            "bench_engine_scaling.py",
+            "bench_flow_scaling.py",
         }
         assert expected <= names
 
 
 class TestPublicApi:
     def test_version_string(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     @pytest.mark.parametrize(
         "module_name",
@@ -106,6 +109,7 @@ class TestPublicApi:
             "repro.synth",
             "repro.simulate",
             "repro.jpeg",
+            "repro.workloads",
             "repro.experiments",
             "repro.cli",
         ],
@@ -119,6 +123,7 @@ class TestPublicApi:
         for module_name in (
             "repro", "repro.arch", "repro.taskgraph", "repro.partition",
             "repro.fission", "repro.jpeg", "repro.ilp", "repro.hls",
+            "repro.workloads", "repro.synth",
         ):
             module = importlib.import_module(module_name)
             for name in module.__all__:

@@ -166,6 +166,29 @@ class TestReportHelpers:
         assert row["paper"] == 42 and row["measured"] == 43
 
 
+class TestCrossWorkloadSummary:
+    def test_summary_covers_the_catalog_in_one_batch(self):
+        from repro.experiments import (
+            cross_workload_summary,
+            format_cross_workload_table,
+        )
+        from repro.runtime import EngineConfig, PartitionEngine
+        from repro.workloads import workload_names
+
+        engine = PartitionEngine(EngineConfig())
+        names = ["jpeg_dct", "matmul_pipeline", "wavelet_pyramid"]
+        rows = cross_workload_summary(names=names, engine=engine)
+        assert [row["workload"] for row in rows] == names
+        assert all(row["status"] == "ok" for row in rows)
+        assert all(row.get("matches_expected", True) for row in rows)
+        jpeg = rows[0]
+        assert jpeg["partitions"] == 3 and jpeg["k"] == 2048
+        # ≥ 4 workloads registered overall; the summary defaults to all.
+        assert len(workload_names()) >= 4
+        table = format_cross_workload_table(rows)
+        assert "Cross-workload" in table and "jpeg_dct" in table
+
+
 class TestSanityGuards:
     def test_case_study_sanity_check_fires_on_bad_memory(self):
         from repro.arch import paper_case_study_system

@@ -175,6 +175,45 @@ class TestCaches:
         assert cache.get("c" * 64) is None
         assert not (tmp_path / ("c" * 64 + ".json")).exists()
 
+    def test_disk_truncated_entry_is_a_logged_miss(self, tmp_path, caplog):
+        """A half-written JSON file (killed mid-write) is a miss, not a crash."""
+        cache = DiskCache(tmp_path)
+        fingerprint = "t" * 64
+        cache.put(fingerprint, _outcome(fingerprint))
+        path = tmp_path / f"{fingerprint}.json"
+        path.write_text(path.read_text(encoding="utf-8")[:20], encoding="utf-8")
+        with caplog.at_level("WARNING", logger="repro.runtime.cache"):
+            assert cache.get(fingerprint) is None
+        assert any("corrupt cache entry" in record.message for record in caplog.records)
+        assert not path.exists()
+
+    def test_disk_schema_mismatch_is_a_miss(self, tmp_path):
+        """Valid JSON with the wrong shape must also be treated as a miss."""
+        cache = DiskCache(tmp_path)
+        fingerprint = "s" * 64
+        path = tmp_path / f"{fingerprint}.json"
+        path.write_text('{"status": "solved", "unexpected": 1}', encoding="utf-8")
+        assert cache.get(fingerprint) is None
+        assert not path.exists()
+
+    def test_engine_overwrites_corrupt_disk_entry(self, tmp_path):
+        """A corrupt entry is re-solved and overwritten by the next batch."""
+        engine = PartitionEngine(EngineConfig(cache_dir=tmp_path))
+        problem = _pipeline_problem()
+        first = engine.solve_batch([problem])
+        assert first.ok
+        fingerprint = engine.make_job(problem).fingerprint()
+        path = tmp_path / f"{fingerprint}.json"
+        path.write_text("{truncated", encoding="utf-8")
+
+        fresh = PartitionEngine(EngineConfig(cache_dir=tmp_path))
+        second = fresh.solve_batch([problem])
+        assert second.ok
+        assert second[0].source is ResultSource.SOLVE
+        assert fresh.stats.cache.misses == 1
+        # The overwritten entry round-trips again.
+        assert DiskCache(tmp_path).get(fingerprint) is not None
+
     def test_outcome_json_roundtrip(self):
         outcome = _outcome()
         again = JobOutcome.from_json_dict(

@@ -60,6 +60,28 @@ class TestDesignFlow:
         assert "for" in design.host_code_for(SequencingStrategy.FDH)
         assert "for" in design.host_code_for(SequencingStrategy.IDH)
 
+    def test_staged_flow_matches_build(self, paper_system):
+        """Driving the stage methods by hand equals the one-call build."""
+        flow = DesignFlow(paper_system)
+        graph = flow.estimate(build_dct_task_graph())
+        partitioning = flow.partition(graph)
+        memory_map = flow.map_memory(partitioning)
+        fission = flow.analyse(partitioning, memory_map)
+        timing = flow.timing(partitioning, fission, memory_map)
+        design = flow.assemble(
+            graph, partitioning,
+            memory_map=memory_map, fission=fission, timing=timing,
+        )
+        # Precomputed artefacts are adopted, not recomputed.
+        assert design.memory_map is memory_map
+        assert design.fission is fission
+        assert design.timing_spec is timing
+        built = flow.build(build_dct_task_graph())
+        assert design.partition_count == built.partition_count
+        assert design.computations_per_run == built.computations_per_run
+        assert design.block_delay == pytest.approx(built.block_delay)
+        assert "for" in design.host_code_for(SequencingStrategy.IDH)
+
     def test_flow_with_list_partitioner(self, paper_system):
         flow = DesignFlow(paper_system, FlowOptions(partitioner="list"))
         design = flow.build(build_dct_task_graph())
