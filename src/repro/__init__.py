@@ -17,6 +17,8 @@ The public API is organised by subsystem:
 * :mod:`repro.simulate` — execution simulation of static and RTR designs;
 * :mod:`repro.jpeg` — the JPEG/DCT case study;
 * :mod:`repro.workloads` — the registry of named, parameterised scenarios;
+* :mod:`repro.explore` — design-space exploration: Pareto search over the
+  joint (workload, system, CT, partitioner, sequencing) space;
 * :mod:`repro.experiments` — drivers regenerating the paper's tables and figures.
 
 Quickstart::
@@ -35,6 +37,7 @@ from . import (
     dfg,
     errors,
     experiments,
+    explore,
     fission,
     hls,
     ilp,
@@ -55,7 +58,7 @@ from .runtime import EngineConfig, PartitionEngine
 from .synth import DesignFlow, FlowEngine, FlowJob, FlowOptions
 from .workloads import get_workload, register_workload, workload_names
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DesignFlow",
@@ -73,6 +76,7 @@ __all__ = [
     "dfg",
     "errors",
     "experiments",
+    "explore",
     "fission",
     "get_workload",
     "hls",

@@ -14,6 +14,11 @@ writing Python:
   flow engine (``--workload all --batch``);
 * ``repro workloads list`` / ``repro workloads show <name>`` — browse the
   workload catalog;
+* ``repro explore`` — search the (workload, system, CT, partitioner,
+  sequencing) design space for Pareto-optimal designs with a chosen
+  strategy, budget and objectives, against a resumable run store;
+* ``repro frontier`` — the JPEG-DCT Pareto frontier vs. the paper's own
+  design point;
 * ``repro table1`` / ``repro table2`` — regenerate the paper's tables;
 * ``repro case-study`` — print the full case-study summary (partitioning,
   fission analysis, headline comparisons);
@@ -374,6 +379,129 @@ def cmd_flow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_csv_list(text: str, what: str) -> List[str]:
+    """Split a comma-separated option value, rejecting empty items."""
+    items = [item.strip() for item in text.split(",") if item.strip()]
+    if not items:
+        raise ReproError(f"--{what} expects a non-empty comma-separated list")
+    return items
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from .explore import (
+        ExploreConfig,
+        Explorer,
+        RunStore,
+        SearchSpace,
+        default_store_path,
+        resolve_objectives,
+    )
+    from .workloads import workload_names
+
+    # Resolved once, before a run store is even created: fail fast.
+    objectives = tuple(_parse_csv_list(args.objectives, "objectives"))
+    resolve_objectives(objectives)
+
+    names = workload_names() if args.workload == "all" else [args.workload]
+    ct_values = _parse_ct_sweep(args.ct_sweep)
+    space = SearchSpace.for_workloads(
+        names,
+        variants=args.variants,
+        systems=tuple(_parse_csv_list(args.systems, "systems")),
+        ct_values=tuple(ct_values) if ct_values else (None,),
+        partitioners=tuple(_parse_csv_list(args.partitioners, "partitioners")),
+        sequencings=tuple(_parse_csv_list(args.sequencing, "sequencing")),
+    )
+    config = ExploreConfig(
+        strategy=args.strategy,
+        budget=args.budget,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        objectives=objectives,
+        eval_blocks=args.eval_blocks,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    if args.resume and args.fresh:
+        raise ReproError("pass either --resume or --fresh, not both")
+    from pathlib import Path
+
+    store_path = Path(args.store or default_store_path(space))
+    if (
+        store_path.exists()
+        and store_path.stat().st_size
+        and not args.resume
+        and not args.fresh
+    ):
+        raise ReproError(
+            f"run store {store_path} already exists; pass --resume to continue "
+            "it or --fresh to overwrite it"
+        )
+    store = RunStore(
+        store_path,
+        space.fingerprint(),
+        resume=args.resume,
+        context={"eval_blocks": args.eval_blocks},
+    )
+    try:
+        result = Explorer(space, config=config, store=store).run()
+    finally:
+        store.close()
+
+    rows = result.front.rows()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8", newline="") as stream:
+            _format_explore_rows(rows, args.format, stream)
+    else:
+        _format_explore_rows(rows, args.format, sys.stdout)
+    print(space.describe(), file=sys.stderr)
+    print(result.describe(), file=sys.stderr)
+    print(
+        f"flow jobs evaluated: {result.flow_evaluated} "
+        f"(run store: {store_path}; {result.store_hits} store hits)",
+        file=sys.stderr,
+    )
+    return 0 if len(result.front) else 1
+
+
+def _format_explore_rows(rows: List[dict], fmt: str, stream) -> None:
+    """Write Pareto-front rows as an aligned table, JSON, or CSV."""
+    if fmt == "json":
+        json.dump(rows, stream, indent=2)
+        stream.write("\n")
+        return
+    if fmt == "csv":
+        if not rows:
+            return
+        writer = csv.DictWriter(stream, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+        return
+    from .experiments.report import format_table
+
+    if not rows:
+        stream.write("(empty Pareto front)\n")
+        return
+    stream.write(
+        format_table(
+            rows,
+            columns=list(rows[0].keys()),
+            title="Pareto front",
+        )
+    )
+    stream.write("\n")
+
+
+def cmd_frontier(args: argparse.Namespace) -> int:
+    from .experiments.frontier import format_frontier_table, jpeg_dct_frontier
+
+    report = jpeg_dct_frontier()
+    print(format_frontier_table(report))
+    print()
+    print(report.describe())
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     study = build_case_study(use_ilp=not args.no_ilp)
     result = reproduce_table1(study)
@@ -541,6 +669,66 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-computation delay of the static baseline, in ns")
     _add_system_arguments(flow, default=None)
     flow.set_defaults(handler=cmd_flow)
+
+    explore = subparsers.add_parser(
+        "explore",
+        help="search the (workload, system, CT, partitioner, sequencing) design "
+             "space for Pareto-optimal designs",
+    )
+    explore.add_argument("--workload", default="jpeg_dct",
+                         help="registered workload name, or 'all' (default: jpeg_dct)")
+    explore.add_argument("--variants", action="store_true",
+                         help="expand each workload's deterministic parameter sweep")
+    from .explore import objective_names, strategy_names
+
+    explore.add_argument("--strategy", default="grid", choices=strategy_names(),
+                         help="search strategy (default: grid)")
+    explore.add_argument("--budget", type=int, default=64,
+                         help="maximum design points to visit (default: 64)")
+    explore.add_argument("--batch-size", type=int, default=8,
+                         help="points proposed/evaluated per round (default: 8)")
+    explore.add_argument("--seed", type=int, default=0,
+                         help="RNG seed; same seed + budget = identical trajectory")
+    explore.add_argument("--objectives", default="latency,throughput",
+                         help="comma-separated objectives (known: "
+                              f"{','.join(objective_names())})")
+    explore.add_argument("--eval-blocks", type=int, default=16384,
+                         help="loop iterations the overhead/throughput objectives "
+                              "are evaluated at (default: 16384)")
+    explore.add_argument("--systems", default="workload-default",
+                         help="comma-separated system presets to sweep "
+                              "('workload-default' = each workload's own board)")
+    explore.add_argument("--ct-sweep", default="1,5,10,50,100",
+                         help="comma-separated reconfiguration times in "
+                              "milliseconds (default: 1,5,10,50,100)")
+    explore.add_argument("--partitioners", default="ilp,list,level",
+                         help="comma-separated partitioners to sweep")
+    explore.add_argument("--sequencing", default="fdh,idh",
+                         help="comma-separated sequencing strategies to sweep")
+    explore.add_argument("--store", default=None,
+                         help="run-store JSONL path (default: "
+                              ".repro-explore/run-<space>.jsonl)")
+    explore.add_argument("--resume", action="store_true",
+                         help="resume from the run store: completed points are "
+                              "served without re-running their flows")
+    explore.add_argument("--fresh", action="store_true",
+                         help="deliberately overwrite an existing run store "
+                              "(without --resume or --fresh an existing store "
+                              "is refused, never silently truncated)")
+    explore.add_argument("--workers", type=int, default=0,
+                         help="worker processes for partition-stage misses")
+    explore.add_argument("--cache-dir", default=None,
+                         help="directory for the on-disk partition result cache")
+    explore.add_argument("--format", default="table", choices=["table", "json", "csv"])
+    explore.add_argument("--output", default=None,
+                         help="write the Pareto front to this file instead of stdout")
+    explore.set_defaults(handler=cmd_explore)
+
+    frontier = subparsers.add_parser(
+        "frontier",
+        help="JPEG-DCT Pareto frontier vs. the paper's chosen design point",
+    )
+    frontier.set_defaults(handler=cmd_frontier)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1 (FDH)")
     table1.add_argument("--no-ilp", action="store_true",

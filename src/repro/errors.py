@@ -100,5 +100,9 @@ class CodecError(ReproError):
     """The JPEG-style codec was given invalid data."""
 
 
+class ExplorationError(ReproError):
+    """A design-space exploration (search space, strategy or run store) failed."""
+
+
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""

@@ -11,6 +11,13 @@ from .figures import (
     reproduce_figure5,
     reproduce_figure8,
 )
+from .frontier import (
+    FrontierReport,
+    format_frontier_table,
+    jpeg_dct_frontier,
+    jpeg_dct_space,
+    paper_design_point,
+)
 from .report import comparison_row, format_table, percentage, seconds_column
 from .summary import (
     ClaimCheck,
@@ -40,6 +47,11 @@ __all__ = [
     "format_cross_workload_table",
     "fdh_breakeven_workload",
     "format_table",
+    "FrontierReport",
+    "format_frontier_table",
+    "jpeg_dct_frontier",
+    "jpeg_dct_space",
+    "paper_design_point",
     "paper_constants",
     "partitioning_ct_sweep",
     "percentage",

@@ -1,0 +1,102 @@
+"""Design-space exploration: Pareto search over the joint design space.
+
+The paper closes its latency/area trade-off by hand — relax the partition
+bound, sweep the configuration time, compare FDH against IDH.  This package
+automates that loop as a subsystem:
+
+* :mod:`repro.explore.space` — :class:`DesignPoint` / :class:`SearchSpace`:
+  the (workload + parameters, system, CT, partitioner, sequencing) product
+  with deterministic enumeration, seeded sampling and neighbourhoods;
+* :mod:`repro.explore.objectives` — the multi-objective criteria (latency,
+  area utilisation, reconfiguration overhead, throughput) with per-objective
+  min/max directions;
+* :mod:`repro.explore.pareto` — strict dominance and the incremental
+  :class:`ParetoFront` tracker;
+* :mod:`repro.explore.strategies` — the pluggable strategy registry
+  (``grid``, ``random``, ``greedy``, ``anneal``);
+* :mod:`repro.explore.store` — the persistent JSONL :class:`RunStore` that
+  makes interrupted explorations resumable by point fingerprint;
+* :mod:`repro.explore.engine` — :class:`Explorer`, which evaluates candidate
+  batches through :class:`~repro.synth.flow_engine.FlowEngine` so the
+  partition caches make repeated neighbourhoods nearly free.
+
+Quickstart::
+
+    from repro.explore import ExploreConfig, Explorer, SearchSpace
+    from repro.units import ms
+
+    space = SearchSpace.for_workloads(
+        ["jpeg_dct"], ct_values=(ms(1), ms(10), ms(100)),
+        partitioners=("ilp", "list"), sequencings=("fdh", "idh"),
+    )
+    result = Explorer(space, strategy="random", budget=16, seed=7).run()
+    for row in result.front.rows():
+        print(row)
+"""
+
+from .engine import (
+    ExplorationResult,
+    ExploreConfig,
+    Explorer,
+    default_store_path,
+    explore,
+    is_deterministic_failure,
+)
+from .objectives import (
+    DEFAULT_EVAL_BLOCKS,
+    OBJECTIVES,
+    Objective,
+    evaluate_report,
+    objective_names,
+    objective_vector,
+    resolve_objectives,
+)
+from .pareto import FrontEntry, ParetoFront, dominates
+from .space import WORKLOAD_DEFAULT_SYSTEM, DesignPoint, SearchSpace
+from .store import PointRecord, RunStore
+from .strategies import (
+    SEARCH_STRATEGIES,
+    ExhaustiveSearch,
+    GreedyHillClimb,
+    RandomSearch,
+    Scalariser,
+    SearchStrategy,
+    SimulatedAnnealing,
+    make_strategy,
+    register_strategy,
+    strategy_names,
+)
+
+__all__ = [
+    "DEFAULT_EVAL_BLOCKS",
+    "DesignPoint",
+    "ExhaustiveSearch",
+    "ExplorationResult",
+    "ExploreConfig",
+    "Explorer",
+    "FrontEntry",
+    "GreedyHillClimb",
+    "OBJECTIVES",
+    "Objective",
+    "ParetoFront",
+    "PointRecord",
+    "RandomSearch",
+    "RunStore",
+    "SEARCH_STRATEGIES",
+    "Scalariser",
+    "SearchSpace",
+    "SearchStrategy",
+    "SimulatedAnnealing",
+    "WORKLOAD_DEFAULT_SYSTEM",
+    "default_store_path",
+    "dominates",
+    "evaluate_report",
+    "explore",
+    "is_deterministic_failure",
+    "make_strategy",
+    "objective_names",
+    "objective_vector",
+    "register_strategy",
+    "resolve_objectives",
+    "strategy_names",
+]

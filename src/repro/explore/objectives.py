@@ -1,0 +1,172 @@
+"""Multi-objective criteria the exploration optimises.
+
+Each :class:`Objective` names one scalar quantity computed from a finished
+:class:`~repro.synth.rtr_design.RtrDesign` plus its design point, and the
+direction it improves in.  The built-in registry covers the four axes of
+the paper's trade-off discussion:
+
+* ``latency`` (min) — ``N*CT + sum_p d_p``, the partitioner's objective;
+* ``area`` (max) — mean CLB utilisation across the temporal partitions;
+* ``overhead`` (min) — the reconfiguration share of wall-clock time at the
+  evaluation workload size, under the point's own FDH/IDH sequencing;
+* ``throughput`` (max) — loop iterations per second at the evaluation
+  workload size, under the point's own sequencing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..errors import ExplorationError
+from ..fission.strategies import SequencingStrategy, execution_time
+from ..partition.metrics import compute_metrics
+from ..synth.flow_engine import FlowReport
+from ..synth.rtr_design import RtrDesign
+from .space import DesignPoint
+
+#: Loop iterations the overhead/throughput objectives are evaluated at when
+#: the caller does not choose a workload size (the paper's Table-2 midpoint
+#: scale: enough blocks that k-batching matters, small enough to stay fast).
+DEFAULT_EVAL_BLOCKS = 16_384
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation criterion: a named scalar and its direction."""
+
+    name: str
+    direction: str  # "min" or "max"
+    description: str
+    compute: Callable[[RtrDesign, DesignPoint, int], float]
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("min", "max"):
+            raise ExplorationError(
+                f"objective {self.name!r} direction must be 'min' or 'max', "
+                f"got {self.direction!r}"
+            )
+
+    @property
+    def minimise(self) -> bool:
+        """Whether smaller values are better."""
+        return self.direction == "min"
+
+    def better(self, a: float, b: float) -> bool:
+        """Whether value *a* is strictly better than *b*."""
+        return a < b if self.minimise else a > b
+
+
+def _latency(design: RtrDesign, point: DesignPoint, eval_blocks: int) -> float:
+    return design.partitioning.total_latency
+
+
+def _area(design: RtrDesign, point: DesignPoint, eval_blocks: int) -> float:
+    metrics = compute_metrics(design.partitioning, design.system.resource_capacity)
+    return metrics.mean_utilisation
+
+
+def _breakdown(design: RtrDesign, point: DesignPoint, eval_blocks: int):
+    strategy = SequencingStrategy(point.sequencing)
+    return execution_time(strategy, design.timing_spec, eval_blocks, design.system)
+
+
+def _overhead(design: RtrDesign, point: DesignPoint, eval_blocks: int) -> float:
+    breakdown = _breakdown(design, point, eval_blocks)
+    if breakdown.total <= 0:
+        return 0.0
+    return breakdown.reconfiguration / breakdown.total
+
+
+def _throughput(design: RtrDesign, point: DesignPoint, eval_blocks: int) -> float:
+    breakdown = _breakdown(design, point, eval_blocks)
+    if breakdown.total <= 0:
+        return 0.0
+    return eval_blocks / breakdown.total
+
+
+#: The built-in objective registry, keyed by name.
+OBJECTIVES: Dict[str, Objective] = {
+    objective.name: objective
+    for objective in (
+        Objective(
+            "latency",
+            "min",
+            "total per-pass latency N*CT + sum_p d_p (seconds)",
+            _latency,
+        ),
+        Objective(
+            "area",
+            "max",
+            "mean CLB utilisation across temporal partitions (0..1)",
+            _area,
+        ),
+        Objective(
+            "overhead",
+            "min",
+            "reconfiguration share of execution time at the evaluation size",
+            _overhead,
+        ),
+        Objective(
+            "throughput",
+            "max",
+            "loop iterations per second at the evaluation size",
+            _throughput,
+        ),
+    )
+}
+
+
+def objective_names() -> List[str]:
+    """Sorted names of every registered objective."""
+    return sorted(OBJECTIVES)
+
+
+def resolve_objectives(names: Sequence[str]) -> Tuple[Objective, ...]:
+    """Look up objectives by name, preserving the caller's order."""
+    if not names:
+        raise ExplorationError("at least one objective is required")
+    resolved = []
+    for name in names:
+        try:
+            resolved.append(OBJECTIVES[name])
+        except KeyError:
+            known = ", ".join(objective_names())
+            raise ExplorationError(f"unknown objective {name!r}; known: {known}")
+    if len({objective.name for objective in resolved}) != len(resolved):
+        raise ExplorationError(f"duplicate objectives in {list(names)}")
+    return tuple(resolved)
+
+
+def evaluate_report(
+    report: FlowReport,
+    point: DesignPoint,
+    objectives: Sequence[Objective],
+    eval_blocks: int = DEFAULT_EVAL_BLOCKS,
+) -> Dict[str, float]:
+    """Objective values of one finished flow report.
+
+    Raises :class:`~repro.errors.ExplorationError` when the report carries
+    no design — failed jobs never produce objective values.
+    """
+    if report.design is None:
+        raise ExplorationError(
+            f"flow job {report.job.name!r} failed at "
+            f"{report.failed_stage or 'unknown'}; no objectives to evaluate"
+        )
+    if eval_blocks < 1:
+        raise ExplorationError("eval_blocks must be at least 1")
+    return {
+        objective.name: float(objective.compute(report.design, point, eval_blocks))
+        for objective in objectives
+    }
+
+
+def objective_vector(
+    metrics: Dict[str, float], objectives: Sequence[Objective]
+) -> Tuple[float, ...]:
+    """The metric values in objective order (raising on a missing metric)."""
+    try:
+        return tuple(metrics[objective.name] for objective in objectives)
+    except KeyError as error:
+        raise ExplorationError(f"metrics are missing objective {error}") from error

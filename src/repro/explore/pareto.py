@@ -1,0 +1,141 @@
+"""Incremental Pareto-front tracking with per-objective directions.
+
+:func:`dominates` is the strict Pareto order: ``a`` dominates ``b`` when it
+is no worse in every objective (respecting each objective's min/max
+direction) and strictly better in at least one.  The relation is
+irreflexive, antisymmetric and transitive — property-tested in
+``tests/test_explore.py`` — which is what makes the incremental update of
+:class:`ParetoFront` sound: a new entry is kept iff no current entry
+dominates it, and it evicts every current entry it dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExplorationError
+from .objectives import Objective, objective_vector
+from .space import DesignPoint
+
+
+def dominates(
+    a: Sequence[float], b: Sequence[float], objectives: Sequence[Objective]
+) -> bool:
+    """Whether objective vector *a* strictly Pareto-dominates *b*."""
+    if not (len(a) == len(b) == len(objectives)):
+        raise ExplorationError(
+            f"vector lengths {len(a)}/{len(b)} do not match "
+            f"{len(objectives)} objectives"
+        )
+    strictly_better = False
+    for value_a, value_b, objective in zip(a, b, objectives):
+        if objective.better(value_b, value_a):
+            return False
+        if objective.better(value_a, value_b):
+            strictly_better = True
+    return strictly_better
+
+
+@dataclass(frozen=True)
+class FrontEntry:
+    """One non-dominated design on the front."""
+
+    fingerprint: str
+    point: DesignPoint
+    metrics: Dict[str, float]
+
+    def vector(self, objectives: Sequence[Objective]) -> Tuple[float, ...]:
+        """The entry's objective values in objective order."""
+        return objective_vector(self.metrics, objectives)
+
+
+class ParetoFront:
+    """The set of mutually non-dominated designs seen so far."""
+
+    def __init__(self, objectives: Sequence[Objective]) -> None:
+        if not objectives:
+            raise ExplorationError("a Pareto front needs at least one objective")
+        self.objectives = tuple(objectives)
+        self._entries: Dict[str, FrontEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def add(
+        self,
+        point: DesignPoint,
+        metrics: Dict[str, float],
+        fingerprint: Optional[str] = None,
+    ) -> bool:
+        """Offer one design; returns whether it is on the front afterwards.
+
+        A design dominated by (or identical in fingerprint to) a current
+        entry is rejected; an accepted design evicts every entry it
+        dominates.  Objective ties survive side by side — equal vectors are
+        mutually non-dominated.
+        """
+        fingerprint = fingerprint or point.fingerprint()
+        if fingerprint in self._entries:
+            return True
+        vector = objective_vector(metrics, self.objectives)
+        dominated: List[str] = []
+        for entry in self._entries.values():
+            other = entry.vector(self.objectives)
+            if dominates(other, vector, self.objectives):
+                return False
+            if dominates(vector, other, self.objectives):
+                dominated.append(entry.fingerprint)
+        for key in dominated:
+            del self._entries[key]
+        self._entries[fingerprint] = FrontEntry(
+            fingerprint=fingerprint, point=point, metrics=dict(metrics)
+        )
+        return True
+
+    def entries(self) -> List[FrontEntry]:
+        """Front entries sorted by fingerprint (stable across runs)."""
+        return [self._entries[key] for key in sorted(self._entries)]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-entry rows for tabular/JSON/CSV presentation."""
+        rows: List[Dict[str, object]] = []
+        for entry in self.entries():
+            row: Dict[str, object] = {
+                "design": entry.point.label,
+                "fingerprint": entry.fingerprint[:12],
+            }
+            for objective in self.objectives:
+                row[objective.name] = entry.metrics[objective.name]
+            rows.append(row)
+        return rows
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Canonical JSON form (sorted entries) for persistence and diffing."""
+        return {
+            "objectives": [
+                {"name": objective.name, "direction": objective.direction}
+                for objective in self.objectives
+            ],
+            "entries": [
+                {
+                    "fingerprint": entry.fingerprint,
+                    "point": entry.point.to_json_dict(),
+                    "metrics": {
+                        name: entry.metrics[name] for name in sorted(entry.metrics)
+                    },
+                }
+                for entry in self.entries()
+            ],
+        }
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        names = ", ".join(
+            f"{objective.name}({objective.direction})"
+            for objective in self.objectives
+        )
+        return f"Pareto front of {len(self)} design(s) over [{names}]"

@@ -1,0 +1,249 @@
+"""The persistent, resumable exploration run store.
+
+A :class:`RunStore` is an append-only JSONL file: one meta line (schema
+version + search-space fingerprint) followed by one line per evaluated
+design point, keyed by the point's content fingerprint.  Appends are
+flushed line-by-line, so an interrupted exploration loses at most the
+record being written; a truncated trailing line is tolerated (logged and
+ignored) on the next open, and a resumed run serves every completed point
+from the store instead of re-running its flow.
+
+``path=None`` gives the same interface backed by memory only — the
+exploration engine always talks to a store, persistent or not.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from ..errors import ExplorationError
+from .space import DesignPoint
+
+logger = logging.getLogger(__name__)
+
+#: Schema version of the JSONL records; a store written under a different
+#: version never silently resumes.
+STORE_VERSION = 1
+
+
+@dataclass
+class PointRecord:
+    """The stored outcome of evaluating one design point."""
+
+    fingerprint: str
+    point: DesignPoint
+    status: str = "ok"  # "ok" | "failed"
+    metrics: Dict[str, float] = field(default_factory=dict)
+    error: str = ""
+    error_kind: str = ""
+    #: Evaluation wall time of THIS run; runtime-only, never persisted —
+    #: same seed + budget must yield byte-identical store files.
+    wall_time: float = 0.0
+    source: str = "flow"  # "flow" | "store" — where THIS run got the record
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point produced a finished, measured design."""
+        return self.status == "ok"
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (canonically ordered for byte-stable stores)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "point": self.point.to_json_dict(),
+            "status": self.status,
+            "metrics": {name: self.metrics[name] for name in sorted(self.metrics)},
+            "error": self.error,
+            "error_kind": self.error_kind,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, object]) -> "PointRecord":
+        """Rebuild a record from its stored form."""
+        try:
+            return cls(
+                fingerprint=str(data["fingerprint"]),
+                point=DesignPoint.from_json_dict(data["point"]),  # type: ignore[arg-type]
+                status=str(data.get("status", "ok")),
+                metrics={
+                    str(name): float(value)
+                    for name, value in dict(data.get("metrics", {})).items()
+                },
+                error=str(data.get("error", "")),
+                error_kind=str(data.get("error_kind", "")),
+                source="store",
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ExplorationError(f"malformed run-store record: {error}") from error
+
+
+class RunStore:
+    """Append-only JSONL store of evaluated design points."""
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        space_fingerprint: str = "",
+        resume: bool = True,
+        context: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.space_fingerprint = space_fingerprint
+        #: Evaluation context (e.g. ``eval_blocks``) the stored metrics were
+        #: computed under; a resume with a *different* context would silently
+        #: serve stale numbers, so a mismatch is an error, like the version.
+        self.context: Dict[str, object] = dict(context or {})
+        self._records: Dict[str, PointRecord] = {}
+        self._order: List[str] = []
+        self._handle = None
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and self.path.exists():
+            self._load()
+            self._handle = self.path.open("a", encoding="utf-8")
+        else:
+            self._handle = self.path.open("w", encoding="utf-8")
+            self._write_line(self._meta_dict())
+
+    def _meta_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "meta",
+            "version": STORE_VERSION,
+            "space": self.space_fingerprint,
+            "context": self.context,
+        }
+
+    def _load(self) -> None:
+        """Read every intact record; heal a truncated trailing line.
+
+        An interrupted write can only corrupt the end of the file.  The
+        partial trailing line is truncated away (so the append handle
+        starts on a clean line boundary and the next write cannot glue
+        onto it); corrupt *complete* lines are ignored with a warning.
+        """
+        assert self.path is not None
+        raw = self.path.read_bytes()
+        if raw and not raw.endswith(b"\n"):
+            end = raw.rfind(b"\n") + 1
+            logger.warning(
+                "truncating partial trailing line of %s (interrupted write); "
+                "the lost record is re-evaluated by this run", self.path,
+            )
+            with self.path.open("r+b") as handle:
+                handle.truncate(end)
+            raw = raw[:end]
+        for number, line in enumerate(
+            raw.decode("utf-8", errors="replace").splitlines(), start=1
+        ):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError:
+                logger.warning(
+                    "ignoring corrupt run-store line %d of %s", number, self.path
+                )
+                continue
+            if data.get("kind") == "meta":
+                self._check_meta(data)
+                continue
+            try:
+                record = PointRecord.from_json_dict(data)
+            except ExplorationError as error:
+                logger.warning(
+                    "ignoring malformed run-store line %d of %s (%s)",
+                    number, self.path, error,
+                )
+                continue
+            if record.fingerprint not in self._records:
+                self._order.append(record.fingerprint)
+            self._records[record.fingerprint] = record
+
+    def _check_meta(self, data: Mapping[str, object]) -> None:
+        """Validate a stored meta line against this opening's expectations."""
+        version = data.get("version")
+        if version != STORE_VERSION:
+            raise ExplorationError(
+                f"run store {self.path} was written under schema version "
+                f"{version}, this library expects {STORE_VERSION}; start a "
+                "fresh store"
+            )
+        stored_space = data.get("space", "")
+        if (
+            self.space_fingerprint
+            and stored_space
+            and stored_space != self.space_fingerprint
+        ):
+            logger.warning(
+                "run store %s was recorded for a different search space; "
+                "records are still keyed by point fingerprint and stay valid",
+                self.path,
+            )
+        stored_context = data.get("context") or {}
+        if self.context and stored_context and stored_context != self.context:
+            raise ExplorationError(
+                f"run store {self.path} was recorded under evaluation context "
+                f"{stored_context}, this run uses {self.context}; resuming "
+                "would silently serve stale metrics — match the context or "
+                "start a fresh store"
+            )
+
+    def _write_line(self, data: Dict[str, object]) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(data, sort_keys=True, separators=(",", ":")))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._records
+
+    def get(self, fingerprint: str) -> Optional[PointRecord]:
+        """The stored record for *fingerprint*, or ``None``."""
+        return self._records.get(fingerprint)
+
+    def record(self, record: PointRecord) -> None:
+        """Insert one record (idempotent) and append it to the file."""
+        if record.fingerprint in self._records:
+            return
+        self._records[record.fingerprint] = record
+        self._order.append(record.fingerprint)
+        if self._handle is not None:
+            self._write_line(record.to_json_dict())
+
+    def replay(self) -> List[PointRecord]:
+        """Every record in first-insertion order."""
+        return [self._records[fingerprint] for fingerprint in self._order]
+
+    def close(self) -> None:
+        """Close the underlying file (records stay readable in memory)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        where = str(self.path) if self.path is not None else "(memory)"
+        failed = sum(1 for record in self._records.values() if not record.ok)
+        return (
+            f"run store {where}: {len(self._records)} point(s) "
+            f"({failed} failed)"
+        )

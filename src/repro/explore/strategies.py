@@ -1,0 +1,298 @@
+"""Pluggable search strategies behind a small registry.
+
+A strategy is a propose/observe loop driver: the exploration engine asks it
+for the next batch of candidate points (:meth:`SearchStrategy.propose`),
+evaluates them — through the run store and the flow engine — and feeds the
+outcomes back (:meth:`SearchStrategy.observe`).  Batching matters: the flow
+engine's partition-stage dedup/LRU/disk caches make a whole proposed
+neighbourhood nearly free once its solves are warm.
+
+Four strategies ship built in:
+
+* ``grid`` — exhaustive enumeration in deterministic index order;
+* ``random`` — seeded uniform sampling without replacement;
+* ``greedy`` — hill-climbing over single-axis neighbourhoods with random
+  restarts, guided by the scalarised objectives;
+* ``anneal`` — simulated annealing with a geometric temperature schedule.
+
+Every strategy draws randomness only from the seeded RNG the engine hands
+it, so the same seed and budget replay the identical trajectory — the
+property the resumable run store depends on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Set, Type
+
+from ..errors import ExplorationError
+from .objectives import Objective
+from .space import DesignPoint, SearchSpace
+from .store import PointRecord
+
+
+class Scalariser:
+    """Running min/max normalisation of objective vectors to one score.
+
+    Local-search strategies need a total order over candidates; this folds
+    the objective vector into ``sum_i normalised_cost_i`` with each
+    objective scaled into ``[0, 1]`` by the range observed so far (direction
+    aware, lower is better).  Failed evaluations score ``+inf`` so search
+    never walks towards a broken design.
+    """
+
+    def __init__(self, objectives: Sequence[Objective]) -> None:
+        self.objectives = tuple(objectives)
+        self._low: Dict[str, float] = {}
+        self._high: Dict[str, float] = {}
+
+    def observe(self, record: PointRecord) -> None:
+        """Fold one evaluated record into the running ranges."""
+        if not record.ok:
+            return
+        for objective in self.objectives:
+            value = record.metrics[objective.name]
+            self._low[objective.name] = min(
+                value, self._low.get(objective.name, value)
+            )
+            self._high[objective.name] = max(
+                value, self._high.get(objective.name, value)
+            )
+
+    def score(self, record: PointRecord) -> float:
+        """Scalar cost of one record (lower is better, ``inf`` for failures)."""
+        if not record.ok:
+            return math.inf
+        total = 0.0
+        for objective in self.objectives:
+            value = record.metrics[objective.name]
+            low = self._low.get(objective.name, value)
+            high = self._high.get(objective.name, value)
+            if high == low:
+                continue
+            normalised = (value - low) / (high - low)
+            total += normalised if objective.minimise else 1.0 - normalised
+        return total
+
+
+class SearchStrategy:
+    """Base class: the propose/observe protocol the engine drives."""
+
+    name = ""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        objectives: Sequence[Objective],
+        rng: random.Random,
+    ) -> None:
+        self.space = space
+        self.objectives = tuple(objectives)
+        self.rng = rng
+        self.scalariser = Scalariser(objectives)
+        self.seen: Set[str] = set()
+
+    def propose(self, count: int) -> List[DesignPoint]:
+        """Up to *count* candidate points to evaluate next (empty = done)."""
+        raise NotImplementedError
+
+    def observe(self, records: Sequence[PointRecord]) -> None:
+        """Feed back the outcomes of the last proposal, in proposal order."""
+        for record in records:
+            self.seen.add(record.fingerprint)
+            self.scalariser.observe(record)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _unseen_random(self, count: int) -> List[DesignPoint]:
+        """Up to *count* distinct unseen uniformly sampled points."""
+        found: List[DesignPoint] = []
+        batch_keys: Set[str] = set()
+        attempts = 0
+        limit = max(32, 16 * count)
+        while len(found) < count and attempts < limit:
+            attempts += 1
+            point = self.space.random_point(self.rng)
+            key = point.fingerprint()
+            if key in self.seen or key in batch_keys:
+                continue
+            batch_keys.add(key)
+            found.append(point)
+        return found
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """Deterministic full enumeration of the space, in index order."""
+
+    name = "grid"
+
+    def __init__(self, space, objectives, rng) -> None:
+        super().__init__(space, objectives, rng)
+        self._cursor = 0
+
+    def propose(self, count: int) -> List[DesignPoint]:
+        end = min(self._cursor + count, self.space.size)
+        points = [self.space.point_at(index) for index in range(self._cursor, end)]
+        self._cursor = end
+        return points
+
+
+class RandomSearch(SearchStrategy):
+    """Seeded uniform sampling without replacement."""
+
+    name = "random"
+
+    def propose(self, count: int) -> List[DesignPoint]:
+        if len(self.seen) >= self.space.size:
+            return []
+        return self._unseen_random(count)
+
+
+class GreedyHillClimb(SearchStrategy):
+    """Best-neighbour hill climbing with random restarts.
+
+    Each round proposes a neighbourhood of the current point; the best
+    neighbour (by scalarised objectives) becomes the new current point when
+    it improves, otherwise the climb restarts from a fresh random point.
+    """
+
+    name = "greedy"
+
+    def __init__(self, space, objectives, rng) -> None:
+        super().__init__(space, objectives, rng)
+        self._current: Optional[PointRecord] = None
+        self._restarting = True
+
+    def propose(self, count: int) -> List[DesignPoint]:
+        if self._restarting or self._current is None:
+            return self._unseen_random(count) or self._any_random(count)
+        neighbours = [
+            point
+            for point in self.space.neighbours(
+                self._current.point, self.rng, count=count
+            )
+            if point.fingerprint() not in self.seen
+        ]
+        if neighbours:
+            return neighbours
+        # Neighbourhood exhausted: restart somewhere new (or rewalk old
+        # ground when the whole space has been seen — revisits are nearly
+        # free through the run store and the engine caches).
+        self._restarting = True
+        return self._unseen_random(count) or self._any_random(count)
+
+    def _any_random(self, count: int) -> List[DesignPoint]:
+        return [self.space.random_point(self.rng) for _ in range(max(1, count))]
+
+    def observe(self, records: Sequence[PointRecord]) -> None:
+        super().observe(records)
+        if not records:
+            return
+        best = min(records, key=self.scalariser.score)
+        best_score = self.scalariser.score(best)
+        if math.isinf(best_score):
+            self._restarting = True
+            return
+        if self._restarting or self._current is None:
+            self._current = best
+            self._restarting = False
+            return
+        if best_score < self.scalariser.score(self._current):
+            self._current = best
+        else:
+            self._restarting = True
+
+
+class SimulatedAnnealing(SearchStrategy):
+    """Simulated annealing over single-axis neighbourhoods.
+
+    Each round proposes a neighbourhood of the current point, takes its
+    best member as the candidate move, and accepts uphill moves with
+    probability ``exp(-delta / T)`` under a geometric temperature schedule
+    (``T0 = 1.0``, ``alpha = 0.95`` per round).  Revisits are allowed — the
+    run store and the engine caches make them nearly free — so the chain
+    can cross previously seen ground on its way elsewhere.
+    """
+
+    name = "anneal"
+
+    #: Initial temperature and per-round geometric decay.
+    INITIAL_TEMPERATURE = 1.0
+    DECAY = 0.95
+
+    def __init__(self, space, objectives, rng) -> None:
+        super().__init__(space, objectives, rng)
+        self._current: Optional[PointRecord] = None
+        self._temperature = self.INITIAL_TEMPERATURE
+
+    def propose(self, count: int) -> List[DesignPoint]:
+        if self._current is None:
+            return self._unseen_random(count) or [
+                self.space.random_point(self.rng)
+            ]
+        neighbours = self.space.neighbours(
+            self._current.point, self.rng, count=count
+        )
+        if neighbours:
+            return neighbours
+        return [self.space.random_point(self.rng)]
+
+    def observe(self, records: Sequence[PointRecord]) -> None:
+        super().observe(records)
+        if not records:
+            return
+        candidate = min(records, key=self.scalariser.score)
+        candidate_score = self.scalariser.score(candidate)
+        if math.isinf(candidate_score):
+            self._temperature *= self.DECAY
+            return
+        if self._current is None:
+            self._current = candidate
+            return
+        delta = candidate_score - self.scalariser.score(self._current)
+        if delta <= 0 or self.rng.random() < math.exp(-delta / max(self._temperature, 1e-9)):
+            self._current = candidate
+        self._temperature *= self.DECAY
+
+
+#: Registered strategy classes, keyed by name.
+SEARCH_STRATEGIES: Dict[str, Type[SearchStrategy]] = {}
+
+
+def register_strategy(
+    cls: Type[SearchStrategy],
+) -> Type[SearchStrategy]:
+    """Register a strategy class under its ``name`` (decorator-friendly)."""
+    if not cls.name:
+        raise ExplorationError(f"strategy class {cls.__name__} has no name")
+    if cls.name in SEARCH_STRATEGIES:
+        raise ExplorationError(f"strategy {cls.name!r} is already registered")
+    SEARCH_STRATEGIES[cls.name] = cls
+    return cls
+
+
+for _cls in (ExhaustiveSearch, RandomSearch, GreedyHillClimb, SimulatedAnnealing):
+    register_strategy(_cls)
+
+
+def strategy_names() -> List[str]:
+    """Sorted names of every registered strategy."""
+    return sorted(SEARCH_STRATEGIES)
+
+
+def make_strategy(
+    name: str,
+    space: SearchSpace,
+    objectives: Sequence[Objective],
+    rng: random.Random,
+) -> SearchStrategy:
+    """Instantiate a registered strategy by name."""
+    try:
+        cls: Callable[..., SearchStrategy] = SEARCH_STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(strategy_names())
+        raise ExplorationError(f"unknown search strategy {name!r}; known: {known}")
+    return cls(space, objectives, rng)

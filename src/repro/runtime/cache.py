@@ -69,9 +69,15 @@ class DiskCache:
     rename) must never take a whole batch down.
     """
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self, directory: Union[str, Path], max_entries: Optional[int] = None
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("DiskCache max_entries must be at least 1")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.pruned = 0
 
     def _path(self, fingerprint: str) -> Path:
         return self.directory / f"{fingerprint}.json"
@@ -116,6 +122,41 @@ class DiskCache:
             except OSError:
                 pass
             raise
+        self._prune(keep=fingerprint)
+
+    def _prune(self, keep: str = "") -> int:
+        """Drop oldest-mtime entries beyond ``max_entries`` (0 when unbounded).
+
+        The entry named by *keep* (the one the caller just wrote) is never a
+        pruning candidate: on filesystems with coarse mtime granularity the
+        tie-break would otherwise be able to evict the entry whose store
+        triggered the prune.  The walk is O(entries) per store, which is
+        fine at the bounded sizes the option exists for; unbounded caches
+        never pay it.
+        """
+        if self.max_entries is None:
+            return 0
+        protected = f"{keep}.json" if keep else None
+        entries = []
+        for path in self.directory.glob("*.json"):
+            if path.name == protected:
+                continue
+            try:
+                entries.append((path.stat().st_mtime, path.name, path))
+            except OSError:
+                continue  # concurrently removed by another process
+        excess = len(entries) + (1 if protected else 0) - self.max_entries
+        if excess <= 0:
+            return 0
+        removed = 0
+        for _mtime, _name, path in sorted(entries)[:excess]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.pruned += removed
+        return removed
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
@@ -138,6 +179,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     disk_write_errors: int = 0
+    disk_pruned: int = 0
 
     @property
     def hits(self) -> int:
@@ -157,9 +199,14 @@ class ResultCache:
         self,
         lru_capacity: int = 256,
         cache_dir: Optional[Union[str, Path]] = None,
+        max_disk_entries: Optional[int] = None,
     ) -> None:
         self.memory = LruCache(lru_capacity)
-        self.disk = DiskCache(cache_dir) if cache_dir is not None else None
+        self.disk = (
+            DiskCache(cache_dir, max_entries=max_disk_entries)
+            if cache_dir is not None
+            else None
+        )
         self.stats = CacheStats()
 
     def get(self, fingerprint: str) -> Optional[JobOutcome]:
@@ -194,6 +241,8 @@ class ResultCache:
                 # The disk layer is an optimisation; a full or read-only
                 # volume must not lose a batch that already solved.
                 self.stats.disk_write_errors += 1
+            else:
+                self.stats.disk_pruned = self.disk.pruned
 
     def clear(self) -> None:
         """Drop both layers (counters are kept)."""

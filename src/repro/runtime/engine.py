@@ -67,6 +67,9 @@ class EngineConfig:
     cache_dir:
         Optional directory for the on-disk result cache; ``None`` disables
         the disk layer.
+    max_disk_entries:
+        Optional bound on the on-disk cache; when exceeded, oldest-mtime
+        entries are pruned (``None`` = unbounded).
     """
 
     workers: int = 0
@@ -76,10 +79,13 @@ class EngineConfig:
     job_timeout: Optional[float] = None
     lru_capacity: int = 256
     cache_dir: Optional[Union[str, Path]] = None
+    max_disk_entries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise PartitioningError("workers must be non-negative")
+        if self.max_disk_entries is not None and self.max_disk_entries < 1:
+            raise PartitioningError("max_disk_entries must be at least 1")
         if self.job_timeout is not None and self.job_timeout <= 0:
             raise PartitioningError("job_timeout must be positive")
         if self.job_timeout is not None and self.workers < 2:
@@ -123,6 +129,7 @@ class EngineStats:
             "cache_misses": self.cache.misses,
             "cache_stores": self.cache.stores,
             "cache_disk_write_errors": self.cache.disk_write_errors,
+            "cache_disk_pruned": self.cache.disk_pruned,
         }
 
 
@@ -179,7 +186,9 @@ class PartitionEngine:
             raise PartitioningError("pass either a config object or keyword overrides")
         self.config = config
         self.cache = ResultCache(
-            lru_capacity=config.lru_capacity, cache_dir=config.cache_dir
+            lru_capacity=config.lru_capacity,
+            cache_dir=config.cache_dir,
+            max_disk_entries=config.max_disk_entries,
         )
         self.stats = EngineStats(cache=self.cache.stats)
         self.last_batch: Optional[BatchReport] = None

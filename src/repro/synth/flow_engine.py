@@ -90,6 +90,7 @@ class FlowReport:
             "workload": self.job.workload,
             "status": "ok" if self.ok else f"failed:{self.failed_stage or 'unknown'}",
             "partition_source": self.partition_source,
+            "cached_partition": self.cached_partition,
             "partitions": self.design.partition_count if self.ok else 0,
             "k": self.design.computations_per_run if self.ok else 0,
             "block_delay_ns": self.design.block_delay * 1e9 if self.ok else 0.0,
@@ -136,8 +137,26 @@ class FlowBatchReport:
         """Per-job rows for tabular/JSON/CSV output."""
         return [report.row() for report in self.reports]
 
-    def describe(self) -> str:
-        """One-line human readable summary."""
+    def describe(self, failures_only: bool = False) -> str:
+        """One-line human readable summary.
+
+        With *failures_only* the summary is compact and failure-focused:
+        one ``tag [stage] error`` clause per failed job (or "all ok"), for
+        logs and exploration output where the happy path is noise.
+        """
+        if failures_only:
+            failures = self.failures()
+            if not failures:
+                return f"flow batch of {len(self.reports)} jobs: all ok"
+            details = "; ".join(
+                f"{report.job.name} [{report.failed_stage or 'unknown'}] "
+                f"{report.error or 'no detail'}"
+                for report in failures
+            )
+            return (
+                f"flow batch of {len(self.reports)} jobs: "
+                f"{len(failures)} failed — {details}"
+            )
         cached = sum(1 for report in self.reports if report.cached_partition)
         status = "all ok" if self.ok else f"{len(self.failures())} failed"
         return (

@@ -165,6 +165,58 @@ class TestCommands:
         assert "@ct=1ms" in lines[1] and "@ct=5ms" in lines[2]
         assert "flow batch of 2 jobs" in captured.err
 
+    def test_explore_random_smoke(self, tmp_path, capsys):
+        store = tmp_path / "run.jsonl"
+        assert main([
+            "explore", "--workload", "matmul_pipeline", "--strategy", "random",
+            "--budget", "6", "--partitioners", "list,level",
+            "--ct-sweep", "1,5", "--store", str(store), "--format", "json",
+        ]) == 0
+        captured = capsys.readouterr()
+        front = json.loads(captured.out)
+        assert front and "latency" in front[0] and "throughput" in front[0]
+        assert "flow jobs evaluated: 6" in captured.err
+        assert store.exists()
+
+    def test_explore_resume_serves_from_the_store(self, tmp_path, capsys):
+        store = tmp_path / "run.jsonl"
+        argv = [
+            "explore", "--workload", "matmul_pipeline", "--strategy", "anneal",
+            "--budget", "8", "--partitioners", "list,level",
+            "--ct-sweep", "1,5,20", "--store", str(store), "--resume",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "flow jobs evaluated: 0" in captured.err
+
+    def test_explore_refuses_to_clobber_an_existing_store(self, tmp_path, capsys):
+        store = tmp_path / "run.jsonl"
+        argv = [
+            "explore", "--workload", "matmul_pipeline", "--strategy", "grid",
+            "--budget", "2", "--partitioners", "list", "--ct-sweep", "1,5",
+            "--store", str(store),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Without --resume or --fresh an existing store is refused intact.
+        assert main(argv) == 2
+        assert "already exists" in capsys.readouterr().err
+        assert main(argv + ["--resume", "--fresh"]) == 2
+        capsys.readouterr()
+        # --fresh deliberately starts over.
+        assert main(argv + ["--fresh"]) == 0
+
+    def test_explore_rejects_unknown_objective(self, tmp_path, capsys):
+        code = main([
+            "explore", "--workload", "matmul_pipeline",
+            "--objectives", "latency,nope", "--store", str(tmp_path / "r.jsonl"),
+        ])
+        assert code == 2
+        assert "unknown objective" in capsys.readouterr().err
+        assert not (tmp_path / "r.jsonl").exists()
+
     def test_error_reported_cleanly(self, tmp_path, capsys):
         # A task graph that cannot be partitioned (task larger than the device)
         # must produce exit code 2 and an error message, not a traceback.

@@ -49,6 +49,7 @@ class TestExamples:
         "ilp_vs_list_partitioning.py",
         "generate_rtl_configurations.py",
         "workload_batch_flows.py",
+        "explore_pareto.py",
     ]
 
     def test_all_examples_present(self):
@@ -87,13 +88,14 @@ class TestExamples:
             "bench_substrates.py",
             "bench_engine_scaling.py",
             "bench_flow_scaling.py",
+            "bench_explore.py",
         }
         assert expected <= names
 
 
 class TestPublicApi:
     def test_version_string(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     @pytest.mark.parametrize(
         "module_name",
@@ -110,6 +112,7 @@ class TestPublicApi:
             "repro.simulate",
             "repro.jpeg",
             "repro.workloads",
+            "repro.explore",
             "repro.experiments",
             "repro.cli",
         ],
@@ -123,7 +126,7 @@ class TestPublicApi:
         for module_name in (
             "repro", "repro.arch", "repro.taskgraph", "repro.partition",
             "repro.fission", "repro.jpeg", "repro.ilp", "repro.hls",
-            "repro.workloads", "repro.synth",
+            "repro.workloads", "repro.synth", "repro.explore",
         ):
             module = importlib.import_module(module_name)
             for name in module.__all__:

@@ -214,6 +214,60 @@ class TestCaches:
         # The overwritten entry round-trips again.
         assert DiskCache(tmp_path).get(fingerprint) is not None
 
+    def test_disk_cache_bounded_prunes_oldest(self, tmp_path):
+        """max_entries prunes oldest-mtime entries and counts the prunes."""
+        cache = DiskCache(tmp_path, max_entries=2)
+        fingerprints = [letter * 64 for letter in "abcd"]
+        for index, fingerprint in enumerate(fingerprints):
+            cache.put(fingerprint, _outcome(fingerprint))
+            # Distinct mtimes even on coarse-grained filesystems.
+            os.utime(tmp_path / f"{fingerprint}.json", (index, index))
+        assert len(cache) == 2
+        assert cache.pruned == 2
+        assert cache.get(fingerprints[0]) is None
+        assert cache.get(fingerprints[1]) is None
+        assert cache.get(fingerprints[3]) is not None
+
+    def test_disk_cache_prune_never_evicts_the_fresh_entry(self, tmp_path):
+        """With identical mtimes (coarse-grained filesystems) the name
+        tie-break must not evict the entry whose put triggered the prune."""
+        cache = DiskCache(tmp_path, max_entries=2)
+        for letter in "yz":
+            cache.put(letter * 64, _outcome(letter * 64))
+        for path in tmp_path.glob("*.json"):
+            os.utime(path, (1000, 1000))
+        # "a" sorts before "y"/"z"; force the same mtime race by pruning
+        # again with every mtime equal.
+        cache.put("a" * 64, _outcome("a" * 64))
+        os.utime(tmp_path / ("a" * 64 + ".json"), (1000, 1000))
+        cache._prune(keep="a" * 64)
+        assert cache.get("a" * 64) is not None
+        assert len(cache) == 2
+
+    def test_disk_cache_unbounded_never_prunes(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for letter in "abcd":
+            cache.put(letter * 64, _outcome(letter * 64))
+        assert len(cache) == 4
+        assert cache.pruned == 0
+
+    def test_disk_cache_bad_max_entries_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCache(tmp_path, max_entries=0)
+
+    def test_engine_bounded_disk_cache_stat(self, tmp_path):
+        """The engine surfaces disk prunes in its stats snapshot."""
+        engine = PartitionEngine(
+            EngineConfig(cache_dir=tmp_path, max_disk_entries=1)
+        )
+        problems = [
+            _pipeline_problem(stages=stages) for stages in (3, 4, 5)
+        ]
+        batch = engine.solve_batch(problems)
+        assert batch.ok
+        assert engine.stats.snapshot()["cache_disk_pruned"] == 2
+        assert len(engine.cache.disk) == 1
+
     def test_outcome_json_roundtrip(self):
         outcome = _outcome()
         again = JobOutcome.from_json_dict(

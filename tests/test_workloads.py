@@ -248,6 +248,33 @@ class TestFlowEngine:
         assert batch[0].partition_source == ResultSource.SOLVE.value
         assert batch[1].partition_source == ResultSource.BATCH_DEDUP.value
 
+    def test_rows_carry_the_partition_cache_flag(self):
+        engine = FlowEngine(engine=PartitionEngine(EngineConfig()))
+        jobs = [self._job("matmul_pipeline")]
+        cold_rows = engine.run_batch(jobs).rows()
+        warm_rows = engine.run_batch(jobs).rows()
+        assert cold_rows[0]["cached_partition"] is False
+        assert warm_rows[0]["cached_partition"] is True
+
+    def test_describe_failures_only_mode(self):
+        from repro.taskgraph import Task
+
+        broken = TaskGraph("unestimable3")
+        broken.add_task(Task("nocost"), env_input_words=1)
+        engine = FlowEngine()
+        good = self._job("matmul_pipeline")
+        batch = engine.run_batch(
+            [FlowJob(graph=broken, system=good.system, tag="broken"), good]
+        )
+        compact = batch.describe(failures_only=True)
+        assert "1 failed" in compact
+        assert "broken [estimate]" in compact
+        # The happy job's tag is noise in the compact mode.
+        assert "matmul_pipeline" not in compact
+
+        healthy = engine.run_batch([good])
+        assert healthy.describe(failures_only=True) == "flow batch of 1 jobs: all ok"
+
 
 # ---------------------------------------------------------------------------
 # Workload -> flow-job expansion
