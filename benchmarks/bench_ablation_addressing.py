@@ -9,6 +9,8 @@ partitions.
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.fission import analyse_fission
 from repro.memmap import addressing_tradeoff, build_memory_map
 
@@ -51,3 +53,10 @@ def test_addressing_tradeoff(benchmark, case_study):
     # 32-word block is already a power of two).
     assert rounded.computations_per_run <= plain.computations_per_run
     assert rounded.computations_per_run == 2048
+
+    record(
+        "ablation_addressing",
+        mean_seconds=benchmark_seconds(benchmark),
+        k_plain=plain.computations_per_run,
+        k_rounded=rounded.computations_per_run,
+    )

@@ -9,6 +9,8 @@ large — the core message of Section 2.2.
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.experiments import reconfiguration_sweep
 from repro.fission import SequencingStrategy, compare_static_vs_rtr
 from repro.units import ms, ns, us
@@ -29,6 +31,14 @@ def test_reconfiguration_time_sweep(benchmark, case_study):
     assert improvements == sorted(improvements)
     assert improvements[0] > 0.35          # 100 ms: the Table-2 regime
     assert improvements[-1] < 0.50         # bounded by the compute-only gap
+
+    record(
+        "ablation_ct_sweep",
+        mean_seconds=benchmark_seconds(benchmark),
+        sweep_points=len(rows),
+        improvement_min=improvements[0],
+        improvement_max=improvements[-1],
+    )
 
 
 def test_small_workload_sensitivity_to_ct(benchmark, case_study):

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import time
 
+from bench_utils import record
+
 from repro.partition import FormulationOptions, IlpTemporalPartitioner, TemporalPartitioningFormulation
 from repro.units import ns
 
@@ -51,4 +53,14 @@ def test_formulation_variants(benchmark, dct_problem):
     assert (
         rows["paper+aggregated+path"]["constraints"]
         < rows["paper+pairwise+path"]["constraints"]
+    )
+
+    record(
+        "ablation_formulation",
+        solve_seconds_by_variant={
+            label: row["solve_seconds"] for label, row in rows.items()
+        },
+        constraints_by_variant={
+            label: row["constraints"] for label, row in rows.items()
+        },
     )

@@ -14,6 +14,8 @@ fission analysis and both strategies while sweeping the memory size, showing
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.arch import paper_case_study_system
 from repro.fission import SequencingStrategy, analyse_fission, compare_static_vs_rtr, rtr_timing_spec
 from repro.units import kilowords
@@ -66,3 +68,10 @@ def test_memory_size_sweep(benchmark, case_study):
     # IDH is nearly insensitive to the memory size (within a couple of points).
     idh_improvements = [row["idh_improvement"] for row in rows]
     assert max(idh_improvements) - min(idh_improvements) < 0.05
+
+    record(
+        "ablation_memory_sweep",
+        mean_seconds=benchmark_seconds(benchmark),
+        sweep_points=len(rows),
+        fdh_improvement_span=[fdh_improvements[0], fdh_improvements[-1]],
+    )

@@ -8,6 +8,8 @@ task delays it is strictly better a meaningful fraction of the time.
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.arch import generic_system
 from repro.partition import (
     IlpTemporalPartitioner,
@@ -69,3 +71,10 @@ def test_partitioner_ablation(benchmark):
             strictly_better += 1
     print(f"  ILP strictly better on {strictly_better}/{len(rows)} graphs")
     assert strictly_better >= 1
+
+    record(
+        "ablation_partitioners",
+        total_seconds=benchmark_seconds(benchmark),
+        graphs=len(rows),
+        ilp_strictly_better=strictly_better,
+    )

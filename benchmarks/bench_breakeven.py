@@ -12,6 +12,8 @@ on this board.  The bench computes
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.experiments import paper_constants as paper
 from repro.fission import SequencingStrategy, breakeven_computations, reconfiguration_absorption_point
 
@@ -26,6 +28,12 @@ def test_fdh_absorption_point(benchmark, case_study):
           f"{case_study.computations_per_run}")
     assert 0.5 * paper.FDH_BREAKEVEN_BLOCKS < blocks < 1.5 * paper.FDH_BREAKEVEN_BLOCKS
     assert blocks > case_study.computations_per_run  # why FDH cannot win
+
+    record(
+        "breakeven",
+        absorption_mean_seconds=benchmark_seconds(benchmark),
+        absorption_blocks=blocks,
+    )
 
 
 def test_workload_breakeven_points(benchmark, case_study):
@@ -52,3 +60,10 @@ def test_workload_breakeven_points(benchmark, case_study):
     assert fdh_breakeven is None
     assert idh_breakeven is not None
     assert idh_breakeven < paper.LARGEST_WORKLOAD_BLOCKS
+
+    record(
+        "breakeven",
+        breakeven_mean_seconds=benchmark_seconds(benchmark),
+        fdh_breakeven_blocks=fdh_breakeven,
+        idh_breakeven_blocks=idh_breakeven,
+    )

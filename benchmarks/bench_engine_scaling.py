@@ -26,6 +26,8 @@ from __future__ import annotations
 import os
 import time
 
+from bench_utils import record
+
 from repro.partition import IlpTemporalPartitioner, PartitionProblem
 from repro.runtime import EngineConfig, PartitionEngine, ct_sweep_jobs
 from repro.units import ms
@@ -108,6 +110,17 @@ def test_engine_scaling_and_warm_cache(dct_graph, paper_system, tmp_path):
     )
     assert disk_batch.ok
     assert all(report.cached for report in disk_batch)
+
+    record(
+        "engine_scaling",
+        batch_size=len(problems),
+        serial_seconds=serial_time,
+        serial_jobs_per_sec=len(problems) / serial_time if serial_time else 0.0,
+        engine_seconds_by_workers={str(w): t for w, t in engine_times.items()},
+        warm_seconds=warm_time,
+        warm_fraction_of_cold=warm_time / cold_time if cold_time else 0.0,
+        cache_stats=engine.stats.snapshot(),
+    )
 
     cpu_count = os.cpu_count() or 1
     strict = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"

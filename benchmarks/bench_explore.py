@@ -23,6 +23,8 @@ from __future__ import annotations
 import os
 import sys
 
+from bench_utils import record
+
 from repro.explore import ExploreConfig, Explorer, RunStore, SearchSpace
 from repro.runtime import EngineConfig
 from repro.synth import FlowEngine
@@ -109,6 +111,17 @@ def test_explore_throughput_cold_warm_and_store(tmp_path):
     assert first.visited == resumed.visited == budget
     assert resumed.flow_evaluated == 0
     assert resumed.front.to_json_dict() == first.front.to_json_dict()
+
+    record(
+        "explore",
+        budget=budget,
+        cold_points_per_sec_by_workers={str(w): r for w, r in cold_rates.items()},
+        warm_points_per_sec=warm_rate,
+        warm_fraction_of_cold=warm.wall_time / cold_time if cold_time else 0.0,
+        store_warm_points_per_sec=_rate(resumed),
+        store_warm_flow_jobs=resumed.flow_evaluated,
+        engine_stats=first.engine_stats,
+    )
     if STRICT:
         assert warm.wall_time < cold_time * 0.5, (
             f"warm exploration took {warm.wall_time:.2f} s vs. cold "

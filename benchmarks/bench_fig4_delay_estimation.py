@@ -7,6 +7,8 @@ so partition 1's delay is 400 ns; partition 2's is 300 ns.
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.experiments import reproduce_figure4
 
 
@@ -18,3 +20,9 @@ def test_figure4_delay_estimation(benchmark):
     assert result.matches_paper()
     assert sorted(round(d) for d in result.partition1_path_delays_ns) == [150, 350, 400]
     assert [round(d) for d in result.partition_delays_ns] == [400, 300]
+
+    record(
+        "fig4_delay_estimation",
+        mean_seconds=benchmark_seconds(benchmark),
+        partition_delays_ns=[round(d) for d in result.partition_delays_ns],
+    )

@@ -10,6 +10,8 @@ confirm the sequencing order.
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.experiments import reproduce_figure5
 from repro.fission import SequencingStrategy
 from repro.simulate import RtrExecutionSimulator, configuration_sequence
@@ -28,6 +30,13 @@ def test_figure5_strategy_overheads(benchmark, case_study):
     assert result.fdh_reconfiguration_overhead > 30
     assert result.idh_overhead < 1.0
 
+    record(
+        "fig5_strategies",
+        overheads_mean_seconds=benchmark_seconds(benchmark),
+        fdh_configuration_loads=result.fdh_configuration_loads,
+        idh_configuration_loads=result.idh_configuration_loads,
+    )
+
 
 def test_figure5_sequencing_order(benchmark, case_study):
     simulator = RtrExecutionSimulator(case_study.system)
@@ -44,3 +53,8 @@ def test_figure5_sequencing_order(benchmark, case_study):
     fdh_sequence, idh_sequence = benchmark(run)
     assert fdh_sequence == [1, 2, 3] * 3       # reconfigure every batch (Fig. 5b)
     assert idh_sequence == [1, 2, 3]           # configure each partition once (Fig. 5c)
+
+    record(
+        "fig5_strategies",
+        simulation_mean_seconds=benchmark_seconds(benchmark),
+    )

@@ -8,6 +8,8 @@ the DSS-estimated costs of 70/180 CLBs per task type.
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.experiments import reproduce_figure8
 from repro.jpeg import build_dct_task_graph
 
@@ -27,3 +29,10 @@ def test_figure8_task_graph(benchmark, case_study):
     assert graph.task("t2_r0c0").clbs == 180
     # Total area (4000 CLBs) exceeds the XC4044: the reason partitioning is needed.
     assert graph.total_resources()["clb"] == 4000
+
+    record(
+        "fig8_dct_graph",
+        mean_seconds=benchmark_seconds(benchmark),
+        tasks=len(graph),
+        total_clbs=graph.total_resources()["clb"],
+    )

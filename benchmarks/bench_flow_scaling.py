@@ -28,6 +28,8 @@ from __future__ import annotations
 import os
 import time
 
+from bench_utils import record
+
 from repro.synth import DesignFlow, FlowEngine, FlowJob
 from repro.units import ms
 
@@ -117,6 +119,18 @@ def test_flow_engine_scaling_and_warm_cache(dct_graph, paper_system, tmp_path):
     disk_batch = fresh.run_batch(jobs)
     assert disk_batch.ok
     assert all(report.cached_partition for report in disk_batch)
+
+    record(
+        "flow_scaling",
+        batch_size=len(jobs),
+        serial_seconds=serial_time,
+        serial_flows_per_sec=len(jobs) / serial_time if serial_time else 0.0,
+        engine_seconds_by_workers={str(w): t for w, t in engine_times.items()},
+        warm_seconds=warm_time,
+        warm_fraction_of_cold=warm_time / cold_time if cold_time else 0.0,
+        stage_stats=engine.stage_stats,
+        cache_stats=engine.stats.snapshot(),
+    )
 
     cpu_count = os.cpu_count() or 1
     if strict and cpu_count >= 4 and 4 in engine_times:

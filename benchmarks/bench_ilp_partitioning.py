@@ -9,6 +9,8 @@ a 3.5 s CPLEX solve for the same instance.
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.partition import IlpTemporalPartitioner, assert_valid
 from repro.units import ns
 
@@ -31,6 +33,14 @@ def test_ilp_partitioning_dct(benchmark, dct_problem, dct_graph):
     assert first_partition_types == {"T1"}
     assert abs(result.computation_latency - ns(8440)) < 1e-12
 
+    record(
+        "ilp_partitioning",
+        scipy_mean_seconds=benchmark_seconds(benchmark),
+        partitions=result.partition_count,
+        computation_latency_ns=result.computation_latency * 1e9,
+        solve_time_seconds=result.solve_time,
+    )
+
 
 def test_ilp_partitioning_branch_and_bound_backend(benchmark, dct_problem):
     """The library's own branch-and-bound reaches the same optimum (slower)."""
@@ -41,3 +51,9 @@ def test_ilp_partitioning_branch_and_bound_backend(benchmark, dct_problem):
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.partition_count == 3
     assert abs(result.computation_latency - ns(8440)) < 1e-12
+
+    record(
+        "ilp_partitioning",
+        branch_and_bound_seconds=benchmark_seconds(benchmark),
+        branch_and_bound_solve_seconds=result.solve_time,
+    )

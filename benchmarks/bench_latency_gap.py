@@ -9,6 +9,8 @@ RTR block latency (partitioning artefacts -> timing spec) and asserts the gap.
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.experiments import paper_constants as paper
 from repro.fission import analyse_fission, rtr_timing_spec
 from repro.jpeg import static_design_delay
@@ -37,3 +39,11 @@ def test_latency_gap(benchmark, case_study):
     assert abs(spec.block_delay - paper.RTR_BLOCK_LATENCY) < 1e-12
     assert abs(static_delay - paper.STATIC_BLOCK_LATENCY) < 1e-12
     assert abs(gap - ns(7560)) < 1e-12
+
+    record(
+        "latency_gap",
+        mean_seconds=benchmark_seconds(benchmark),
+        static_block_ns=static_delay * 1e9,
+        rtr_block_ns=spec.block_delay * 1e9,
+        gap_ns=gap * 1e9,
+    )

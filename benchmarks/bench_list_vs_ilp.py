@@ -9,6 +9,8 @@ partitioners and asserts exactly that relationship: the list baseline lands on
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.partition import (
     IlpTemporalPartitioner,
     ListTemporalPartitioner,
@@ -29,6 +31,12 @@ def test_list_partitioner_baseline(benchmark, dct_problem, dct_graph):
     assert len(t2_in_first) == 2
     assert abs(result.computation_latency - ns(10960)) < 1e-12
 
+    record(
+        "list_vs_ilp",
+        list_mean_seconds=benchmark_seconds(benchmark),
+        list_latency_ns=result.computation_latency * 1e9,
+    )
+
 
 def test_ilp_vs_list_improvement(benchmark, dct_problem):
     def run():
@@ -47,3 +55,8 @@ def test_ilp_vs_list_improvement(benchmark, dct_problem):
     assert comparison.candidate_wins
     # 8440 vs 10960 ns -> ~23 % lower computation latency.
     assert 0.20 < comparison.computation_latency_improvement < 0.26
+
+    record(
+        "list_vs_ilp",
+        ilp_improvement_fraction=comparison.computation_latency_improvement,
+    )

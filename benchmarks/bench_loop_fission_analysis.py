@@ -9,6 +9,8 @@ memory per board invocation.
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.fission import analyse_fission
 from repro.memmap import build_memory_map
 
@@ -39,3 +41,10 @@ def test_loop_fission_analysis(benchmark, case_study):
         assert io_words == 16
     # Software loop count for the largest image: ceil(245760 / 2048) = 120.
     assert analysis.software_loop_count(245_760) == 120
+
+    record(
+        "loop_fission_analysis",
+        mean_seconds=benchmark_seconds(benchmark),
+        computations_per_run=analysis.computations_per_run,
+        max_per_iteration_words=analysis.max_per_iteration_words,
+    )

@@ -8,6 +8,8 @@ benchmark to run for a yes/no answer to "does the reproduction hold?".
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.experiments import format_reproduction_report, reproduction_report
 
 
@@ -17,3 +19,10 @@ def test_full_reproduction_report(benchmark, case_study):
     print(format_reproduction_report(report))
     assert report.all_ok, f"claims outside expectation bands: {report.failed()}"
     assert len(report.checks) >= 12
+
+    record(
+        "reproduction_report",
+        mean_seconds=benchmark_seconds(benchmark),
+        checks=len(report.checks),
+        all_ok=report.all_ok,
+    )

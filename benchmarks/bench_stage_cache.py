@@ -1,0 +1,133 @@
+"""Stage-pipeline cache throughput — cold vs. axis-warm points/sec.
+
+The content-addressed stage pipeline is what makes explore neighbourhoods
+cheap: a CT-only neighbour shares the estimate, partition, memory-map,
+fission and timing artifacts with the points already evaluated, so a warm
+evaluation re-runs nothing but rehydration, assembly and objectives.
+
+This bench measures exactly that claim on the JPEG-DCT workload:
+
+* **cold** — every point of a reconfiguration-time sweep evaluated on its
+  own fresh :class:`~repro.synth.FlowEngine` (nothing shared, every point
+  pays estimation + the ILP solve);
+* **axis-warm** — the same points evaluated on one engine that has already
+  seen a single base point differing only in CT; the pipeline must serve
+  every upstream stage from cache (zero partition-cache misses, zero HLS
+  estimator runs), and the points/sec rate must be at least 5x cold.
+
+Run standalone (``python benchmarks/bench_stage_cache.py [--smoke]``) or
+under pytest.  Environment knobs:
+
+* ``REPRO_BENCH_STAGE_POINTS`` — CT-axis points to evaluate (default 12);
+* ``REPRO_BENCH_STRICT=0`` — measure and print, but skip the hard 5x
+  speedup assertion (for noisy CI runners).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from bench_utils import record
+
+from repro.runtime import EngineConfig, PartitionEngine
+from repro.synth import FlowEngine, workload_flow_jobs
+from repro.units import ms
+
+POINTS = int(os.environ.get("REPRO_BENCH_STAGE_POINTS", "12"))
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+
+#: The CT axis of the measured neighbourhood (the warm-up base point uses a
+#: CT deliberately outside this sweep, so every measured point is *new*).
+CT_VALUES = [ms(2 + index) for index in range(POINTS)]
+BASE_CT = ms(1)
+
+
+def _jobs(ct_values):
+    return workload_flow_jobs(names=["jpeg_dct"], ct_values=list(ct_values))
+
+
+def test_axis_warm_points_per_sec_vs_cold():
+    # Cold: a fresh engine per point — no sharing of any stage artifact.
+    cold_start = time.perf_counter()
+    for ct in CT_VALUES:
+        engine = FlowEngine(engine=PartitionEngine(EngineConfig()))
+        batch = engine.run_batch(_jobs([ct]))
+        assert batch.ok, batch.describe(failures_only=True)
+    cold_seconds = time.perf_counter() - cold_start
+    cold_rate = len(CT_VALUES) / cold_seconds
+
+    # Axis-warm: one engine, warmed by a single base point that differs
+    # from every measured point only along the CT axis.
+    engine = FlowEngine(engine=PartitionEngine(EngineConfig()))
+    warmup = engine.run_batch(_jobs([BASE_CT]))
+    assert warmup.ok, warmup.describe(failures_only=True)
+    misses_before = engine.stats.cache.misses
+    estimates_before = engine.stage_stats["estimate"]["runs"]
+
+    warm_start = time.perf_counter()
+    batch = engine.run_batch(_jobs(CT_VALUES))
+    warm_seconds = time.perf_counter() - warm_start
+    warm_rate = len(CT_VALUES) / warm_seconds
+    assert batch.ok, batch.describe(failures_only=True)
+
+    # The delta-evaluation guarantees: zero partition solves, zero HLS
+    # estimations — the whole CT axis is served by the stage caches.
+    partition_misses = engine.stats.cache.misses - misses_before
+    estimator_runs = engine.stage_stats["estimate"]["runs"] - estimates_before
+    assert partition_misses == 0, (
+        f"warm CT-only neighbourhood hit the solver {partition_misses} time(s)"
+    )
+    assert estimator_runs == 0, (
+        f"warm CT-only neighbourhood ran the estimator {estimator_runs} time(s)"
+    )
+    for report in batch:
+        assert report.cached_partition, report.row()["stage_sources"]
+
+    speedup = warm_rate / cold_rate if cold_rate else float("inf")
+    print()
+    print(f"stage-cache throughput over {len(CT_VALUES)} CT-axis points:")
+    print(f"  cold:      {cold_seconds:8.2f} s  ({cold_rate:8.1f} points/s)")
+    print(f"  axis-warm: {warm_seconds:8.2f} s  ({warm_rate:8.1f} points/s, "
+          f"{speedup:.1f}x cold)")
+    print(f"  {batch.describe_stage_cache()}")
+
+    record(
+        "stage_cache",
+        points=len(CT_VALUES),
+        cold_seconds=cold_seconds,
+        cold_points_per_sec=cold_rate,
+        warm_seconds=warm_seconds,
+        warm_points_per_sec=warm_rate,
+        speedup=speedup,
+        warm_partition_cache_misses=partition_misses,
+        warm_estimator_runs=estimator_runs,
+        stage_stats=engine.stage_stats,
+        engine_stats=engine.stats.snapshot(),
+    )
+
+    if STRICT:
+        assert speedup >= 5.0, (
+            f"axis-warm evaluation reached only {speedup:.1f}x the cold rate; "
+            "expected at least 5x"
+        )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sweep, no strict speedup assertion")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        os.environ.setdefault("REPRO_BENCH_STAGE_POINTS", "4")
+        os.environ.setdefault("REPRO_BENCH_STRICT", "0")
+    import pytest
+
+    return pytest.main([__file__, "-x", "-q", "-s"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

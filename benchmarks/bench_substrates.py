@@ -7,6 +7,7 @@ experiment runs through) are visible.
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
 
 from repro.arch import xc4044
 from repro.dfg import vector_product_dfg
@@ -25,6 +26,7 @@ def test_hls_estimator_throughput(benchmark):
     dfg = vector_product_dfg(4, input_width=16, coefficient_width=17, name="T2")
     estimate = benchmark(lambda: estimator.estimate_dfg(dfg, env_io_words=5))
     assert estimate.clbs > 0
+    record("substrates", hls_estimate_seconds=benchmark_seconds(benchmark))
 
 
 def test_rtr_simulator_largest_workload(benchmark, case_study):
@@ -34,6 +36,7 @@ def test_rtr_simulator_largest_workload(benchmark, case_study):
         lambda: simulator.simulate(case_study.rtr_spec, SequencingStrategy.IDH, 245_760)
     )
     assert result.runs == 120
+    record("substrates", rtr_simulation_seconds=benchmark_seconds(benchmark))
 
 
 def test_static_simulator_largest_workload(benchmark, case_study):
@@ -48,6 +51,7 @@ def test_jpeg_codec_encode(benchmark):
     image = synthetic_image(128, 128, seed=0)
     encoded = benchmark(lambda: codec.encode(image))
     assert encoded.block_count == 1024
+    record("substrates", jpeg_encode_seconds=benchmark_seconds(benchmark))
 
 
 def test_jpeg_codec_roundtrip(benchmark):
@@ -95,3 +99,4 @@ def test_milp_solver_medium_instance(benchmark):
 
     solution = benchmark(build_and_solve)
     assert solution.is_optimal
+    record("substrates", milp_medium_seconds=benchmark_seconds(benchmark))

@@ -15,6 +15,8 @@ Paper findings reproduced and asserted here:
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.experiments import reproduce_table1
 from repro.experiments.table1 import paper_comparison
 
@@ -35,3 +37,13 @@ def test_table1_fdh(benchmark, case_study):
     assert largest["blocks"] == 245_760
     assert largest["I_sw"] == 120
     assert largest["rtr_fdh_seconds"] > largest["static_seconds"]
+
+    record(
+        "table1_fdh",
+        mean_seconds=benchmark_seconds(benchmark),
+        rows=len(result.rows),
+        fdh_ever_improves=result.fdh_ever_improves,
+        breakeven_blocks=result.breakeven_blocks,
+        largest_static_seconds=largest["static_seconds"],
+        largest_rtr_fdh_seconds=largest["rtr_fdh_seconds"],
+    )

@@ -8,6 +8,8 @@ Regenerates every row of the paper's Table 2 and the two headline claims:
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.experiments import paper_constants as paper
 from repro.experiments import reproduce_table2
 from repro.experiments.table2 import paper_comparison
@@ -30,3 +32,11 @@ def test_table2_idh(benchmark, case_study):
     )
     # Small images lose: the 300 ms of reconfigurations is not amortised.
     assert result.rows[-1]["improvement_fraction"] < 0
+
+    record(
+        "table2_idh",
+        mean_seconds=benchmark_seconds(benchmark),
+        rows=len(result.rows),
+        improvement_at_largest=result.improvement_at_largest,
+        xc6000_improvement=result.xc6000_improvement,
+    )

@@ -1,0 +1,97 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark emits a machine-readable ``BENCH_<name>.json`` next to its
+human-readable prints, so the performance trajectory (points/sec,
+wall-times, cache stats) is trackable across commits and uploadable as a CI
+artifact.  Usage, from inside a benchmark test::
+
+    from bench_utils import record
+
+    record("engine_scaling", cold_jobs_per_s=rate, warm_ratio=ratio)
+
+Repeated calls for the same benchmark merge their metrics into one file, so
+multi-test benchmarks accumulate a single report.  The output directory is
+the current working directory unless ``REPRO_BENCH_JSON_DIR`` points
+elsewhere (CI sets it to the artifact-upload directory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Environment variable choosing where BENCH_*.json files land.
+JSON_DIR_ENV = "REPRO_BENCH_JSON_DIR"
+
+#: Schema version of the emitted JSON files.
+BENCH_SCHEMA_VERSION = 1
+
+
+def bench_json_dir() -> Path:
+    """The directory benchmark JSON reports are written to."""
+    return Path(os.environ.get(JSON_DIR_ENV, "."))
+
+
+def bench_json_path(name: str) -> Path:
+    """The ``BENCH_<name>.json`` path for benchmark *name*."""
+    return bench_json_dir() / f"BENCH_{name}.json"
+
+
+def record(
+    name: str,
+    metrics: Optional[Dict[str, object]] = None,
+    **extra: object,
+) -> Path:
+    """Merge *metrics* (and keyword extras) into ``BENCH_<name>.json``.
+
+    Values should be JSON-able scalars or small structures (rates, seconds,
+    counters, cache-stat dicts).  Existing metrics of the same name are
+    overwritten; metrics from other tests of the same benchmark are kept.
+    Returns the path written.
+    """
+    path = bench_json_path(name)
+    merged: Dict[str, object] = {}
+    if path.is_file():
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                previous = json.load(handle)
+            if isinstance(previous, dict):
+                merged.update(previous.get("metrics", {}))
+        except (OSError, ValueError):
+            pass  # a corrupt previous report is simply replaced
+    merged.update(metrics or {})
+    merged.update(extra)
+    payload = {
+        "bench": name,
+        "schema": BENCH_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "metrics": _jsonable(merged),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def benchmark_seconds(benchmark) -> Optional[float]:
+    """Mean seconds of a completed pytest-benchmark fixture run, if known."""
+    try:
+        return float(benchmark.stats.stats.mean)
+    except AttributeError:
+        return None
+
+
+def _jsonable(value: Union[Dict, list, tuple, object]):
+    """Best-effort conversion of metric values into JSON-able structures."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -8,6 +8,8 @@ checks the resulting improvement.
 
 from __future__ import annotations
 
+from bench_utils import benchmark_seconds, record
+
 from repro.experiments import paper_constants as paper
 from repro.experiments.table2 import xc6000_conjecture
 
@@ -20,3 +22,9 @@ def test_xc6000_conjecture(benchmark, case_study):
         f"(paper: {paper.XC6000_IMPROVEMENT * 100:.0f}%)"
     )
     assert abs(improvement - paper.XC6000_IMPROVEMENT) <= paper.XC6000_IMPROVEMENT_TOLERANCE
+
+    record(
+        "xc6000_conjecture",
+        mean_seconds=benchmark_seconds(benchmark),
+        improvement_fraction=improvement,
+    )

@@ -17,6 +17,8 @@ writing Python:
 * ``repro explore`` — search the (workload, system, CT, partitioner,
   sequencing) design space for Pareto-optimal designs with a chosen
   strategy, budget and objectives, against a resumable run store;
+* ``repro cache stats`` / ``clear`` / ``prune`` — inspect and manage the
+  shared disk caches (partition outcomes plus per-stage flow artifacts);
 * ``repro frontier`` — the JPEG-DCT Pareto frontier vs. the paper's own
   design point;
 * ``repro table1`` / ``repro table2`` — regenerate the paper's tables;
@@ -290,6 +292,23 @@ def _flow_batch(args: argparse.Namespace) -> int:
     else:
         _format_flow_rows(rows, args.format, sys.stdout)
     print(batch.describe(), file=sys.stderr)
+    stage_seconds = batch.stage_seconds_total()
+    if stage_seconds:
+        slowest = ", ".join(
+            f"{stage} {seconds:.3f}s"
+            for stage, seconds in sorted(
+                stage_seconds.items(), key=lambda item: -item[1]
+            )
+        )
+        print(f"stage wall-time totals: {slowest}", file=sys.stderr)
+    # (per-stage cache hits are already part of batch.describe() above)
+    stats = flow_engine.stats.snapshot()
+    print(
+        f"partition cache: {stats['cache_memory_hits']} memory hits, "
+        f"{stats['cache_disk_hits']} disk hits, {stats['cache_misses']} misses; "
+        f"{stats['deduped']} deduped in batch",
+        file=sys.stderr,
+    )
     return 0 if batch.ok else 1
 
 
@@ -443,8 +462,9 @@ def cmd_explore(args: argparse.Namespace) -> int:
         resume=args.resume,
         context={"eval_blocks": args.eval_blocks},
     )
+    explorer = Explorer(space, config=config, store=store)
     try:
-        result = Explorer(space, config=config, store=store).run()
+        result = explorer.run()
     finally:
         store.close()
 
@@ -459,6 +479,15 @@ def cmd_explore(args: argparse.Namespace) -> int:
     print(
         f"flow jobs evaluated: {result.flow_evaluated} "
         f"(run store: {store_path}; {result.store_hits} store hits)",
+        file=sys.stderr,
+    )
+    print(explorer.flow_engine.pipeline.describe_stats(), file=sys.stderr)
+    stats = result.engine_stats
+    print(
+        f"partition cache: {stats.get('cache_memory_hits', 0)} memory hits, "
+        f"{stats.get('cache_disk_hits', 0)} disk hits, "
+        f"{stats.get('cache_misses', 0)} misses; "
+        f"{stats.get('deduped', 0)} deduped",
         file=sys.stderr,
     )
     return 0 if len(result.front) else 1
@@ -490,6 +519,44 @@ def _format_explore_rows(rows: List[dict], fmt: str, stream) -> None:
         )
     )
     stream.write("\n")
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .runtime import (
+        clear_cache_dir,
+        default_cache_dir,
+        prune_cache_dir,
+        scan_cache_dir,
+    )
+
+    root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    if args.cache_command == "stats":
+        areas = scan_cache_dir(root)
+        print(f"cache root: {root}" + ("" if root.is_dir() else " (missing)"))
+        total_entries = 0
+        total_bytes = 0
+        for area in areas:
+            total_entries += area.entries
+            total_bytes += area.bytes
+            print(f"  {area.name:<22} {area.entries:>7} entries  "
+                  f"{area.bytes / 1024:>10.1f} KiB")
+        print(f"  {'total':<22} {total_entries:>7} entries  "
+              f"{total_bytes / 1024:>10.1f} KiB")
+        return 0
+    if args.cache_command == "clear":
+        removed = clear_cache_dir(root)
+        print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} "
+              f"under {root}")
+        return 0
+    # prune
+    if args.max_entries < 0:
+        raise ReproError("--max-entries must be non-negative")
+    removed = prune_cache_dir(root, args.max_entries)
+    print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} under {root} "
+          f"(each area kept to {args.max_entries} newest entries)")
+    return 0
 
 
 def cmd_frontier(args: argparse.Namespace) -> int:
@@ -723,6 +790,30 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--output", default=None,
                          help="write the Pareto front to this file instead of stdout")
     explore.set_defaults(handler=cmd_explore)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect and manage the shared disk caches (partition outcomes "
+             "plus per-stage flow artifacts)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry counts and sizes per cache area"
+    )
+    cache_clear = cache_sub.add_parser("clear", help="remove every cached entry")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="drop oldest entries beyond a per-area bound"
+    )
+    cache_prune.add_argument(
+        "--max-entries", type=int, required=True,
+        help="entries to keep per cache area (oldest-mtime pruned first)",
+    )
+    for sub in (cache_stats, cache_clear, cache_prune):
+        sub.add_argument(
+            "--cache-dir", default=None,
+            help="cache root (default: .repro-cache, or $REPRO_CACHE_DIR)",
+        )
+        sub.set_defaults(handler=cmd_cache)
 
     frontier = subparsers.add_parser(
         "frontier",

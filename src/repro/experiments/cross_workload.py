@@ -60,7 +60,7 @@ def format_cross_workload_table(rows: Sequence[Dict[str, object]]) -> str:
         columns=[
             "workload", "tasks", "edges", "ct_ms", "status", "source",
             "partitions", "k", "block_delay_ns", "total_latency_s",
-            "matches_expected", "error",
+            "matches_expected", "stage_sources", "error",
         ],
         title="Cross-workload design-flow summary",
     )

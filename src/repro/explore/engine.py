@@ -10,9 +10,11 @@ strategy's next proposal.
 
 Determinism: the strategy draws randomness only from one seeded RNG, flow
 evaluation is a pure function of the design point, and the store serialises
-records canonically — so the same seed and budget produce byte-identical
-run stores and identical fronts, and a resumed run replays the identical
-trajectory entirely from the store.
+records canonically — so the same seed, budget and starting cache state
+produce byte-identical run stores and identical fronts (metrics and
+trajectory depend on the seed alone; the persisted per-stage cache
+provenance additionally reflects how warm the caches were), and a resumed
+run replays the identical trajectory entirely from the store.
 """
 
 from __future__ import annotations
@@ -112,6 +114,11 @@ class ExplorationResult:
             }
             for objective in self.front.objectives:
                 row[objective.name] = record.metrics.get(objective.name, "")
+            row["stage_cache_hits"] = record.cache_hits()
+            row["stage_sources"] = ",".join(
+                f"{stage}={source}"
+                for stage, source in sorted(record.stage_sources.items())
+            )
             row["error"] = record.error
             rows.append(row)
         return rows
@@ -237,6 +244,7 @@ class Explorer:
             batch = self.flow_engine.run_batch(jobs)
             for fingerprint, report in zip(order, batch):
                 point = unique[fingerprint]
+                stage_sources = dict(report.stage_sources)
                 if report.ok:
                     try:
                         metrics = evaluate_report(
@@ -246,6 +254,7 @@ class Explorer:
                             fingerprint=fingerprint,
                             point=point,
                             metrics=metrics,
+                            stage_sources=stage_sources,
                             wall_time=report.wall_time,
                         )
                         continue
@@ -256,6 +265,7 @@ class Explorer:
                             status="failed",
                             error=str(error),
                             error_kind=type(error).__name__,
+                            stage_sources=stage_sources,
                             wall_time=report.wall_time,
                         )
                         continue
@@ -266,6 +276,7 @@ class Explorer:
                     error=f"{report.failed_stage or 'unknown'}: "
                           f"{report.error or 'no detail'}",
                     error_kind=report.error_kind,
+                    stage_sources=stage_sources,
                     wall_time=report.wall_time,
                 )
         return prepared, len(jobs)
@@ -325,6 +336,11 @@ class Explorer:
 
         result.wall_time = time.perf_counter() - start
         result.engine_stats = self.flow_engine.stats.snapshot()
+        # Per-stage artifact-cache counters, flattened next to the partition
+        # engine's, so run summaries show exactly which stages re-ran.
+        for stage, counters in self.flow_engine.stage_stats.items():
+            for name, value in counters.items():
+                result.engine_stats[f"stage_{stage.replace('-', '_')}_{name}"] = value
         return result
 
 

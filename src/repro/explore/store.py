@@ -40,8 +40,20 @@ class PointRecord:
     metrics: Dict[str, float] = field(default_factory=dict)
     error: str = ""
     error_kind: str = ""
+    #: Per-flow-stage cache provenance of the evaluation (stage name ->
+    #: ``computed`` / ``solve`` / ``memory-cache`` / ``disk-cache`` /
+    #: ``batch-dedup``), persisted so warm and cold evaluations are
+    #: distinguishable in stored rows.  Provenance is a deterministic
+    #: function of the trajectory AND the starting cache state: two runs
+    #: from the same seed, budget and cache state (e.g. both from fresh
+    #: engines, as the byte-identity tests use) write identical bytes,
+    #: while a run against a pre-warmed disk cache honestly records its
+    #: hits and therefore differs — that difference is the telemetry this
+    #: field exists to capture, never a metrics difference.
+    stage_sources: Dict[str, str] = field(default_factory=dict)
     #: Evaluation wall time of THIS run; runtime-only, never persisted —
-    #: same seed + budget must yield byte-identical store files.
+    #: same seed + budget + cache state must yield byte-identical store
+    #: files, and wall time is never deterministic.
     wall_time: float = 0.0
     source: str = "flow"  # "flow" | "store" — where THIS run got the record
 
@@ -49,6 +61,14 @@ class PointRecord:
     def ok(self) -> bool:
         """Whether the point produced a finished, measured design."""
         return self.status == "ok"
+
+    def cache_hits(self) -> int:
+        """Number of flow stages this evaluation served from a cache."""
+        return sum(
+            1
+            for source in self.stage_sources.values()
+            if source in ("memory-cache", "disk-cache", "batch-dedup")
+        )
 
     def to_json_dict(self) -> Dict[str, object]:
         """Plain-JSON form (canonically ordered for byte-stable stores)."""
@@ -59,6 +79,9 @@ class PointRecord:
             "metrics": {name: self.metrics[name] for name in sorted(self.metrics)},
             "error": self.error,
             "error_kind": self.error_kind,
+            "stage_sources": {
+                name: self.stage_sources[name] for name in sorted(self.stage_sources)
+            },
         }
 
     @classmethod
@@ -75,6 +98,10 @@ class PointRecord:
                 },
                 error=str(data.get("error", "")),
                 error_kind=str(data.get("error_kind", "")),
+                stage_sources={
+                    str(name): str(value)
+                    for name, value in dict(data.get("stage_sources", {})).items()
+                },
                 source="store",
             )
         except (KeyError, TypeError, ValueError) as error:

@@ -5,15 +5,34 @@ The paper's tool solves one ILP per invocation; production workloads solve
 times, or many graphs against one board.  This subsystem amortises that
 work:
 
-* :mod:`repro.runtime.canonical` — content hashing of problems;
+* :mod:`repro.runtime.canonical` — content hashing of problems, graphs,
+  devices and arbitrary stage payloads;
 * :mod:`repro.runtime.cache` — LRU + on-disk result caches;
+* :mod:`repro.runtime.artifacts` — the generic content-addressed stage
+  artifact store (per-stage version tags, shared cache-root layout);
 * :mod:`repro.runtime.jobs` — job/outcome/report types;
 * :mod:`repro.runtime.worker` — the function worker processes run;
 * :mod:`repro.runtime.engine` — :class:`PartitionEngine` itself.
 """
 
+from .artifacts import (
+    ArtifactStore,
+    CacheAreaReport,
+    StageStats,
+    clear_cache_dir,
+    default_cache_dir,
+    prune_cache_dir,
+    scan_cache_dir,
+)
 from .cache import CacheStats, DiskCache, LruCache, ResultCache
-from .canonical import canonical_problem_dict, problem_fingerprint
+from .canonical import (
+    canonical_device_dict,
+    canonical_fingerprint,
+    canonical_graph_dict,
+    canonical_problem_dict,
+    canonical_value,
+    problem_fingerprint,
+)
 from .engine import (
     BatchReport,
     EngineConfig,
@@ -36,7 +55,9 @@ from .jobs import (
 from .worker import execute_job
 
 __all__ = [
+    "ArtifactStore",
     "BatchReport",
+    "CacheAreaReport",
     "CacheStats",
     "DiskCache",
     "EngineConfig",
@@ -50,12 +71,21 @@ __all__ = [
     "ResultCache",
     "ResultSource",
     "SolverSpec",
+    "StageStats",
+    "canonical_device_dict",
+    "canonical_fingerprint",
+    "canonical_graph_dict",
     "canonical_problem_dict",
+    "canonical_value",
+    "clear_cache_dir",
     "configure_shared_engine",
     "ct_sweep_jobs",
+    "default_cache_dir",
     "execute_job",
     "outcome_to_partitioning",
     "problem_fingerprint",
+    "prune_cache_dir",
+    "scan_cache_dir",
     "shared_engine",
     "system_sweep_jobs",
 ]

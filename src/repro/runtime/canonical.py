@@ -1,21 +1,24 @@
-"""Canonical form and content hashing for partitioning problems.
+"""Canonical form and content hashing for stage inputs and artifacts.
 
-The engine's caches are keyed by *what is being solved*, not by object
-identity: two :class:`~repro.partition.spec.PartitionProblem` instances that
-describe the same task graph, capacity, memory and reconfiguration time must
-hash to the same key — in the same process, across processes, and across
-interpreter invocations (``PYTHONHASHSEED`` must not leak in).
+The caches are keyed by *what is being computed*, not by object identity:
+two :class:`~repro.partition.spec.PartitionProblem` instances (or task
+graphs, or devices) that describe the same content must hash to the same
+key — in the same process, across processes, and across interpreter
+invocations (``PYTHONHASHSEED`` must not leak in).
 
 The canonical form is a plain nested dict of sorted, JSON-stable primitives;
 floats are encoded with ``float.hex`` so the digest captures the exact bit
-pattern rather than a rounded decimal rendering.
+pattern rather than a rounded decimal rendering.  :func:`canonical_value`
+and :func:`canonical_fingerprint` are the generic entry points every stage
+of the design-flow pipeline keys itself with; the partition-problem helpers
+below them predate the generic layer and keep their historical shape.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 from ..partition.spec import PartitionProblem
 
@@ -27,6 +30,116 @@ CANONICAL_VERSION = 1
 def _canonical_float(value: float) -> str:
     """Bit-exact, platform-independent text form of a float."""
     return float(value).hex()
+
+
+# ---------------------------------------------------------------------------
+# Generic canonical encoding
+# ---------------------------------------------------------------------------
+
+def canonical_value(value: object) -> object:
+    """The JSON-stable canonical form of an arbitrary nested value.
+
+    Floats become their bit-exact ``float.hex`` text, mappings become plain
+    dicts with string keys (serialised with sorted keys), and sequences
+    become lists.  Anything outside the JSON family is rejected rather than
+    silently ``repr``-ed: a stage key must never depend on an object's
+    memory address or on a ``repr`` that can drift between versions.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return _canonical_float(value)
+    if isinstance(value, Mapping):
+        encoded: Dict[str, object] = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"canonical mapping keys must be strings, got {type(key).__name__}"
+                )
+            encoded[key] = canonical_value(item)
+        return encoded
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonical_value(item) for item in value)
+    raise TypeError(f"cannot canonicalise a {type(value).__name__} value")
+
+
+def canonical_fingerprint(payload: object) -> str:
+    """A stable sha256 hex digest of an arbitrary canonicalisable payload."""
+    encoded = json.dumps(
+        canonical_value(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def canonical_graph_dict(graph) -> Dict[str, object]:
+    """The canonical description of a :class:`~repro.taskgraph.graph.TaskGraph`.
+
+    Captures everything estimation and partitioning can observe: per-task
+    costs (when present), per-task data-flow graphs (operation kinds,
+    widths, constant values and dependency edges — the estimator's whole
+    input), environment I/O words, and the inter-task edges with their data
+    volumes.  Task and edge order is sorted so insertion order never
+    changes the key; the graph *name* is deliberately excluded (renaming a
+    graph does not change what any stage computes from it).
+    """
+    tasks = []
+    for name in sorted(graph.task_names()):
+        task = graph.task(name)
+        entry: Dict[str, object] = {
+            "name": name,
+            "type": task.task_type or "",
+            "env_in": graph.env_input_words(name),
+            "env_out": graph.env_output_words(name),
+        }
+        if task.has_cost:
+            entry["cost"] = {
+                "resources": {
+                    kind: int(amount)
+                    for kind, amount in sorted(task.resources.as_dict().items())
+                },
+                "delay": _canonical_float(task.delay),
+            }
+        if task.dfg is not None:
+            dfg = task.dfg
+            entry["dfg"] = {
+                "operations": [
+                    {
+                        "name": op.name,
+                        "kind": op.kind.value,
+                        "width": op.width,
+                        "value": canonical_value(op.value),
+                    }
+                    for op in sorted(dfg.operations(), key=lambda op: op.name)
+                ],
+                "edges": sorted(list(edge) for edge in dfg.edges()),
+            }
+        tasks.append(entry)
+    edges = sorted(
+        (producer, consumer, graph.edge_words(producer, consumer))
+        for producer, consumer in graph.edges()
+    )
+    return {"tasks": tasks, "edges": [list(edge) for edge in edges]}
+
+
+def canonical_device_dict(device) -> Dict[str, object]:
+    """The canonical description of an :class:`~repro.arch.device.FpgaDevice`.
+
+    Captures the fields estimation observes — family (selects the component
+    library), capacity and the clock-period window.  The reconfiguration
+    time is excluded on purpose: estimation never reads it, so two devices
+    differing only in ``CT`` share every estimate.
+    """
+    return {
+        "family": device.family,
+        "capacity": {
+            kind: int(amount)
+            for kind, amount in sorted(device.capacity.as_dict().items())
+        },
+        "min_clock_period": _canonical_float(device.min_clock_period),
+        "max_clock_period": _canonical_float(device.max_clock_period),
+    }
 
 
 def canonical_problem_dict(problem: PartitionProblem) -> Dict[str, object]:

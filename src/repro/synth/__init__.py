@@ -1,4 +1,4 @@
-"""End-to-end synthesis flow (Figure 2), batch flow service and artefacts."""
+"""End-to-end synthesis flow (Figure 2), stage pipeline and batch service."""
 
 from .flow import PARTITIONERS, DesignFlow, FlowOptions
 from .flow_engine import (
@@ -9,7 +9,16 @@ from .flow_engine import (
     FlowStage,
     workload_flow_jobs,
 )
+from .pipeline import StagePipeline
 from .rtr_design import RtrDesign
+from .stages import (
+    PIPELINE_STAGES,
+    STAGE_VERSIONS,
+    StageKey,
+    StagePlan,
+    build_stage_plan,
+    ct_invariant_solver,
+)
 from .static_design import (
     StaticDesign,
     static_design_from_estimator,
@@ -25,8 +34,15 @@ __all__ = [
     "FlowReport",
     "FlowStage",
     "PARTITIONERS",
+    "PIPELINE_STAGES",
     "RtrDesign",
+    "STAGE_VERSIONS",
+    "StageKey",
+    "StagePipeline",
+    "StagePlan",
     "StaticDesign",
+    "build_stage_plan",
+    "ct_invariant_solver",
     "static_design_from_estimator",
     "static_design_from_parameters",
     "workload_flow_jobs",

@@ -4,15 +4,16 @@
 memory mapping -> controller/RTL synthesis -> host code``
 
 :class:`DesignFlow` wires the library's pieces together with one call.  Every
-stage is exposed as its own method (:meth:`~DesignFlow.estimate`,
+stage is one of the pure, versioned transforms of :mod:`repro.synth.stages`,
+exposed as its own method (:meth:`~DesignFlow.estimate`,
 :meth:`~DesignFlow.partition`, :meth:`~DesignFlow.map_memory`,
 :meth:`~DesignFlow.analyse`, :meth:`~DesignFlow.timing`,
 :meth:`~DesignFlow.generate_rtl`, :meth:`~DesignFlow.assemble`) so drivers
 that want per-stage control — most importantly the batched
-:class:`~repro.synth.flow_engine.FlowEngine`, which routes the partition
-stage through the caching/parallel partition engine — run exactly the same
-code as the one-call :meth:`~DesignFlow.build` experience the SPARCS
-environment offered.
+:class:`~repro.synth.flow_engine.FlowEngine`, which runs the same transforms
+through the content-addressed stage pipeline and the caching/parallel
+partition engine — run exactly the same code as the one-call
+:meth:`~DesignFlow.build` experience the SPARCS environment offered.
 """
 
 from __future__ import annotations
@@ -22,10 +23,8 @@ from typing import List, Optional
 
 from ..arch.board import RtrSystem
 from ..errors import SynthesisError
-from ..fission.analysis import analyse_fission
 from ..fission.sequencer import generate_host_code
 from ..fission.strategies import SequencingStrategy
-from ..fission.throughput import rtr_timing_spec
 from ..hls.allocation import minimal_allocation
 from ..hls.controller import controller_for_schedule
 from ..hls.datapath import build_datapath
@@ -41,6 +40,7 @@ from ..partition.spec import PartitionProblem
 from ..partition.validate import assert_valid
 from ..taskgraph.graph import TaskGraph
 from ..units import ns
+from . import stages
 from .rtr_design import RtrDesign
 
 #: Registered partitioner names.
@@ -79,18 +79,12 @@ class DesignFlow:
     # ------------------------------------------------------------------
 
     def estimate(self, graph: TaskGraph) -> TaskGraph:
-        """Task-estimation stage: fill in missing ``R(t)``/``D(t)`` values."""
-        if graph.all_estimated():
-            return graph
-        if not self.options.estimate_missing_costs:
-            raise SynthesisError(
-                "the task graph has unestimated tasks and estimate_missing_costs "
-                "is disabled"
-            )
-        estimator = TaskEstimator(
-            self.system.fpga, max_clock_period=self.options.max_clock_period
-        )
-        return estimator.estimate_task_graph(graph)
+        """Task-estimation stage: fill in missing ``R(t)``/``D(t)`` values.
+
+        Fully-estimated graphs pass through untouched; otherwise estimation
+        runs on a copy (the caller's graph is never mutated).
+        """
+        return stages.run_estimate(graph, self.system, self.options)
 
     def partition(self, graph: TaskGraph) -> TemporalPartitioning:
         """Temporal-partitioning stage (ILP or a heuristic baseline)."""
@@ -107,22 +101,24 @@ class DesignFlow:
 
     def map_memory(self, partitioning: TemporalPartitioning):
         """Memory-mapping stage: lay inter-partition data out in board memory."""
-        return build_memory_map(
-            partitioning, round_to_power_of_two=self.options.round_memory_blocks
-        )
+        return stages.run_memory_map(partitioning, self.options)
 
     def analyse(self, partitioning: TemporalPartitioning, memory_map):
         """Loop-fission stage: derive ``k`` and the limiting partition."""
-        return analyse_fission(
-            partitioning,
-            self.system.memory_capacity_words,
-            memory_map=memory_map,
-            round_blocks_to_power_of_two=self.options.round_memory_blocks,
-        )
+        return stages.run_fission(partitioning, memory_map, self.system, self.options)
 
     def timing(self, partitioning: TemporalPartitioning, fission, memory_map):
         """Timing stage: the RTR timing spec the analytic models consume."""
-        return rtr_timing_spec(partitioning, fission, memory_map)
+        return stages.run_timing(partitioning, fission, memory_map)
+
+    def stage_plan(self, graph: TaskGraph) -> stages.StagePlan:
+        """The DAG of content-addressed stage keys this flow would execute.
+
+        The plan is what the batched :class:`~repro.synth.flow_engine.FlowEngine`
+        caches by; exposing it here lets callers inspect key derivation (and
+        equality across jobs) without running anything.
+        """
+        return stages.build_stage_plan(graph, self.system, self.options)
 
     def assemble(
         self,

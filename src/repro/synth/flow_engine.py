@@ -2,13 +2,25 @@
 
 :class:`FlowEngine` turns :class:`~repro.synth.flow.DesignFlow` from a
 one-problem-at-a-time call into a throughput-oriented service: a whole list
-of (graph, system, options) flow jobs is accepted at once, the dominant
-partition stage is routed through the caching/parallel
-:class:`~repro.runtime.engine.PartitionEngine` (canonical-hash dedup,
-LRU + disk caches, process-pool fan-out), and every other stage runs through
-the same :class:`DesignFlow` stage methods the single-call path uses —
-individually timed, with structured per-stage failure reports so one broken
-scenario never takes a batch down.
+of (graph, system, options) flow jobs is accepted at once and every job is
+reduced to a DAG of content-addressed stage keys
+(:class:`~repro.synth.stages.StagePlan`) executed through the cached
+:class:`~repro.synth.pipeline.StagePipeline`:
+
+* the **estimate** stage is served from the stage artifact store (memory +
+  optional disk) whenever any previous job shared the graph and device;
+* the dominant **partition** stage is routed through the caching/parallel
+  :class:`~repro.runtime.engine.PartitionEngine` (canonical-hash dedup,
+  LRU + disk caches, process-pool fan-out), with CT-invariant solver
+  configurations normalised so the whole reconfiguration-time axis shares
+  one solve;
+* the **memory-map / fission / timing** stages are shared through the
+  in-memory artifact cache.
+
+Stages run through the very transforms the single-call path uses —
+individually timed, per-stage cache sources recorded on every report, with
+structured per-stage failure reports so one broken scenario never takes a
+batch down.
 
 Workload-catalog integration lives in :func:`workload_flow_jobs`, which
 expands registered workloads (optionally their deterministic parameter
@@ -20,7 +32,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..arch.board import RtrSystem
 from ..errors import ReproError, SynthesisError
@@ -28,7 +40,9 @@ from ..partition.spec import PartitionProblem
 from ..runtime.engine import EngineConfig, PartitionEngine
 from ..runtime.jobs import JobReport, ResultSource
 from ..taskgraph.graph import TaskGraph
+from . import stages
 from .flow import DesignFlow, FlowOptions
+from .pipeline import StagePipeline
 from .rtr_design import RtrDesign
 
 
@@ -60,6 +74,17 @@ class FlowJob:
         return self.tag or self.graph.name
 
 
+#: The stages whose wall-times appear as columns in :meth:`FlowReport.row`.
+ROW_STAGES: Tuple[str, ...] = tuple(stage.value for stage in FlowStage)
+
+#: Stage sources meaning "served from a cache, nothing ran".
+CACHED_SOURCES = (
+    ResultSource.MEMORY_CACHE.value,
+    ResultSource.DISK_CACHE.value,
+    ResultSource.BATCH_DEDUP.value,
+)
+
+
 @dataclass
 class FlowReport:
     """Everything one flow job produced: the design or a structured failure."""
@@ -67,6 +92,7 @@ class FlowReport:
     job: FlowJob
     design: Optional[RtrDesign] = None
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    stage_sources: Dict[str, str] = field(default_factory=dict)
     partition_source: str = ""
     failed_stage: str = ""
     error: str = ""
@@ -83,14 +109,24 @@ class FlowReport:
         """Whether the partition stage was served without running a solver."""
         return self.partition_source not in ("", ResultSource.SOLVE.value)
 
+    def cached_stage(self, stage: str) -> bool:
+        """Whether *stage* was served from a cache (nothing recomputed)."""
+        return self.stage_sources.get(stage, "") in CACHED_SOURCES
+
     def row(self) -> Dict[str, object]:
-        """Flat dict for tabular/JSON/CSV presentation."""
+        """Flat dict for tabular/JSON/CSV presentation.
+
+        Carries one ``t_<stage>_s`` wall-time column per flow stage plus the
+        compact ``stage_sources`` provenance string, so slow stages and cold
+        caches are visible directly in batch output.
+        """
         row: Dict[str, object] = {
             "tag": self.job.name,
             "workload": self.job.workload,
             "status": "ok" if self.ok else f"failed:{self.failed_stage or 'unknown'}",
             "partition_source": self.partition_source,
             "cached_partition": self.cached_partition,
+            "cached_estimate": self.cached_stage(FlowStage.ESTIMATE.value),
             "partitions": self.design.partition_count if self.ok else 0,
             "k": self.design.computations_per_run if self.ok else 0,
             "block_delay_ns": self.design.block_delay * 1e9 if self.ok else 0.0,
@@ -98,8 +134,14 @@ class FlowReport:
                 self.design.partitioning.total_latency if self.ok else 0.0
             ),
             "wall_time_s": self.wall_time,
-            "error": self.error,
         }
+        for stage in ROW_STAGES:
+            column = f"t_{stage.replace('-', '_')}_s"
+            row[column] = self.stage_seconds.get(stage, 0.0)
+        row["stage_sources"] = ",".join(
+            f"{stage}={source}" for stage, source in self.stage_sources.items()
+        )
+        row["error"] = self.error
         return row
 
 
@@ -159,27 +201,57 @@ class FlowBatchReport:
             )
         cached = sum(1 for report in self.reports if report.cached_partition)
         status = "all ok" if self.ok else f"{len(self.failures())} failed"
-        return (
+        summary = (
             f"flow batch of {len(self.reports)} jobs in {self.wall_time:.2f} s "
             f"({self.workers_used} worker(s); {cached} cached partitionings; {status})"
         )
+        stage_summary = self.describe_stage_cache()
+        if stage_summary:
+            summary += f"; {stage_summary}"
+        return summary
+
+    def describe_stage_cache(self) -> str:
+        """Compact per-stage ``hits/lookups`` summary across the batch."""
+        parts = []
+        for stage in ROW_STAGES:
+            lookups = sum(1 for r in self.reports if stage in r.stage_sources)
+            if not lookups:
+                continue
+            hits = sum(1 for r in self.reports if r.cached_stage(stage))
+            parts.append(f"{stage} {hits}/{lookups}")
+        if not parts:
+            return ""
+        return "stage hits: " + ", ".join(parts)
+
+    def stage_seconds_total(self) -> Dict[str, float]:
+        """Summed wall-time per stage across the batch (slow stages pop out)."""
+        totals: Dict[str, float] = {}
+        for report in self.reports:
+            for stage, seconds in report.stage_seconds.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
 
 
 class FlowEngine:
     """Batched, cached, parallel end-to-end design flows.
 
-    The engine layers on a :class:`~repro.runtime.engine.PartitionEngine`:
-    the temporal-partitioning stage — by far the most expensive — is
-    submitted for the whole batch at once, so identical (graph, system,
-    solver) jobs dedup, repeats hit the LRU/disk caches, and misses fan out
-    across the partition engine's worker pool.  Every other stage runs
-    in-process through :class:`DesignFlow`'s stage methods.
+    The engine reduces every job to a DAG of stage keys and executes it
+    through the :class:`~repro.synth.pipeline.StagePipeline`: the
+    temporal-partitioning stage — by far the most expensive — is submitted
+    for the whole batch at once through the
+    :class:`~repro.runtime.engine.PartitionEngine`, so identical (graph,
+    system, solver) jobs dedup, repeats hit the LRU/disk caches, and misses
+    fan out across the worker pool; estimation and the downstream stages are
+    served from the content-addressed artifact store whenever any earlier
+    job shared their stage keys.  When the partition engine has a disk cache
+    directory, stage artifacts share the same root (under ``stages/``).
     """
 
     def __init__(
         self,
         engine: Optional[PartitionEngine] = None,
         config: Optional[EngineConfig] = None,
+        pipeline: Optional[StagePipeline] = None,
         **overrides,
     ) -> None:
         if engine is not None and (config is not None or overrides):
@@ -189,11 +261,19 @@ class FlowEngine:
         if engine is None:
             engine = PartitionEngine(config or EngineConfig(**overrides))
         self.engine = engine
+        self.pipeline = pipeline or StagePipeline(
+            cache_dir=engine.config.cache_dir
+        )
 
     @property
     def stats(self):
         """Cumulative partition-engine statistics (jobs, caches, workers)."""
         return self.engine.stats
+
+    @property
+    def stage_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-stage artifact-cache counters (hits/misses/stores/runs)."""
+        return self.pipeline.stats_snapshot()
 
     # ------------------------------------------------------------------
     # Batch execution
@@ -204,30 +284,55 @@ class FlowEngine:
         start = time.perf_counter()
         reports = [FlowReport(job=job) for job in jobs]
 
-        # Stage 1: estimation, in-process (cheap next to the ILP solve).
-        # Estimation attaches costs to the graph, so an unestimated graph is
-        # copied first: one graph shared by jobs targeting different systems
-        # must not inherit the first job's costs (or mutate the caller's).
+        # Stage 1: plan + estimation.  Each job reduces to its DAG of stage
+        # keys, then the estimate artifact (every task's cost) is served
+        # from the stage store or computed once; rehydration applies costs
+        # to a copy, so a graph shared by jobs targeting different systems
+        # never inherits the first job's costs (or mutates the caller's).
+        # Graph content digests are memoised per graph object for THIS
+        # batch only — the engine never mutates a submitted graph, so the
+        # memo cannot go stale within the batch, and it dies with it.
+        plans: Dict[int, stages.StagePlan] = {}
         estimated: Dict[int, TaskGraph] = {}
+        graph_digests: Dict[int, str] = {}
         for index, job in enumerate(jobs):
+
+            def plan_and_estimate(job=job, index=index):
+                graph_key = id(job.graph)
+                if graph_key not in graph_digests:
+                    graph_digests[graph_key] = stages.graph_content_digest(job.graph)
+                plan = self.pipeline.plan(
+                    job.graph,
+                    job.system,
+                    job.options,
+                    graph_digest=graph_digests[graph_key],
+                )
+                plans[index] = plan
+                graph, source = self.pipeline.estimate(
+                    plan, job.graph, job.system, job.options
+                )
+                reports[index].stage_sources[FlowStage.ESTIMATE.value] = source
+                return graph
+
             graph = self._run_stage(
-                reports[index],
-                FlowStage.ESTIMATE,
-                lambda job=job: DesignFlow(job.system, job.options).estimate(
-                    job.graph if job.graph.all_estimated() else job.graph.copy()
-                ),
+                reports[index], FlowStage.ESTIMATE, plan_and_estimate
             )
             if graph is not None:
                 estimated[index] = graph
 
         # Stage 2: temporal partitioning, one engine batch for all survivors
         # (dedup + caches + worker pool live inside the partition engine).
-        partition_reports = self._partition_batch(jobs, reports, estimated)
+        # CT-invariant solver configurations are normalised to CT = 0, so
+        # the whole reconfiguration-time axis shares one solve.
+        partition_reports, problems = self._partition_batch(jobs, reports, estimated)
 
         # Stage 3: the remaining stages, per job, individually timed.
         for index, partition_report in partition_reports.items():
             report = reports[index]
             report.partition_source = partition_report.source.value
+            report.stage_sources[FlowStage.PARTITION.value] = (
+                partition_report.source.value
+            )
             report.stage_seconds[FlowStage.PARTITION.value] = (
                 partition_report.wall_time
             )
@@ -236,7 +341,13 @@ class FlowEngine:
                 report.error = partition_report.outcome.error
                 report.error_kind = partition_report.outcome.error_kind
                 continue
-            self._finish_job(report, estimated[index], partition_report)
+            self._finish_job(
+                report,
+                estimated[index],
+                partition_report,
+                plans[index],
+                problems[index],
+            )
 
         for report in reports:
             report.wall_time = sum(report.stage_seconds.values())
@@ -267,10 +378,17 @@ class FlowEngine:
         jobs: Sequence[FlowJob],
         reports: List[FlowReport],
         estimated: Dict[int, TaskGraph],
-    ) -> Dict[int, JobReport]:
-        """Submit every estimable job's partition problem as one batch."""
+    ) -> Tuple[Dict[int, JobReport], Dict[int, PartitionProblem]]:
+        """Submit every estimable job's partition problem as one batch.
+
+        Returns the engine reports plus each job's *true* problem (the one
+        carrying the job's own reconfiguration time) for rehydration; the
+        engine itself sees the CT-normalised problem, so CT-only variants
+        collapse onto one fingerprint.
+        """
         engine_jobs = []
         indices: List[int] = []
+        problems: Dict[int, PartitionProblem] = {}
         for index in sorted(estimated):
             job = jobs[index]
             try:
@@ -281,9 +399,12 @@ class FlowEngine:
                 report.error = str(error)
                 report.error_kind = type(error).__name__
                 continue
+            problems[index] = problem
             engine_jobs.append(
                 self.engine.make_job(
-                    problem,
+                    stages.normalised_partition_problem(
+                        problem, 0, job.options.partitioner
+                    ),
                     tag=job.name,
                     partitioner=job.options.partitioner,
                     backend=job.options.ilp_backend,
@@ -291,35 +412,53 @@ class FlowEngine:
             )
             indices.append(index)
         if not engine_jobs:
-            return {}
+            return {}, problems
         batch = self.engine.solve_batch(engine_jobs)
-        return dict(zip(indices, batch))
+        return dict(zip(indices, batch)), problems
 
     def _finish_job(
-        self, report: FlowReport, graph: TaskGraph, partition_report: JobReport
+        self,
+        report: FlowReport,
+        graph: TaskGraph,
+        partition_report: JobReport,
+        plan: stages.StagePlan,
+        problem: PartitionProblem,
     ) -> None:
         """Run memory map, fission, timing, RTL and assembly for one job."""
         job = report.job
         flow = DesignFlow(job.system, job.options)
         partitioning = self._run_stage(
-            report, FlowStage.PARTITION, partition_report.partitioning, accumulate=True
+            report,
+            FlowStage.PARTITION,
+            lambda: stages.rehydrate_partitioning(
+                problem,
+                partition_report.outcome,
+                partition_report.job.problem.reconfiguration_time,
+            ),
+            accumulate=True,
         )
         if partitioning is None:
             return
-        memory_map = self._run_stage(
-            report, FlowStage.MEMORY_MAP, lambda: flow.map_memory(partitioning)
+        memory_map = self._run_pipeline_stage(
+            report,
+            FlowStage.MEMORY_MAP,
+            lambda: self.pipeline.memory_map(plan, partitioning, job.options),
         )
         if memory_map is None:
             return
-        fission = self._run_stage(
-            report, FlowStage.FISSION, lambda: flow.analyse(partitioning, memory_map)
+        fission = self._run_pipeline_stage(
+            report,
+            FlowStage.FISSION,
+            lambda: self.pipeline.fission(
+                plan, partitioning, memory_map, job.system, job.options
+            ),
         )
         if fission is None:
             return
-        timing = self._run_stage(
+        timing = self._run_pipeline_stage(
             report,
             FlowStage.TIMING,
-            lambda: flow.timing(partitioning, fission, memory_map),
+            lambda: self.pipeline.timing(plan, partitioning, fission, memory_map),
         )
         if timing is None:
             return
@@ -346,6 +485,16 @@ class FlowEngine:
             ),
         )
         report.design = design
+
+    def _run_pipeline_stage(self, report, stage, fn):
+        """Run one pipeline-cached stage, recording its source on the report."""
+
+        def unpack():
+            value, source = fn()
+            report.stage_sources[stage.value] = source
+            return value
+
+        return self._run_stage(report, stage, unpack)
 
     def _run_stage(self, report, stage, fn, accumulate: bool = False):
         """Run one stage, timing it; ``None`` plus a structured failure on error."""

@@ -1,0 +1,442 @@
+"""The declarative stage transforms of the Figure-2 design flow.
+
+Every stage of the flow — estimate, partition, memory map, fission, timing —
+is expressed here as a *pure, versioned transform* with canonically hashed
+inputs:
+
+* the **transform** is a plain function from input artifacts to an output
+  artifact, shared verbatim by the one-call :class:`~repro.synth.flow.DesignFlow`
+  and the cached batch :class:`~repro.synth.flow_engine.FlowEngine` — the two
+  paths run exactly the same code;
+* the **stage key** is a content digest of everything the transform can
+  observe, chained Merkle-style through the stage DAG (the partition key
+  hashes the estimate key, the memory-map key hashes the partition key, and
+  so on), so a flow job reduces to a DAG of stage keys and two jobs that
+  share a prefix of the DAG share the cached artifacts for that prefix;
+* the **version tag** is baked into every digest; bumping a stage's entry in
+  :data:`STAGE_VERSIONS` invalidates that stage's (and its dependents')
+  cached entries without touching the rest of the cache.
+
+Reconfiguration time is the interesting axis: ``CT`` enters the ILP
+objective only as the constant ``N * CT`` per fixed bound, and the default
+relax-N loop stops at the first feasible bound, so the solved *assignment*
+is provably independent of ``CT`` (the constant never reaches the solver —
+it is carried in ``objective_constant`` outside the matrices).  The
+heuristic partitioners never read ``CT`` at all.  For such *CT-invariant*
+solver configurations the partition stage therefore solves a CT-normalised
+problem (``CT = 0``) and re-attaches the job's true ``CT`` on rehydration —
+which is what lets a CT-only explore neighbour reuse the cached estimate
+*and* partition artifacts and re-run nothing but the cheap downstream
+stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..arch.board import RtrSystem
+from ..arch.device import ResourceVector
+from ..errors import SynthesisError
+from ..fission.analysis import FissionAnalysis, analyse_fission
+from ..fission.throughput import rtr_timing_spec
+from ..hls.estimator import TaskEstimator
+from ..memmap.mapper import MemoryMap, build_memory_map
+from ..partition.result import TemporalPartitioning
+from ..partition.spec import PartitionProblem
+from ..runtime.canonical import (
+    canonical_device_dict,
+    canonical_fingerprint,
+    canonical_graph_dict,
+)
+from ..runtime.jobs import JobOutcome
+from ..taskgraph.graph import TaskGraph
+from ..taskgraph.task import TaskCost
+
+#: Stage names, in flow order (the values of
+#: :class:`~repro.synth.flow_engine.FlowStage` for the cached stages).
+ESTIMATE = "estimate"
+PARTITION = "partition"
+MEMORY_MAP = "memory-map"
+FISSION = "fission"
+TIMING = "timing"
+
+#: The cached pipeline stages in dependency order.
+PIPELINE_STAGES: Tuple[str, ...] = (ESTIMATE, PARTITION, MEMORY_MAP, FISSION, TIMING)
+
+#: Per-stage version tags.  A bump invalidates every cached entry of that
+#: stage (and, through key chaining, of its downstream dependents) while
+#: leaving the rest of the disk cache valid.
+STAGE_VERSIONS: Dict[str, int] = {
+    ESTIMATE: 1,
+    PARTITION: 1,
+    MEMORY_MAP: 1,
+    FISSION: 1,
+    TIMING: 1,
+}
+
+
+@dataclass(frozen=True)
+class StageKey:
+    """Content address of one stage invocation: name, version tag, digest."""
+
+    stage: str
+    version: int
+    digest: str
+    parents: Tuple[str, ...] = ()
+
+    @property
+    def short(self) -> str:
+        """Compact display form (``stage@v1:digest12``)."""
+        return f"{self.stage}@v{self.version}:{self.digest[:12]}"
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """The DAG of stage keys one flow job reduces to.
+
+    Keys are chained: each stage's digest hashes its parents' digests plus
+    its own direct inputs, so equality of a stage key implies equality of
+    the whole upstream computation.
+    """
+
+    keys: Tuple[StageKey, ...]
+
+    def key(self, stage: str) -> StageKey:
+        """The :class:`StageKey` of *stage* (raising on unknown stages)."""
+        for key in self.keys:
+            if key.stage == stage:
+                return key
+        raise SynthesisError(f"stage {stage!r} is not part of this plan")
+
+    def digest(self, stage: str) -> str:
+        """The content digest of *stage*."""
+        return self.key(stage).digest
+
+    def describe(self) -> str:
+        """One-line human readable summary of the key chain."""
+        return " -> ".join(key.short for key in self.keys)
+
+
+def _stage_digest(stage: str, version: int, payload: Dict[str, object]) -> str:
+    return canonical_fingerprint(
+        {"stage": stage, "version": version, "inputs": payload}
+    )
+
+
+def ct_invariant_solver(partitioner: str, explore_extra_partitions: int = 0) -> bool:
+    """Whether the partition assignment is independent of ``CT``.
+
+    True for the heuristics (they never read ``CT``) and for the default ILP
+    relax-N loop (it stops at the first feasible bound; ``N*CT`` is a
+    constant per bound).  Only ``explore_extra_partitions > 0`` makes the
+    bound *selection* compare ``N*CT + sum_p d_p`` across bounds, which is
+    genuinely CT-dependent.
+    """
+    if partitioner != "ilp":
+        return True
+    return explore_extra_partitions == 0
+
+
+# ---------------------------------------------------------------------------
+# Stage keys
+# ---------------------------------------------------------------------------
+
+def graph_content_digest(graph: TaskGraph) -> str:
+    """Content digest of a task graph (hashes the canonical form).
+
+    Canonicalising walks every task's DFG, so batch drivers that submit one
+    graph object under many jobs (CT sweeps, explore neighbourhoods) pass
+    the digest down through *graph_digest* rather than re-hashing per job.
+    Any such memoisation must be scoped to a window in which the graph is
+    provably not mutated — :meth:`FlowEngine.run_batch` memoises per batch
+    (the engine never mutates a submitted graph; estimation works on a
+    copy), never across caller turns, because no cheap salt can detect
+    every in-place content mutation.
+    """
+    return canonical_fingerprint(canonical_graph_dict(graph))
+
+
+def estimate_stage_key(
+    graph: TaskGraph,
+    system: RtrSystem,
+    options,
+    graph_digest: Optional[str] = None,
+) -> StageKey:
+    """Key of the estimation stage: graph content, device, clock constraint.
+
+    *graph_digest* short-circuits the graph hashing when the caller already
+    holds :func:`graph_content_digest` for this graph's current content.
+    """
+    version = STAGE_VERSIONS[ESTIMATE]
+    digest = _stage_digest(
+        ESTIMATE,
+        version,
+        {
+            "graph": graph_digest or graph_content_digest(graph),
+            "device": canonical_device_dict(system.fpga),
+            "max_clock_period": float(options.max_clock_period),
+            "estimate_missing_costs": bool(options.estimate_missing_costs),
+        },
+    )
+    return StageKey(ESTIMATE, version, digest)
+
+
+def partition_stage_key(
+    estimate_key: StageKey,
+    system: RtrSystem,
+    options,
+    explore_extra_partitions: int = 0,
+) -> StageKey:
+    """Key of the partition stage: estimate key, capacity, memory, solver.
+
+    ``CT`` is part of the key only for CT-dependent solver configurations;
+    CT-invariant configurations (the default) share one key across the whole
+    reconfiguration-time axis.
+    """
+    version = STAGE_VERSIONS[PARTITION]
+    invariant = ct_invariant_solver(options.partitioner, explore_extra_partitions)
+    digest = _stage_digest(
+        PARTITION,
+        version,
+        {
+            "estimate": estimate_key.digest,
+            "capacity": {
+                kind: int(amount)
+                for kind, amount in sorted(system.resource_capacity.as_dict().items())
+            },
+            "memory_words": int(system.memory_capacity_words),
+            "solver": {
+                "partitioner": options.partitioner,
+                "backend": options.ilp_backend,
+                "explore_extra_partitions": int(explore_extra_partitions),
+            },
+            "ct": None if invariant else float(system.reconfiguration_time),
+        },
+    )
+    return StageKey(PARTITION, version, digest, parents=(ESTIMATE,))
+
+
+def memory_map_stage_key(partition_key: StageKey, options) -> StageKey:
+    """Key of the memory-map stage: partition key plus the rounding switch."""
+    version = STAGE_VERSIONS[MEMORY_MAP]
+    digest = _stage_digest(
+        MEMORY_MAP,
+        version,
+        {
+            "partition": partition_key.digest,
+            "round_memory_blocks": bool(options.round_memory_blocks),
+        },
+    )
+    return StageKey(MEMORY_MAP, version, digest, parents=(PARTITION,))
+
+
+def fission_stage_key(memory_map_key: StageKey, system: RtrSystem) -> StageKey:
+    """Key of the fission stage: memory-map key plus the memory capacity."""
+    version = STAGE_VERSIONS[FISSION]
+    digest = _stage_digest(
+        FISSION,
+        version,
+        {
+            "memory_map": memory_map_key.digest,
+            "memory_words": int(system.memory_capacity_words),
+        },
+    )
+    return StageKey(FISSION, version, digest, parents=(MEMORY_MAP,))
+
+
+def timing_stage_key(fission_key: StageKey) -> StageKey:
+    """Key of the timing stage (fully determined by the fission key)."""
+    version = STAGE_VERSIONS[TIMING]
+    digest = _stage_digest(TIMING, version, {"fission": fission_key.digest})
+    return StageKey(TIMING, version, digest, parents=(FISSION,))
+
+
+def build_stage_plan(
+    graph: TaskGraph,
+    system: RtrSystem,
+    options,
+    explore_extra_partitions: int = 0,
+    graph_digest: Optional[str] = None,
+) -> StagePlan:
+    """The full DAG of stage keys for one (graph, system, options) flow job."""
+    estimate = estimate_stage_key(graph, system, options, graph_digest=graph_digest)
+    partition = partition_stage_key(
+        estimate, system, options, explore_extra_partitions
+    )
+    memory_map = memory_map_stage_key(partition, options)
+    fission = fission_stage_key(memory_map, system)
+    timing = timing_stage_key(fission)
+    return StagePlan(keys=(estimate, partition, memory_map, fission, timing))
+
+
+# ---------------------------------------------------------------------------
+# Estimate: transform + artifact codec
+# ---------------------------------------------------------------------------
+
+def run_estimate(graph: TaskGraph, system: RtrSystem, options) -> TaskGraph:
+    """The estimation transform: fill in missing ``R(t)``/``D(t)`` values.
+
+    Fully-estimated graphs pass through untouched; otherwise the estimation
+    runs on a copy, so a graph shared by several jobs never inherits the
+    first job's costs.
+    """
+    if graph.all_estimated():
+        return graph
+    if not options.estimate_missing_costs:
+        raise SynthesisError(
+            "the task graph has unestimated tasks and estimate_missing_costs "
+            "is disabled"
+        )
+    estimator = TaskEstimator(
+        system.fpga, max_clock_period=options.max_clock_period
+    )
+    return estimator.estimate_task_graph(graph.copy())
+
+
+def estimate_artifact(graph: TaskGraph) -> Dict[str, object]:
+    """The JSON-able artifact of an estimated graph: every task's cost.
+
+    Floats are stored bit-exactly (``float.hex``) so a rehydrated cost is
+    byte-identical to the freshly estimated one.
+    """
+    payload: Dict[str, object] = {}
+    for name in graph.task_names():
+        task = graph.task(name)
+        cost = task.cost
+        payload[name] = {
+            "resources": {
+                kind: int(amount)
+                for kind, amount in sorted(cost.resources.as_dict().items())
+            },
+            "delay": float(cost.delay).hex(),
+            "cycles": cost.cycles,
+            "clock_period": (
+                None if cost.clock_period is None else float(cost.clock_period).hex()
+            ),
+        }
+    return payload
+
+
+def apply_estimate_artifact(
+    graph: TaskGraph, payload: Dict[str, object]
+) -> TaskGraph:
+    """Rehydrate an estimated graph from a cached estimate artifact.
+
+    The costs are applied to a copy of *graph* (never mutating the caller's
+    object), reproducing exactly what :func:`run_estimate` would have
+    attached.
+    """
+    estimated = graph.copy()
+    for name, entry in payload.items():
+        if name not in estimated:
+            raise SynthesisError(
+                f"estimate artifact names unknown task {name!r}; the stage key "
+                "should have prevented this"
+            )
+        estimated.set_cost(
+            name,
+            TaskCost(
+                resources=ResourceVector(
+                    {kind: int(amount) for kind, amount in entry["resources"].items()}
+                ),
+                delay=float.fromhex(entry["delay"]),
+                cycles=entry["cycles"],
+                clock_period=(
+                    None
+                    if entry["clock_period"] is None
+                    else float.fromhex(entry["clock_period"])
+                ),
+            ),
+        )
+    return estimated
+
+
+# ---------------------------------------------------------------------------
+# Partition: problem normalisation + rehydration
+# ---------------------------------------------------------------------------
+
+def normalised_partition_problem(
+    problem: PartitionProblem, explore_extra_partitions: int, partitioner: str
+) -> PartitionProblem:
+    """The problem actually submitted to the partition engine.
+
+    For CT-invariant solver configurations the reconfiguration time is
+    normalised to zero, so the engine's content-addressed caches collapse
+    the whole CT axis onto a single solve; CT-dependent configurations keep
+    the true problem.
+    """
+    if not ct_invariant_solver(partitioner, explore_extra_partitions):
+        return problem
+    if problem.reconfiguration_time == 0.0:
+        return problem
+    return replace(problem, reconfiguration_time=0.0)
+
+
+def rehydrate_partitioning(
+    problem: PartitionProblem, outcome: JobOutcome, solved_ct: float
+) -> TemporalPartitioning:
+    """Build the job's true partitioning from a (possibly normalised) outcome.
+
+    *problem* carries the job's true reconfiguration time; *solved_ct* is
+    the reconfiguration time the outcome was solved under.  Per-partition
+    delays are recomputed from the assignment, and the solver's objective
+    value — whose only CT dependence is the additive constant ``N * CT`` —
+    is shifted accordingly.
+
+    The shift uses the *realised* partition count.  The solver's own
+    objective charges ``N*CT`` for the relax-loop bound ``N``, which can
+    exceed the realised count when an optimal solve leaves a partition
+    empty (empty partitions are compressed away); in that rare case the
+    rehydrated value is the meaningful total for the returned assignment
+    (it matches :attr:`TemporalPartitioning.total_latency`) rather than the
+    solver's bound-based number.  When *solved_ct* equals the job's CT the
+    stored objective passes through bit-exactly.
+    """
+    from ..runtime.jobs import outcome_to_partitioning
+
+    partitioning = outcome_to_partitioning(problem, outcome)
+    if (
+        partitioning.objective_value is not None
+        and solved_ct != problem.reconfiguration_time
+    ):
+        shift = partitioning.partition_count * (
+            problem.reconfiguration_time - solved_ct
+        )
+        partitioning.objective_value = partitioning.objective_value + shift
+    return partitioning
+
+
+# ---------------------------------------------------------------------------
+# Downstream transforms (memory map, fission, timing)
+# ---------------------------------------------------------------------------
+
+def run_memory_map(partitioning: TemporalPartitioning, options) -> MemoryMap:
+    """The memory-mapping transform."""
+    return build_memory_map(
+        partitioning, round_to_power_of_two=options.round_memory_blocks
+    )
+
+
+def run_fission(
+    partitioning: TemporalPartitioning,
+    memory_map: MemoryMap,
+    system: RtrSystem,
+    options,
+) -> FissionAnalysis:
+    """The loop-fission transform (``k`` and the limiting partition)."""
+    return analyse_fission(
+        partitioning,
+        system.memory_capacity_words,
+        memory_map=memory_map,
+        round_blocks_to_power_of_two=options.round_memory_blocks,
+    )
+
+
+def run_timing(
+    partitioning: TemporalPartitioning,
+    fission: FissionAnalysis,
+    memory_map: MemoryMap,
+):
+    """The timing transform: the RTR timing spec the analytic models use."""
+    return rtr_timing_spec(partitioning, fission, memory_map)

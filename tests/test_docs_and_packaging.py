@@ -89,13 +89,14 @@ class TestExamples:
             "bench_engine_scaling.py",
             "bench_flow_scaling.py",
             "bench_explore.py",
+            "bench_stage_cache.py",
         }
         assert expected <= names
 
 
 class TestPublicApi:
     def test_version_string(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     @pytest.mark.parametrize(
         "module_name",

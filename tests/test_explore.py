@@ -511,7 +511,8 @@ class TestExplorer:
         rows = result.rows()
         assert len(rows) == 4
         assert set(rows[0]) == {
-            "design", "status", "source", "latency", "throughput", "error",
+            "design", "status", "source", "latency", "throughput",
+            "stage_cache_hits", "stage_sources", "error",
         }
 
     def test_default_system_resolves_per_workload(self):
