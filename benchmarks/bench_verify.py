@@ -1,0 +1,90 @@
+"""Differential-verification throughput — scenarios/sec through the harness.
+
+Runs the seeded verification harness end-to-end (scenario generation, cold
+ILP+list flows, warm cache re-run, the full oracle suite, JSONL store) and
+reports scenarios per second plus the per-oracle tallies.  A second run from
+the same seed checks that the verdict store is byte-identical — the
+determinism the harness trades on.
+
+Run standalone (``python benchmarks/bench_verify.py [--smoke]``) or under
+pytest.  Environment knobs for constrained CI runners:
+
+* ``REPRO_BENCH_VERIFY_SCENARIOS`` — scenarios to verify (default 60);
+* ``REPRO_BENCH_VERIFY_SEED`` — base seed (default 0);
+* ``REPRO_BENCH_STRICT=0`` — measure and print, but skip the throughput
+  assertion.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from bench_utils import record
+
+from repro.verify import Verifier, VerifyConfig
+
+SCENARIOS = int(os.environ.get("REPRO_BENCH_VERIFY_SCENARIOS", "60"))
+SEED = int(os.environ.get("REPRO_BENCH_VERIFY_SEED", "0"))
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+
+
+def test_verify_throughput(tmp_path):
+    print()
+    print(f"verifying {SCENARIOS} scenarios from seed {SEED} "
+          f"({os.cpu_count()} CPU(s) available)")
+
+    store_a = tmp_path / "verdicts-a.jsonl"
+    report = Verifier(
+        VerifyConfig(scenarios=SCENARIOS, seed=SEED, store_path=store_a)
+    ).run()
+    print("  " + report.describe().replace("\n", "\n  "))
+    assert report.ok, report.describe()
+
+    # Same seed, fresh harness: the verdict JSONL must be byte-identical.
+    store_b = tmp_path / "verdicts-b.jsonl"
+    repeat = Verifier(
+        VerifyConfig(scenarios=SCENARIOS, seed=SEED, store_path=store_b)
+    ).run()
+    assert repeat.ok
+    assert store_a.read_bytes() == store_b.read_bytes(), (
+        "two runs from the same seed wrote different verdict stores"
+    )
+    print(f"  verdict store deterministic: {store_a.stat().st_size} bytes")
+
+    counts = report.oracle_counts()
+    record(
+        "verify",
+        scenarios=SCENARIOS,
+        seed=SEED,
+        scenarios_per_sec=report.scenarios_per_second,
+        flow_wall_time_s=report.flow_wall_time,
+        wall_time_s=report.wall_time,
+        oracle_counts=counts,
+        engine_stats=report.engine_stats,
+        store_bytes=store_a.stat().st_size,
+    )
+    if STRICT:
+        assert report.scenarios_per_second > 1.0, (
+            f"verification ran at {report.scenarios_per_second:.2f} "
+            "scenarios/s; expected more than 1/s"
+        )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny scenario budget, no strict throughput assertion")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        os.environ.setdefault("REPRO_BENCH_VERIFY_SCENARIOS", "15")
+        os.environ.setdefault("REPRO_BENCH_STRICT", "0")
+    import pytest
+
+    return pytest.main([__file__, "-x", "-q", "-s"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,10 @@ writing Python:
 * ``repro explore`` — search the (workload, system, CT, partitioner,
   sequencing) design space for Pareto-optimal designs with a chosen
   strategy, budget and objectives, against a resumable run store;
+* ``repro verify`` — differentially verify the whole flow on seeded random
+  scenarios: ILP vs. list partitioner, analytic timing vs. the event
+  simulator, warm vs. cold caches, memory-map legality — with failing
+  scenarios shrunk to minimal counterexamples;
 * ``repro cache stats`` / ``clear`` / ``prune`` — inspect and manage the
   shared disk caches (partition outcomes plus per-stage flow artifacts);
 * ``repro frontier`` — the JPEG-DCT Pareto frontier vs. the paper's own
@@ -493,8 +497,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0 if len(result.front) else 1
 
 
-def _format_explore_rows(rows: List[dict], fmt: str, stream) -> None:
-    """Write Pareto-front rows as an aligned table, JSON, or CSV."""
+def _format_rows(rows: List[dict], fmt: str, stream, title: str, empty: str) -> None:
+    """Write all-column rows as an aligned table, JSON, or CSV."""
     if fmt == "json":
         json.dump(rows, stream, indent=2)
         stream.write("\n")
@@ -509,16 +513,62 @@ def _format_explore_rows(rows: List[dict], fmt: str, stream) -> None:
     from .experiments.report import format_table
 
     if not rows:
-        stream.write("(empty Pareto front)\n")
+        stream.write(f"{empty}\n")
         return
-    stream.write(
-        format_table(
-            rows,
-            columns=list(rows[0].keys()),
-            title="Pareto front",
-        )
-    )
+    stream.write(format_table(rows, columns=list(rows[0].keys()), title=title))
     stream.write("\n")
+
+
+def _format_explore_rows(rows: List[dict], fmt: str, stream) -> None:
+    """Write Pareto-front rows as an aligned table, JSON, or CSV."""
+    _format_rows(rows, fmt, stream, "Pareto front", "(empty Pareto front)")
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import FAMILIES, Verifier, VerifyConfig
+
+    families = (
+        tuple(_parse_csv_list(args.families, "families"))
+        if args.families
+        else FAMILIES
+    )
+    config = VerifyConfig(
+        scenarios=args.scenarios,
+        seed=args.seed,
+        families=families,
+        workers=args.workers,
+        blocks=args.blocks,
+        store_path=args.store,
+        cache_dir=args.cache_dir,
+        shrink=not args.no_shrink,
+    )
+    report = Verifier(config).run()
+
+    rows = report.rows()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8", newline="") as stream:
+            _format_verify_rows(rows, args.format, stream)
+    else:
+        _format_verify_rows(rows, args.format, sys.stdout)
+    print(report.describe(), file=sys.stderr)
+    if args.store:
+        print(f"verdicts recorded to {args.store}", file=sys.stderr)
+    for record in report.failures():
+        print(f"counterexample: {record.scenario.describe()}", file=sys.stderr)
+        if record.shrunk:
+            print(
+                f"  shrunk to {record.shrunk['task_count']} task(s) "
+                f"(oracles: {', '.join(record.shrunk['oracles'])})",
+                file=sys.stderr,
+            )
+    return 0 if report.ok else 1
+
+
+def _format_verify_rows(rows: List[dict], fmt: str, stream) -> None:
+    """Write per-scenario verdict rows as an aligned table, JSON, or CSV."""
+    _format_rows(
+        rows, fmt, stream, "Differential verification", "(no scenarios verified)"
+    )
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -790,6 +840,38 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--output", default=None,
                          help="write the Pareto front to this file instead of stdout")
     explore.set_defaults(handler=cmd_explore)
+
+    verify = subparsers.add_parser(
+        "verify",
+        help="differentially verify the flow on seeded random scenarios "
+             "(ILP vs. list, analytic timing vs. simulator, warm vs. cold, "
+             "memory legality)",
+    )
+    verify.add_argument("--scenarios", type=int, default=50,
+                        help="seeded scenarios to generate and verify (default: 50)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="base seed; the same seed reproduces the same "
+                             "scenarios and the same verdict store byte-for-byte")
+    verify.add_argument("--families", default="",
+                        help="comma-separated scenario families "
+                             "(default: layered,fanout,chain,diamond,degenerate)")
+    verify.add_argument("--workers", type=int, default=0,
+                        help="worker processes for partition-stage misses")
+    verify.add_argument("--blocks", type=int, default=257,
+                        help="loop iterations the timing oracle compares the "
+                             "analytic models and the simulator at (default: 257)")
+    verify.add_argument("--store", default=None,
+                        help="write the verdict JSONL to this path")
+    verify.add_argument("--cache-dir", default=None,
+                        help="shared cache root for the warm/cold runs "
+                             "(default: a private temporary directory)")
+    verify.add_argument("--no-shrink", action="store_true",
+                        help="do not shrink failing scenarios to smaller "
+                             "node counts")
+    verify.add_argument("--format", default="table", choices=["table", "json", "csv"])
+    verify.add_argument("--output", default=None,
+                        help="write the rows to this file instead of stdout")
+    verify.set_defaults(handler=cmd_verify)
 
     cache = subparsers.add_parser(
         "cache",

@@ -1,0 +1,63 @@
+"""Workload-registry entries for the verification scenario families.
+
+Each scenario family registers as a ``verify_<family>`` workload, so the
+seeded generators are first-class citizens of the catalog: ``repro
+workloads list`` shows them, ``repro flow --workload verify_chain`` runs
+one end-to-end, and the exploration subsystem can sweep them like any other
+workload.  The ``seed`` sweep makes ``--variants`` expand each family into
+a small deterministic population.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch.catalog import generic_system
+from ..taskgraph.graph import TaskGraph
+from ..units import ms
+from ..workloads.registry import register_workload
+from .scenarios import _TASK_COUNT_RANGES, FAMILIES, build_family_graph
+
+
+def _verify_system():
+    """A mid-sized board every family's default graphs fit comfortably."""
+    return generic_system(
+        clb_capacity=900, memory_words=8192, reconfiguration_time=ms(5)
+    )
+
+
+def _default_task_count(family: str) -> int:
+    low, high = _TASK_COUNT_RANGES[family]
+    return (low + high) // 2
+
+
+def _family_builder(family: str):
+    def build(seed: int = 0, task_count: Optional[int] = None) -> TaskGraph:
+        count = task_count if task_count is not None else _default_task_count(family)
+        return build_family_graph(family, seed, count)
+
+    build.__name__ = f"build_verify_{family}"
+    build.__doc__ = (
+        f"The deterministic {family!r} verification-family graph for "
+        "(seed, task_count)."
+    )
+    return build
+
+
+_DESCRIPTIONS = {
+    "layered": "seeded verification family: random layered DAGs (skewed costs)",
+    "fanout": "seeded verification family: source -> N branches -> sink fanout",
+    "chain": "seeded verification family: linear pipelines (longest critical paths)",
+    "diamond": "seeded verification family: chained reconvergent diamond motifs",
+    "degenerate": "seeded verification family: single-node/disconnected/no-edge graphs",
+}
+
+for _family in FAMILIES:
+    register_workload(
+        f"verify_{_family}",
+        description=_DESCRIPTIONS[_family],
+        default_params={"seed": 0, "task_count": _default_task_count(_family)},
+        system=_verify_system,
+        sweep={"seed": (0, 1, 2, 3)},
+        tags=("verify", "synthetic", "seeded"),
+    )(_family_builder(_family))

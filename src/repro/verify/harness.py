@@ -1,0 +1,382 @@
+"""The differential verification harness.
+
+:class:`Verifier` fans N seeded scenarios through the batched
+:class:`~repro.synth.flow_engine.FlowEngine` (reusing its dedup, caches and
+process-pool runtime), runs the whole design flow under two partitioner
+implementations (ILP and list) plus a cache-warm re-run, evaluates the
+oracle suite on every scenario's artifacts, and records structured verdicts
+— counterexample recipes included — to a JSONL :class:`VerdictStore`.
+
+Failing scenarios are *shrunk*: the harness re-runs the failing oracles on
+the same scenario with geometrically reduced node counts and reports the
+smallest reproduction it finds, so a 14-task counterexample usually comes
+back as a 2–4 task one.
+
+Everything recorded is deterministic in ``(seed, scenarios, families,
+blocks)``: wall times and cache provenance stay on the runtime report, never
+in the store, so the same seed always reproduces a byte-identical verdict
+file.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import SpecificationError, WorkloadError
+from ..runtime.engine import EngineConfig
+from ..synth.flow_engine import FlowEngine, FlowJob, FlowReport
+from .oracles import Oracle, OracleVerdict, ScenarioArtifacts, default_oracles
+from .scenarios import FAMILIES, Scenario, generate_scenarios
+from .store import VerdictStore
+
+#: Candidate task counts the shrinker tries, smallest first.
+_SHRINK_LADDER: Tuple[int, ...] = (1, 2, 3, 4, 6, 8, 12)
+
+
+@dataclass
+class VerifyConfig:
+    """Configuration of one verification run.
+
+    Parameters
+    ----------
+    scenarios:
+        Number of seeded scenarios to generate and verify (>= 1).
+    seed:
+        Base seed of the scenario stream; the whole run — scenarios,
+        verdicts, stored bytes — is a deterministic function of it.
+    families:
+        Scenario families to draw from (default: all five).
+    workers:
+        Worker processes for partition-stage cache misses (0 = in-process).
+    blocks:
+        Loop iterations the timing-model oracle compares analytic models and
+        the event simulator at (odd by default so the final run is partial).
+    store_path:
+        Optional JSONL verdict-store path (``None`` keeps verdicts in
+        memory).
+    cache_dir:
+        Optional shared cache root for the flow engines.  ``None`` (the
+        default) uses a private temporary directory per run, so the
+        warm-vs-cold oracle exercises the disk cache without polluting — or
+        being polluted by — any ambient cache state.
+    shrink:
+        Whether to shrink failing scenarios to smaller node counts.
+    max_shrink_rounds:
+        Upper bound on shrink attempts per failing scenario.
+    """
+
+    scenarios: int = 50
+    seed: int = 0
+    families: Tuple[str, ...] = FAMILIES
+    workers: int = 0
+    blocks: int = 257
+    store_path: Optional[Union[str, Path]] = None
+    cache_dir: Optional[Union[str, Path]] = None
+    shrink: bool = True
+    max_shrink_rounds: int = 6
+
+    def __post_init__(self) -> None:
+        if self.scenarios < 1:
+            raise SpecificationError(
+                f"--scenarios must be at least 1, got {self.scenarios}; a run "
+                "that verifies nothing verifies nothing"
+            )
+        if self.workers < 0:
+            raise SpecificationError("workers must be non-negative")
+        if self.blocks < 1:
+            raise SpecificationError("blocks must be at least 1")
+        if self.max_shrink_rounds < 0:
+            raise SpecificationError("max_shrink_rounds must be non-negative")
+        self.families = tuple(self.families)
+        if not self.families:
+            raise SpecificationError("families must not be empty")
+        for family in self.families:
+            if family not in FAMILIES:
+                raise WorkloadError(
+                    f"unknown scenario family {family!r}; known: "
+                    f"{', '.join(FAMILIES)}"
+                )
+
+    def meta_dict(self) -> Dict[str, object]:
+        """The deterministic run parameters the store's meta line records."""
+        return {
+            "scenarios": self.scenarios,
+            "seed": self.seed,
+            "families": list(self.families),
+            "blocks": self.blocks,
+        }
+
+
+@dataclass
+class ScenarioVerdict:
+    """Everything one verified scenario produced."""
+
+    scenario: Scenario
+    fingerprint: str
+    verdicts: List[OracleVerdict]
+    #: Shrink outcome for failing scenarios: the smallest scenario the
+    #: failing oracles still fail on (``None`` when the scenario passed,
+    #: shrinking is off, or no smaller reproduction was found).
+    shrunk: Optional[Dict[str, object]] = None
+    #: Runtime-only wall time of this scenario's oracle evaluation; never
+    #: stored (same seed must produce byte-identical verdict files).
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether no oracle failed."""
+        return not any(verdict.failed for verdict in self.verdicts)
+
+    def failed_oracles(self) -> List[str]:
+        """Names of the oracles that failed on this scenario."""
+        return [verdict.oracle for verdict in self.verdicts if verdict.failed]
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (deterministic; excludes wall times)."""
+        data: Dict[str, object] = {
+            "kind": "scenario",
+            "fingerprint": self.fingerprint,
+            "scenario": self.scenario.to_json_dict(),
+            "ok": self.ok,
+            "verdicts": [verdict.to_json_dict() for verdict in self.verdicts],
+        }
+        if self.shrunk is not None:
+            data["shrunk"] = self.shrunk
+        return data
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for tabular/JSON/CSV presentation."""
+        statuses = {verdict.oracle: verdict.status for verdict in self.verdicts}
+        row: Dict[str, object] = {
+            "scenario": self.scenario.name,
+            "family": self.scenario.family,
+            "seed": self.scenario.seed,
+            "tasks": self.scenario.task_count,
+            "memory": self.scenario.memory_profile,
+            "status": "ok" if self.ok else "FAIL",
+        }
+        row.update(statuses)
+        row["failed_oracles"] = ",".join(self.failed_oracles())
+        row["shrunk_tasks"] = (
+            self.shrunk["scenario"]["task_count"] if self.shrunk else ""
+        )
+        return row
+
+
+@dataclass
+class VerifyReport:
+    """Everything one :meth:`Verifier.run` call produced."""
+
+    config: VerifyConfig
+    records: List[ScenarioVerdict]
+    wall_time: float = 0.0
+    flow_wall_time: float = 0.0
+    engine_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every scenario passed every oracle."""
+        return all(record.ok for record in self.records)
+
+    def failures(self) -> List[ScenarioVerdict]:
+        """Scenarios on which at least one oracle failed."""
+        return [record for record in self.records if not record.ok]
+
+    @property
+    def scenarios_per_second(self) -> float:
+        """Verification throughput of this run."""
+        if self.wall_time <= 0:
+            return float("inf")
+        return len(self.records) / self.wall_time
+
+    def oracle_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-oracle pass/fail/skip tallies across the run."""
+        counts: Dict[str, Dict[str, int]] = {}
+        for record in self.records:
+            for verdict in record.verdicts:
+                per = counts.setdefault(
+                    verdict.oracle, {"pass": 0, "fail": 0, "skip": 0}
+                )
+                per[verdict.status] = per.get(verdict.status, 0) + 1
+        return counts
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-scenario rows for tabular/JSON/CSV output."""
+        return [record.row() for record in self.records]
+
+    def describe(self) -> str:
+        """Multi-line human readable summary."""
+        failures = self.failures()
+        status = "all oracles passed" if self.ok else (
+            f"{len(failures)} scenario(s) FAILED: "
+            + ", ".join(record.scenario.name for record in failures)
+        )
+        lines = [
+            f"verified {len(self.records)} scenario(s) in {self.wall_time:.2f} s "
+            f"({self.scenarios_per_second:.1f} scenarios/s; seed "
+            f"{self.config.seed}); {status}"
+        ]
+        for oracle, counts in sorted(self.oracle_counts().items()):
+            lines.append(
+                f"  {oracle:<16} {counts['pass']:>4} pass  "
+                f"{counts['fail']:>3} fail  {counts['skip']:>3} skip"
+            )
+        return "\n".join(lines)
+
+
+class Verifier:
+    """Fans seeded scenarios through the flow engine and the oracle suite."""
+
+    def __init__(
+        self,
+        config: Optional[VerifyConfig] = None,
+        oracles: Optional[Sequence[Oracle]] = None,
+        **overrides,
+    ) -> None:
+        if config is not None and overrides:
+            raise SpecificationError(
+                "pass either a VerifyConfig or keyword overrides, not both"
+            )
+        self.config = config or VerifyConfig(**overrides)
+        self.oracles: Sequence[Oracle] = list(oracles or default_oracles())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> VerifyReport:
+        """Verify the configured scenario stream and return the report."""
+        start = time.perf_counter()
+        config = self.config
+        scenarios = generate_scenarios(
+            config.scenarios, base_seed=config.seed, families=config.families
+        )
+        if config.cache_dir is not None:
+            artifacts = self._run_scenarios(scenarios, Path(config.cache_dir))
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+                artifacts = self._run_scenarios(scenarios, Path(tmp))
+        flow_wall, engine_stats, bundles = artifacts
+
+        records: List[ScenarioVerdict] = []
+        with VerdictStore(config.store_path, meta=config.meta_dict()) as store:
+            for bundle in bundles:
+                scenario_start = time.perf_counter()
+                verdicts = [oracle.check(bundle) for oracle in self.oracles]
+                record = ScenarioVerdict(
+                    scenario=bundle.scenario,
+                    fingerprint=bundle.scenario.fingerprint(),
+                    verdicts=verdicts,
+                    wall_time=time.perf_counter() - scenario_start,
+                )
+                if not record.ok and config.shrink:
+                    record.shrunk = self._shrink(bundle.scenario, record)
+                store.record(record)
+                records.append(record)
+
+        return VerifyReport(
+            config=config,
+            records=records,
+            wall_time=time.perf_counter() - start,
+            flow_wall_time=flow_wall,
+            engine_stats=engine_stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _flow_jobs(self, scenarios: Sequence[Scenario]) -> List[FlowJob]:
+        """Two jobs per scenario (ILP + list), in scenario order."""
+        jobs: List[FlowJob] = []
+        for scenario in scenarios:
+            graph = scenario.build_graph()
+            system = scenario.build_system()
+            for partitioner in ("ilp", "list"):
+                jobs.append(
+                    FlowJob(
+                        graph=graph,
+                        system=system,
+                        options=scenario.flow_options(partitioner),
+                        tag=f"{scenario.name}@{partitioner}",
+                        workload=f"verify_{scenario.family}",
+                    )
+                )
+        return jobs
+
+    def _run_scenarios(
+        self, scenarios: Sequence[Scenario], cache_dir: Path
+    ) -> Tuple[float, Dict[str, int], List[ScenarioArtifacts]]:
+        """One cold batch, one warm batch, assembled into oracle bundles."""
+        config = self.config
+        start = time.perf_counter()
+        jobs = self._flow_jobs(scenarios)
+        cold_engine = FlowEngine(
+            config=EngineConfig(workers=config.workers, cache_dir=cache_dir)
+        )
+        cold = cold_engine.run_batch(jobs)
+        # The warm engine is a *fresh* process state sharing only the disk
+        # caches the cold run populated — exactly the "new run, old cache"
+        # situation the warm-vs-cold oracle is about.  Only the ILP jobs
+        # (every even index) are re-run: they are all the oracle consumes.
+        warm_engine = FlowEngine(config=EngineConfig(workers=0, cache_dir=cache_dir))
+        warm = warm_engine.run_batch(jobs[0::2])
+        flow_wall = time.perf_counter() - start
+
+        bundles: List[ScenarioArtifacts] = []
+        for index, scenario in enumerate(scenarios):
+            ilp_report: FlowReport = cold[2 * index]
+            list_report: FlowReport = cold[2 * index + 1]
+            bundles.append(
+                ScenarioArtifacts(
+                    scenario=scenario,
+                    system=ilp_report.job.system,
+                    graph=ilp_report.job.graph,
+                    ilp_report=ilp_report,
+                    list_report=list_report,
+                    warm_ilp_report=warm[index],
+                    blocks=config.blocks,
+                )
+            )
+        return flow_wall, cold_engine.stats.snapshot(), bundles
+
+    def _shrink(
+        self, scenario: Scenario, record: ScenarioVerdict
+    ) -> Optional[Dict[str, object]]:
+        """Smallest reduced-node-count scenario the failing oracles still fail.
+
+        Candidates are tried smallest-first from a geometric ladder below the
+        scenario's own task count; the first (hence smallest) reproduction
+        wins.  Each candidate re-runs the full cold/warm flow pair in an
+        isolated cache, so the shrunk verdict is as trustworthy as the
+        original.
+        """
+        failing = set(record.failed_oracles())
+        candidates = [
+            count for count in _SHRINK_LADDER if count < scenario.task_count
+        ][: self.config.max_shrink_rounds]
+        for task_count in candidates:
+            smaller = scenario.with_task_count(task_count)
+            verdicts = self._verify_one(smaller)
+            refailed = [
+                verdict.oracle
+                for verdict in verdicts
+                if verdict.failed and verdict.oracle in failing
+            ]
+            if refailed:
+                return {
+                    "scenario": smaller.to_json_dict(),
+                    "task_count": task_count,
+                    "oracles": sorted(refailed),
+                }
+        return None
+
+    def _verify_one(self, scenario: Scenario) -> List[OracleVerdict]:
+        """Run the oracle suite on a single scenario in an isolated cache."""
+        with tempfile.TemporaryDirectory(prefix="repro-verify-shrink-") as tmp:
+            _, _, bundles = self._run_scenarios([scenario], Path(tmp))
+        return [oracle.check(bundles[0]) for oracle in self.oracles]

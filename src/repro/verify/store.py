@@ -1,0 +1,110 @@
+"""The JSONL verdict store the verification harness writes.
+
+Like the exploration :class:`~repro.explore.store.RunStore`, a
+:class:`VerdictStore` is an append-only JSONL file: one meta line (schema
+version plus the run's configuration) followed by one line per verified
+scenario.  Records carry only deterministic fields (scenario recipe, oracle
+verdicts, shrink outcome — never wall times or cache provenance), so the
+same seed and scenario count always reproduce a byte-identical file; that
+byte-identity is itself asserted by the test suite.
+
+``path=None`` gives the same interface backed by memory only.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Union
+
+from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness uses us)
+    from .harness import ScenarioVerdict
+
+logger = logging.getLogger(__name__)
+
+#: Schema version of the JSONL records; a store written under a different
+#: version is refused rather than silently reinterpreted.
+STORE_VERSION = 1
+
+
+class VerdictStore:
+    """Append-only JSONL store of per-scenario verification verdicts."""
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.meta: Dict[str, object] = dict(meta or {})
+        self._records: List["ScenarioVerdict"] = []
+        self._handle = None
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._write_line({"kind": "meta", "version": STORE_VERSION, **self.meta})
+
+    def _write_line(self, data: Dict[str, object]) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(data, sort_keys=True, separators=(",", ":")))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def record(self, verdict: "ScenarioVerdict") -> None:
+        """Append one scenario's verdict."""
+        self._records.append(verdict)
+        if self._handle is not None:
+            self._write_line(verdict.to_json_dict())
+
+    def replay(self) -> List["ScenarioVerdict"]:
+        """Every record, in insertion order."""
+        return list(self._records)
+
+    def close(self) -> None:
+        """Close the underlying file (records stay readable in memory)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "VerdictStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def read_verdicts(path: Union[str, Path]) -> Iterator[Dict[str, object]]:
+    """Iterate the JSON records of a stored verdict file (meta first).
+
+    Raises :class:`~repro.errors.ReproError` on an unreadable file or a
+    schema-version mismatch; corrupt individual lines raise too — a verdict
+    store is evidence, so silent healing would be the wrong default.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ReproError(f"cannot read verdict store {path}: {error}") from error
+    for number, line in enumerate(raw.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError as error:
+            raise ReproError(
+                f"corrupt verdict store {path} at line {number}: {error}"
+            ) from error
+        if data.get("kind") == "meta" and data.get("version") != STORE_VERSION:
+            raise ReproError(
+                f"verdict store {path} was written under schema version "
+                f"{data.get('version')}, this library expects {STORE_VERSION}"
+            )
+        yield data

@@ -64,6 +64,14 @@ except ImportError as _library_error:  # pragma: no cover - needs a broken env
     build_random_layered_graph = _unavailable_builder
     build_wavelet_pyramid_graph = _unavailable_builder
 
+try:
+    # The seeded verification scenario families register themselves as
+    # ``verify_<family>`` workloads so the whole catalog (CLI, explorer,
+    # flow engine) can consume them like any other entry.
+    from ..verify import catalog as _verify_catalog  # noqa: F401
+except ImportError as _verify_error:  # pragma: no cover - needs a broken env
+    _CATALOG_ERRORS.append(str(_verify_error))
+
 
 def catalog_errors() -> List[str]:
     """Import-time failures of the builtin catalog (empty when healthy)."""

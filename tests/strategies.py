@@ -1,0 +1,98 @@
+"""Hypothesis strategies over the library's core domain objects.
+
+These strategies are thin wrappers around the *same* seeded generators the
+differential-verification harness uses (:mod:`repro.verify.scenarios`), so a
+graph shape that property tests exercise is a graph shape ``repro verify``
+fuzzes, and a counterexample found by either is reproducible in the other
+from its ``(family, seed, task_count)`` recipe.
+
+Usage::
+
+    from hypothesis import given
+    import strategies as strat
+
+    @given(strat.task_graphs(max_tasks=12))
+    def test_something(graph):
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from hypothesis import strategies as st
+
+from repro.arch import generic_system
+from repro.arch.board import RtrSystem
+from repro.taskgraph.graph import TaskGraph
+from repro.verify.scenarios import (
+    FAMILIES,
+    Scenario,
+    build_family_graph,
+    generate_scenario,
+)
+
+#: Families whose graphs always have at least one edge (useful for tests
+#: about boundaries and memory maps).
+CONNECTED_FAMILIES: Tuple[str, ...] = ("layered", "fanout", "chain", "diamond")
+
+
+def scenarios(
+    families: Sequence[str] = FAMILIES,
+    max_tasks: Optional[int] = None,
+) -> st.SearchStrategy[Scenario]:
+    """Full verification scenarios (graph recipe + target system budgets)."""
+
+    def build(index: int, seed: int) -> Scenario:
+        scenario = generate_scenario(index, base_seed=seed, families=tuple(families))
+        if max_tasks is not None and scenario.task_count > max_tasks:
+            scenario = scenario.with_task_count(max_tasks)
+        return scenario
+
+    return st.builds(
+        build,
+        index=st.integers(min_value=0, max_value=10_000),
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+    )
+
+
+def task_graphs(
+    families: Sequence[str] = CONNECTED_FAMILIES,
+    min_tasks: int = 2,
+    max_tasks: int = 18,
+) -> st.SearchStrategy[TaskGraph]:
+    """Task graphs drawn from the verification families, sized to taste.
+
+    Every graph carries explicit synthesis costs (CLBs in [20, 300]), so it
+    is directly partitionable without an estimation pass.
+    """
+
+    def build(family: str, seed: int, task_count: int) -> TaskGraph:
+        return build_family_graph(family, seed, task_count)
+
+    return st.builds(
+        build,
+        family=st.sampled_from(tuple(families)),
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+        task_count=st.integers(min_value=min_tasks, max_value=max_tasks),
+    )
+
+
+def systems(
+    min_clbs: int = 400,
+    max_clbs: int = 1200,
+    min_memory: int = 1024,
+    max_memory: int = 16384,
+) -> st.SearchStrategy[RtrSystem]:
+    """Generic single-FPGA target systems with drawn budgets.
+
+    The CLB floor defaults above the verification families' 300-CLB task
+    ceiling, so any drawn (graph, system) pair admits at least the
+    one-task-per-partition solution.
+    """
+    return st.builds(
+        generic_system,
+        clb_capacity=st.integers(min_value=min_clbs, max_value=max_clbs),
+        memory_words=st.integers(min_value=min_memory, max_value=max_memory),
+        reconfiguration_time=st.sampled_from((0.001, 0.005, 0.01, 0.05)),
+    )

@@ -217,6 +217,59 @@ class TestCommands:
         assert "unknown objective" in capsys.readouterr().err
         assert not (tmp_path / "r.jsonl").exists()
 
+    def test_flow_with_unknown_workload_exits_cleanly(self, capsys):
+        assert main(["flow", "--workload", "no_such_workload"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "no_such_workload" in err and "known:" in err
+
+    def test_flow_batch_with_unknown_workload_exits_cleanly(self, capsys):
+        assert main(["flow", "--workload", "no_such_workload", "--batch"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "no_such_workload" in err
+
+    def test_explore_resume_refuses_wrong_schema_version(self, tmp_path, capsys):
+        store = tmp_path / "run.jsonl"
+        store.write_text(
+            '{"kind":"meta","version":999,"space":"","context":{}}\n',
+            encoding="utf-8",
+        )
+        code = main([
+            "explore", "--workload", "matmul_pipeline", "--strategy", "grid",
+            "--budget", "2", "--partitioners", "list", "--ct-sweep", "1",
+            "--store", str(store), "--resume",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "schema version" in err
+        # The incompatible store was refused, never truncated.
+        assert "999" in store.read_text(encoding="utf-8")
+
+    def test_explore_resume_refuses_mismatched_context(self, tmp_path, capsys):
+        store = tmp_path / "run.jsonl"
+        argv = [
+            "explore", "--workload", "matmul_pipeline", "--strategy", "grid",
+            "--budget", "2", "--partitioners", "list", "--ct-sweep", "1",
+            "--store", str(store),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Resuming under different evaluation context would silently serve
+        # stale metrics; the CLI must refuse with a readable message.
+        code = main(argv + ["--resume", "--eval-blocks", "999"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "context" in err
+
+    def test_verify_rejects_zero_scenarios(self, capsys):
+        assert main(["verify", "--scenarios", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--scenarios must be at least 1" in err
+
+    def test_verify_rejects_unknown_family(self, capsys):
+        assert main(["verify", "--scenarios", "2", "--families", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "unknown scenario family" in err
+
     def test_error_reported_cleanly(self, tmp_path, capsys):
         # A task graph that cannot be partitioned (task larger than the device)
         # must produce exit code 2 and an error message, not a traceback.

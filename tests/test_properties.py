@@ -1,7 +1,13 @@
-"""Property-based tests (hypothesis) for core data structures and invariants."""
+"""Property-based tests (hypothesis) for core data structures and invariants.
+
+Graphs and systems are drawn from :mod:`strategies` — the hypothesis
+wrappers around the verification harness's seeded scenario families — so the
+shapes fuzzed here are exactly the shapes ``repro verify`` fuzzes.
+"""
 
 import numpy as np
 import pytest
+import strategies as strat
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -28,7 +34,7 @@ from repro.partition import (
     PartitionProblem,
     validate_partitioning,
 )
-from repro.taskgraph import partition_lower_bound, random_dsp_task_graph
+from repro.taskgraph import partition_lower_bound
 from repro.units import ceil_div, next_power_of_two
 from repro.simulate import RtrExecutionSimulator
 
@@ -161,10 +167,9 @@ def test_address_generation_no_overlap_between_iterations(sizes, iterations):
 # Partitioning invariants on random task graphs
 # ---------------------------------------------------------------------------
 
-@given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=6, max_value=18))
+@given(strat.task_graphs(min_tasks=6, max_tasks=18))
 @SLOW
-def test_list_partitioner_always_valid(seed, task_count):
-    graph = random_dsp_task_graph(task_count=task_count, seed=seed)
+def test_list_partitioner_always_valid(graph):
     system = generic_system(clb_capacity=800, memory_words=8192, reconfiguration_time=0.01)
     problem = PartitionProblem.from_system(graph, system)
     result = ListTemporalPartitioner().partition(problem)
@@ -173,10 +178,9 @@ def test_list_partitioner_always_valid(seed, task_count):
     assert result.partition_count >= partition_lower_bound(graph, clbs(800))
 
 
-@given(st.integers(min_value=0, max_value=10**6))
+@given(strat.task_graphs(min_tasks=4, max_tasks=10))
 @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-def test_ilp_partitioner_no_worse_than_list(seed):
-    graph = random_dsp_task_graph(task_count=10, seed=seed, max_level_width=3)
+def test_ilp_partitioner_no_worse_than_list(graph):
     system = generic_system(clb_capacity=700, memory_words=8192, reconfiguration_time=0.01)
     problem = PartitionProblem.from_system(graph, system)
     ilp = IlpTemporalPartitioner().partition(problem)
@@ -185,11 +189,9 @@ def test_ilp_partitioner_no_worse_than_list(seed):
     assert ilp.total_latency <= heuristic.total_latency + 1e-12
 
 
-@given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=6, max_value=20))
+@given(strat.task_graphs(min_tasks=6, max_tasks=20), strat.systems(min_memory=8192))
 @SLOW
-def test_memory_map_boundaries_match_partitioning(seed, task_count):
-    graph = random_dsp_task_graph(task_count=task_count, seed=seed)
-    system = generic_system(clb_capacity=800, memory_words=8192, reconfiguration_time=0.01)
+def test_memory_map_boundaries_match_partitioning(graph, system):
     problem = PartitionProblem.from_system(graph, system)
     result = ListTemporalPartitioner().partition(problem)
     memory_map = build_memory_map(result)
