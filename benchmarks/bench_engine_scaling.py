@@ -19,11 +19,15 @@ Environment knobs for constrained CI runners:
 * ``REPRO_BENCH_WORKERS`` — comma-separated worker counts (default 1,2,4,8);
 * ``REPRO_BENCH_STRICT=0`` — measure and print, but skip the hard speedup
   assertion (for tiny smoke budgets where pool startup dominates).
+
+Run standalone (``python benchmarks/bench_engine_scaling.py [--smoke]``) or
+under pytest; ``--smoke`` presets a tiny batch with no strict assertions.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 import time
 
 from bench_utils import record
@@ -129,3 +133,23 @@ def test_engine_scaling_and_warm_cache(dct_graph, paper_system, tmp_path):
             f"4-worker speedup {serial_time / engine_times[4]:.2f}x < 2x "
             f"on a {cpu_count}-CPU machine"
         )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny batch, no strict speedup assertions")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        os.environ.setdefault("REPRO_BENCH_BATCH", "6")
+        os.environ.setdefault("REPRO_BENCH_WORKERS", "1,2")
+        os.environ.setdefault("REPRO_BENCH_STRICT", "0")
+    import pytest
+
+    return pytest.main([__file__, "-x", "-q", "-s"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Gate freshly emitted ``BENCH_*.json`` reports against committed baselines.
+
+CI runs the smoke benches, then::
+
+    python benchmarks/check_regression.py --current bench-json
+
+Each gated metric is compared with its value in
+``benchmarks/baselines/BENCH_<name>.json``.  Dimensionless *ratio* metrics
+(speedups, warm/cold fractions) are gated at 20% — they compare two runs on
+the same machine, so they transfer across hardware.  Absolute throughput
+metrics are machine-dependent, so they get a looser 60% floor that still
+catches order-of-magnitude regressions without flaking on slower runners.
+
+A missing baseline file or gated metric fails the check (commit a baseline
+with ``--update`` after adding a gated bench).  ``--update`` rewrites the
+baseline files from the current reports instead of checking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+#: Relative tolerance for same-machine ratio metrics ("fail on >20%
+#: throughput regression").
+RATIO_TOLERANCE = 0.20
+
+#: Relative tolerance for absolute (machine-dependent) metrics.
+ABSOLUTE_TOLERANCE = 0.60
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gated metric: where it lives and which direction is a regression."""
+
+    metric: str
+    #: "min" — current must stay above baseline * (1 - tolerance);
+    #: "max" — current must stay below baseline * (1 + tolerance).
+    direction: str
+    tolerance: float
+
+
+#: Gated metrics per benchmark name (the ``BENCH_<name>.json`` stem).
+GATES: Dict[str, List[Gate]] = {
+    "ilp_partitioning": [
+        # Same-machine before/after ratio: the headline acceleration gate.
+        Gate("accel_speedup_vs_reference", "min", RATIO_TOLERANCE),
+        # Absolute cold-solve throughput of the accelerated stack.
+        Gate("accel_jobs_per_sec", "min", ABSOLUTE_TOLERANCE),
+    ],
+    "engine_scaling": [
+        # Warm batches must stay a small fraction of cold ones.  The warm
+        # side is a few milliseconds, so timer noise swamps a 20% band; a
+        # 5x ceiling still catches any real cache regression (the fraction
+        # jumps by orders of magnitude when hits stop being hits).
+        Gate("warm_fraction_of_cold", "max", 4.0),
+        # Absolute serial solve throughput (scipy MILP per job).
+        Gate("serial_jobs_per_sec", "min", ABSOLUTE_TOLERANCE),
+    ],
+}
+
+
+def _load_metrics(path: Path) -> Dict[str, object]:
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    metrics = payload.get("metrics", {})
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path}: 'metrics' is not an object")
+    return metrics
+
+
+def check(current_dir: Path, baseline_dir: Path) -> int:
+    failures: List[str] = []
+    checked = 0
+    for bench, gates in sorted(GATES.items()):
+        current_path = current_dir / f"BENCH_{bench}.json"
+        baseline_path = baseline_dir / f"BENCH_{bench}.json"
+        if not current_path.is_file():
+            failures.append(f"{bench}: missing current report {current_path}")
+            continue
+        if not baseline_path.is_file():
+            failures.append(
+                f"{bench}: missing baseline {baseline_path} "
+                "(run with --update and commit it)"
+            )
+            continue
+        current = _load_metrics(current_path)
+        baseline = _load_metrics(baseline_path)
+        for gate in gates:
+            if gate.metric not in current:
+                failures.append(f"{bench}.{gate.metric}: absent from current report")
+                continue
+            if gate.metric not in baseline:
+                failures.append(f"{bench}.{gate.metric}: absent from baseline")
+                continue
+            now = float(current[gate.metric])
+            ref = float(baseline[gate.metric])
+            checked += 1
+            if gate.direction == "min":
+                floor = ref * (1.0 - gate.tolerance)
+                ok = now >= floor
+                bound_text = f">= {floor:.4g}"
+            else:
+                ceiling = ref * (1.0 + gate.tolerance)
+                ok = now <= ceiling
+                bound_text = f"<= {ceiling:.4g}"
+            status = "ok  " if ok else "FAIL"
+            print(
+                f"  [{status}] {bench}.{gate.metric}: {now:.4g} "
+                f"(baseline {ref:.4g}, required {bound_text})"
+            )
+            if not ok:
+                failures.append(
+                    f"{bench}.{gate.metric}: {now:.4g} regressed past "
+                    f"{bound_text} (baseline {ref:.4g})"
+                )
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} gated metrics within tolerance")
+    return 0
+
+
+def update(current_dir: Path, baseline_dir: Path) -> int:
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    missing = []
+    for bench in sorted(GATES):
+        current_path = current_dir / f"BENCH_{bench}.json"
+        if not current_path.is_file():
+            missing.append(str(current_path))
+            continue
+        shutil.copyfile(current_path, baseline_dir / current_path.name)
+        print(f"  baseline updated: {baseline_dir / current_path.name}")
+    if missing:
+        print(f"missing current reports: {missing}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", type=Path, default=Path("."),
+                        help="directory holding the freshly emitted "
+                             "BENCH_*.json files (default: cwd)")
+    parser.add_argument("--baselines", type=Path, default=BASELINE_DIR,
+                        help="directory holding the committed baselines")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baselines from the current reports "
+                             "instead of checking")
+    args = parser.parse_args(argv)
+    if args.update:
+        return update(args.current, args.baselines)
+    return check(args.current, args.baselines)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,10 +56,12 @@ from .experiments.table2 import xc6000_conjecture
 from .fission import SequencingStrategy, compare_static_vs_rtr
 from .jpeg import build_dct_task_graph, static_design_delay
 from .partition import (
+    AnnealTemporalPartitioner,
     IlpTemporalPartitioner,
     LevelClusteringPartitioner,
     ListTemporalPartitioner,
     PartitionProblem,
+    PortfolioPartitioner,
     assert_valid,
     compute_metrics,
 )
@@ -142,6 +144,10 @@ def cmd_partition(args: argparse.Namespace) -> int:
         partitioner = IlpTemporalPartitioner(backend=args.backend)
     elif args.partitioner == "list":
         partitioner = ListTemporalPartitioner()
+    elif args.partitioner == "anneal":
+        partitioner = AnnealTemporalPartitioner()
+    elif args.partitioner == "portfolio":
+        partitioner = PortfolioPartitioner(ilp_backend=args.backend)
     else:
         partitioner = LevelClusteringPartitioner()
     result = partitioner.partition(problem)
@@ -155,6 +161,11 @@ def cmd_partition(args: argparse.Namespace) -> int:
         print(f"ILP: {report.model_variables} variables, {report.model_constraints} "
               f"constraints, solved in {report.solve_time:.2f} s "
               f"(bounds tried: {report.attempted_bounds})")
+    if args.partitioner == "portfolio" and partitioner.last_report is not None:
+        report = partitioner.last_report
+        print(f"portfolio: winner={report.winner} certified={report.certified} "
+              f"lower bound {report.lower_bound * 1e6:.2f} us "
+              f"({report.total_time:.2f} s)")
     return 0
 
 
@@ -716,7 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
     partition = subparsers.add_parser("partition", help="temporally partition a task graph")
     partition.add_argument("taskgraph", nargs="?", default="dct",
                            help="task-graph JSON file, or 'dct' for the case study (default)")
-    partition.add_argument("--partitioner", default="ilp", choices=["ilp", "list", "level"])
+    partition.add_argument("--partitioner", default="ilp", choices=["ilp", "list", "level", "anneal", "portfolio"])
     partition.add_argument("--backend", default="scipy",
                            choices=["scipy", "branch-and-bound"],
                            help="ILP solver backend")
@@ -729,7 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("taskgraphs", nargs="*", default=None, metavar="taskgraph",
                        help="task-graph JSON files, or 'dct' for the case study (default)")
-    batch.add_argument("--partitioner", default="ilp", choices=["ilp", "list", "level"])
+    batch.add_argument("--partitioner", default="ilp", choices=["ilp", "list", "level", "anneal", "portfolio"])
     batch.add_argument("--backend", default="scipy",
                        choices=["scipy", "branch-and-bound"],
                        help="ILP solver backend")
@@ -774,7 +785,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="with --batch: output format")
     flow.add_argument("--output", default=None,
                       help="with --batch: write the rows to this file instead of stdout")
-    flow.add_argument("--partitioner", default=None, choices=["ilp", "list", "level"],
+    flow.add_argument("--partitioner", default=None, choices=["ilp", "list", "level", "anneal", "portfolio"],
                       help="partitioner override (default: the workload's own choice, "
                            "or ilp for task-graph files)")
     flow.add_argument("--strategy", default="idh", choices=["fdh", "idh"])

@@ -12,6 +12,15 @@ recipe:
 Node selection is best-first (lowest relaxation bound first) which keeps the
 incumbent gap small on the partitioning models; a depth-first tiebreak limits
 memory use.
+
+The search can be **warm-started** with a known feasible solution (an
+*incumbent*): pruning then works from node one instead of waiting for the
+tree to produce its first integral point, and — because the popped bounds of
+a best-first search are non-decreasing — the whole run terminates the moment
+the best open bound cannot beat the incumbent.  The temporal partitioner
+feeds the list-scheduler solution in here, which is what makes the exact
+solve "never worse than the heuristic" by construction rather than by
+theorem.
 """
 
 from __future__ import annotations
@@ -20,17 +29,21 @@ import heapq
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..errors import SolverError
+from .expr import Variable
 from .model import MatrixForm, Model
 from .simplex import LpResult, solve_lp
 from .solution import Solution, SolveStatus
 
 #: Tolerance below which a value counts as integral.
 INTEGRALITY_TOLERANCE = 1e-6
+
+#: Margin (in objective units) a candidate must improve the incumbent by.
+IMPROVEMENT_EPSILON = 1e-9
 
 
 @dataclass(order=True)
@@ -57,12 +70,49 @@ def _default_lp_solver(form: MatrixForm, max_iterations: int) -> LpResult:
         return solve_lp(form, max_iterations=max_iterations)
 
 
+def incumbent_vector(
+    form: MatrixForm,
+    incumbent: Mapping[Variable, float],
+    tolerance: float = 1e-6,
+) -> Optional[np.ndarray]:
+    """Validate a warm-start assignment against *form*; ``None`` if unusable.
+
+    The assignment must cover every variable, respect the bounds and
+    integrality, and satisfy every row to within *tolerance* (plus a small
+    relative slack for large right-hand sides).  An invalid incumbent is
+    reported as ``None`` rather than an error so callers can always attempt
+    a warm start and silently fall back to a cold one.
+    """
+    x = np.full(form.num_variables, np.nan)
+    for variable, value in incumbent.items():
+        if 0 <= variable.index < form.num_variables:
+            x[variable.index] = value
+    if np.isnan(x).any():
+        return None
+    integral = form.integrality > 0
+    if np.abs(x[integral] - np.round(x[integral])).max(initial=0.0) > tolerance:
+        return None
+    x[integral] = np.round(x[integral])
+    if (x < form.lower - tolerance).any() or (x > form.upper + tolerance).any():
+        return None
+    if form.a_ub.size:
+        slack = form.b_ub - form.a_ub @ x
+        if (slack < -(tolerance + 1e-9 * np.abs(form.b_ub))).any():
+            return None
+    if form.a_eq.size:
+        residual = np.abs(form.a_eq @ x - form.b_eq)
+        if (residual > tolerance + 1e-9 * np.abs(form.b_eq)).any():
+            return None
+    return x
+
+
 def solve_branch_and_bound(
     model: Model,
     lp_solver: Optional[LpSolver] = None,
     max_nodes: int = 200000,
     time_limit: Optional[float] = None,
     lp_iterations: int = 100000,
+    incumbent: Optional[Mapping[Variable, float]] = None,
 ) -> Solution:
     """Solve *model* to optimality with branch and bound.
 
@@ -78,6 +128,12 @@ def solve_branch_and_bound(
         with status ``ITERATION_LIMIT``.
     time_limit:
         Optional wall-clock limit in seconds (same incumbent semantics).
+    incumbent:
+        Optional warm-start assignment (variable -> value).  If it is
+        feasible for the model it seeds the upper bound, so the search only
+        explores nodes that can strictly improve on it; if it is not (or not
+        given) the search runs cold.  The seeded solution is returned when
+        nothing in the tree beats it.
     """
     solver = lp_solver or _default_lp_solver
     form = model.to_matrix_form()
@@ -87,6 +143,13 @@ def solve_branch_and_bound(
 
     incumbent_x: Optional[np.ndarray] = None
     incumbent_objective = math.inf
+    if incumbent is not None:
+        seeded = incumbent_vector(form, incumbent)
+        if seeded is not None:
+            incumbent_x = seeded
+            incumbent_objective = (
+                float(form.objective @ seeded) + form.objective_constant
+            )
 
     root = _Node(bound=-math.inf, order=0, lower=form.lower.copy(), upper=form.upper.copy())
     heap: List[_Node] = [root]
@@ -100,12 +163,17 @@ def solve_branch_and_bound(
             return True
         return False
 
+    proven = False
     while heap:
         if out_of_budget():
             break
         node = heapq.heappop(heap)
-        if node.bound >= incumbent_objective - 1e-9 and incumbent_x is not None:
-            continue
+        if node.bound >= incumbent_objective - IMPROVEMENT_EPSILON and incumbent_x is not None:
+            # Best-first pops bounds in non-decreasing order, so once the
+            # best open bound cannot beat the incumbent nothing on the heap
+            # can: the incumbent is proven optimal.
+            proven = True
+            break
         explored += 1
 
         node_form = MatrixForm(
@@ -138,7 +206,7 @@ def solve_branch_and_bound(
             )
         if relaxation.objective is None:
             raise SolverError("LP relaxation returned no objective value")
-        if relaxation.objective >= incumbent_objective - 1e-9:
+        if relaxation.objective >= incumbent_objective - IMPROVEMENT_EPSILON:
             continue  # cannot improve the incumbent
 
         x = np.asarray(relaxation.x, dtype=float)
@@ -148,7 +216,7 @@ def solve_branch_and_bound(
             rounded = x.copy()
             rounded[integral_columns] = np.round(rounded[integral_columns])
             objective = float(form.objective @ rounded) + form.objective_constant
-            if objective < incumbent_objective - 1e-9:
+            if objective < incumbent_objective - IMPROVEMENT_EPSILON:
                 incumbent_objective = objective
                 incumbent_x = rounded
             continue
@@ -188,7 +256,7 @@ def solve_branch_and_bound(
             order_counter += 1
 
     elapsed = time.perf_counter() - start
-    exhausted = not heap and not out_of_budget() or (not heap)
+    exhausted = proven or not heap
     if incumbent_x is None:
         status = SolveStatus.INFEASIBLE if exhausted else SolveStatus.ITERATION_LIMIT
         return Solution(

@@ -13,10 +13,11 @@ callers (the temporal partitioner in particular) never care which one ran.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Mapping, Optional
 
 from ..errors import SolverError
 from .branch_and_bound import solve_branch_and_bound
+from .expr import Variable
 from .model import Model
 from .simplex import solve_lp
 from .solution import Solution, SolveStatus
@@ -33,6 +34,7 @@ def solve(
     time_limit: Optional[float] = None,
     max_nodes: int = 200000,
     use_builtin_lp: bool = False,
+    incumbent: Optional[Mapping[Variable, float]] = None,
 ) -> Solution:
     """Solve *model* with the chosen *backend*.
 
@@ -49,6 +51,10 @@ def solve(
     use_builtin_lp:
         When solving with branch-and-bound, force the built-in simplex for
         node relaxations instead of scipy's ``linprog``.
+    incumbent:
+        Optional known-feasible warm-start assignment (variable -> value).
+        The branch-and-bound backend seeds its upper bound with it; scipy's
+        ``milp`` has no MIP-start hook, so the other backends ignore it.
     """
     if backend not in BACKENDS:
         raise SolverError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -68,6 +74,7 @@ def solve(
             lp_solver=lp_solver,
             max_nodes=max_nodes,
             time_limit=time_limit,
+            incumbent=incumbent,
         )
 
     # backend == "simplex": LP only.

@@ -6,9 +6,15 @@
   paper argues against;
 * :class:`LevelClusteringPartitioner` — a scheduling/clustering style
   heuristic in the spirit of the prior work the paper cites;
+* :class:`AnnealTemporalPartitioner` — seeded simulated-annealing refinement
+  of the list solution (latency-aware, still cheap);
+* :class:`PortfolioPartitioner` — deterministic ladder over all of the above
+  plus an optimality certificate, ILP fallback warm-started from the best
+  heuristic;
 * validation and metrics shared by all of them.
 """
 
+from .anneal_partitioner import AnnealTemporalPartitioner
 from .greedy_partitioner import LevelClusteringPartitioner
 from .ilp_formulation import FormulationOptions, TemporalPartitioningFormulation
 from .ilp_partitioner import IlpPartitionerReport, IlpTemporalPartitioner
@@ -20,11 +26,13 @@ from .metrics import (
     compute_metrics,
     partition_summary_rows,
 )
+from .portfolio import PortfolioPartitioner, PortfolioReport
 from .result import PartitionInfo, TemporalPartitioning
 from .spec import PartitionProblem
 from .validate import ValidationReport, assert_valid, validate_partitioning
 
 __all__ = [
+    "AnnealTemporalPartitioner",
     "FormulationOptions",
     "IlpPartitionerReport",
     "IlpTemporalPartitioner",
@@ -34,6 +42,8 @@ __all__ = [
     "PartitionProblem",
     "PartitioningComparison",
     "PartitioningMetrics",
+    "PortfolioPartitioner",
+    "PortfolioReport",
     "TemporalPartitioning",
     "TemporalPartitioningFormulation",
     "ValidationReport",

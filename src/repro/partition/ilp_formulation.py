@@ -38,12 +38,19 @@ Two formulation choices are configurable (and benchmarked as ablations):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import PartitioningError
 from ..ilp.expr import LinExpr, Variable, linear_sum
+from ..ilp.linearize import ordered_position_chain
 from ..ilp.model import Model
-from ..taskgraph.analysis import DEFAULT_PATH_LIMIT, root_to_leaf_paths
+from ..taskgraph.analysis import (
+    DEFAULT_PATH_LIMIT,
+    interchangeable_task_classes,
+    max_tasks_per_partition,
+    root_to_leaf_paths,
+)
+from ..taskgraph.graph import TaskGraph
 from .spec import PartitionProblem
 
 #: Time scale used inside the ILP: delays are expressed in nanoseconds rather
@@ -62,6 +69,20 @@ class FormulationOptions:
     linkage_form: str = "aggregated"  # "aggregated" or "pairwise"
     delay_form: str = "path"  # "path" (Eq. 7) or "chain"
     path_limit: Optional[int] = DEFAULT_PATH_LIMIT
+    #: Order the partition positions of interchangeable tasks (see
+    #: :func:`repro.taskgraph.analysis.interchangeable_task_classes`) so
+    #: permutation-symmetric optima collapse to one representative.  Off by
+    #: default: scipy's HiGHS runs its own symmetry detection and the extra
+    #: rows can slow it down; the built-in branch-and-bound turns it on.
+    symmetry_breaking: bool = False
+    #: Add per-partition cardinality cuts ``sum_t y[t,p] <= k`` where ``k``
+    #: is :func:`repro.taskgraph.analysis.max_tasks_per_partition`.  The cut
+    #: is implied by the resource constraints on integral solutions but
+    #: tightens the LP relaxation substantially when tasks are near-uniform
+    #: in size (the filter-bank case study drops ~5x in node count).  Off by
+    #: default for the same reason as ``symmetry_breaking``: HiGHS derives
+    #: its own clique cuts; the built-in branch-and-bound turns it on.
+    cardinality_cuts: bool = False
 
     def __post_init__(self) -> None:
         if self.order_form not in ("paper", "position"):
@@ -92,6 +113,10 @@ class TemporalPartitioningFormulation:
         self.y: Dict[Tuple[str, int], Variable] = {}
         self.w: Dict[Tuple[int, str, str], Variable] = {}
         self.d: Dict[int, Variable] = {}
+        #: Interchangeability classes the symmetry-breaking constraints cover
+        #: (empty when the option is off or no class has two members).
+        self.symmetry_classes: List[List[str]] = []
+        self._accumulated: Dict[Tuple[str, int], Variable] = {}
         self._build()
 
     # ------------------------------------------------------------------
@@ -112,6 +137,10 @@ class TemporalPartitioningFormulation:
             self._add_path_delay_constraints()
         else:
             self._add_chain_delay_constraints()
+        if self.options.cardinality_cuts:
+            self._add_cardinality_cuts()
+        if self.options.symmetry_breaking and n > 1:
+            self._add_symmetry_breaking_constraints()
         objective = (
             n * self.problem.reconfiguration_time * MODEL_TIME_SCALE
             + linear_sum([self.d[p] for p in range(1, n + 1)])
@@ -272,6 +301,7 @@ class TemporalPartitioningFormulation:
                 accumulated[(task_name, p)] = self.model.add_continuous(
                     f"a[{task_name},{p}]", 0.0, big_m
                 )
+        self._accumulated = accumulated
         for task_name in graph.task_names():
             delay = graph.task(task_name).delay * MODEL_TIME_SCALE
             for p in range(1, n + 1):
@@ -291,6 +321,97 @@ class TemporalPartitioningFormulation:
                 self.model.add_constraint(
                     self.d[p] >= a_var, name=f"chain_bound[{task_name},{p}]"
                 )
+
+    def _add_cardinality_cuts(self) -> None:
+        """Per-partition cardinality cut ``sum_t y[t,p] <= k``.
+
+        ``k`` comes from :func:`max_tasks_per_partition`: if the ``k+1``
+        smallest consumers of some resource already overflow the capacity,
+        no partition can hold more than ``k`` tasks.  Skipped when the cut
+        would be slack even with every task in one partition.
+        """
+        graph = self.problem.graph
+        limit = max_tasks_per_partition(graph, self.problem.resource_capacity)
+        if limit >= len(graph):
+            return
+        for p in range(1, self.partition_bound + 1):
+            self.model.add_constraint(
+                linear_sum([self.y[(name, p)] for name in graph.task_names()])
+                <= limit,
+                name=f"card[{p}]",
+            )
+
+    def _add_symmetry_breaking_constraints(self) -> None:
+        """Order the partition positions of interchangeable tasks.
+
+        For every class of mutually interchangeable tasks (same delay,
+        resources, neighbours and data volumes) the members' positions
+        ``sum_p p * y[t,p]`` are constrained to be non-decreasing in task-name
+        order.  Each symmetric family of solutions keeps exactly its sorted
+        representative, so the optimal objective is untouched while the
+        search tree loses the permutation copies.
+        """
+        n = self.partition_bound
+        self.symmetry_classes = interchangeable_task_classes(self.problem.graph)
+        for class_index, members in enumerate(self.symmetry_classes):
+            positions = [
+                linear_sum([p * self.y[(name, p)] for p in range(1, n + 1)])
+                for name in members
+            ]
+            ordered_position_chain(
+                self.model, positions, name_prefix=f"sym[{class_index}]"
+            )
+
+    # ------------------------------------------------------------------
+    # Warm starts
+    # ------------------------------------------------------------------
+
+    def incumbent_from_assignment(
+        self, assignment: Mapping[str, int]
+    ) -> Dict[Variable, float]:
+        """Map a feasible task->partition assignment onto the model variables.
+
+        Produces the full ``(y, w, d)`` (and, for the chain delay form,
+        ``a``) point the assignment induces, suitable as a warm-start
+        incumbent for the branch-and-bound backend.  When symmetry breaking
+        is active the assignment is canonicalised first so the point
+        satisfies the ordering constraints.
+
+        The assignment must use partitions ``1..N`` for this formulation's
+        bound ``N``; a :class:`PartitioningError` is raised otherwise.
+        Feasibility against the remaining constraints is *not* checked here
+        — the solver validates the point and silently drops an infeasible
+        incumbent.
+        """
+        graph = self.problem.graph
+        n = self.partition_bound
+        if self.options.symmetry_breaking:
+            assignment = canonical_assignment(graph, assignment)
+        for task_name, partition in assignment.items():
+            if not 1 <= partition <= n:
+                raise PartitioningError(
+                    f"incumbent places {task_name!r} in partition {partition}, "
+                    f"outside this formulation's bound 1..{n}"
+                )
+        values: Dict[Variable, float] = {}
+        for (task_name, p), variable in self.y.items():
+            values[variable] = 1.0 if assignment[task_name] == p else 0.0
+        for (p, producer, consumer), variable in self.w.items():
+            straddles = assignment[producer] <= p < assignment[consumer]
+            values[variable] = 1.0 if straddles else 0.0
+        chain_delays = _in_partition_chain_delays(graph, assignment)
+        for p in range(1, n + 1):
+            members = [name for name, where in assignment.items() if where == p]
+            partition_delay = max(
+                (chain_delays[name] for name in members), default=0.0
+            )
+            values[self.d[p]] = partition_delay * MODEL_TIME_SCALE
+        for (task_name, p), variable in self._accumulated.items():
+            if assignment[task_name] == p:
+                values[variable] = chain_delays[task_name] * MODEL_TIME_SCALE
+            else:
+                values[variable] = 0.0
+        return values
 
     # ------------------------------------------------------------------
     # Solution extraction
@@ -319,3 +440,41 @@ class TemporalPartitioningFormulation:
     def statistics(self) -> Dict[str, int]:
         """Model-size statistics (variables/constraints) for reporting."""
         return self.model.statistics()
+
+
+def _in_partition_chain_delays(
+    graph: TaskGraph, assignment: Mapping[str, int]
+) -> Dict[str, float]:
+    """Longest same-partition dependency chain ending at each task (seconds).
+
+    The per-partition maximum of these is exactly the Eq. 7 delay ``d_p`` the
+    result layer recomputes (:meth:`TemporalPartitioning._partition_delay`).
+    """
+    longest: Dict[str, float] = {}
+    for name in graph.topological_order():
+        partition = assignment[name]
+        best_pred = 0.0
+        for pred in graph.predecessors(name):
+            if assignment[pred] == partition:
+                best_pred = max(best_pred, longest[pred])
+        longest[name] = best_pred + graph.task(name).delay
+    return longest
+
+
+def canonical_assignment(
+    graph: TaskGraph, assignment: Mapping[str, int]
+) -> Dict[str, int]:
+    """Permute interchangeable tasks into the symmetry-broken representative.
+
+    Within every interchangeability class the sorted member names receive the
+    class's partition indices in ascending order.  Because class members are
+    mutually interchangeable, the result is feasible exactly when the input
+    is and has the identical objective — it is the representative the
+    symmetry-breaking constraints keep.
+    """
+    canonical = dict(assignment)
+    for members in interchangeable_task_classes(graph):
+        partitions = sorted(canonical[name] for name in members)
+        for name, partition in zip(members, partitions):
+            canonical[name] = partition
+    return canonical

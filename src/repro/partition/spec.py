@@ -13,7 +13,7 @@ from typing import Optional
 from ..arch.board import ReconfigurableBoard, RtrSystem
 from ..arch.device import ResourceVector
 from ..errors import PartitioningError
-from ..taskgraph.analysis import partition_lower_bound
+from ..taskgraph.analysis import cardinality_lower_bound, partition_lower_bound
 from ..taskgraph.graph import TaskGraph
 
 
@@ -66,8 +66,17 @@ class PartitionProblem:
         return len(self.graph)
 
     def minimum_partitions(self) -> int:
-        """The preprocessing lower bound on the number of partitions."""
-        return partition_lower_bound(self.graph, self.resource_capacity)
+        """The preprocessing lower bound on the number of partitions.
+
+        Max of the paper's resource-sum bound and the cardinality bound
+        (``ceil(tasks / max-tasks-per-partition)``).  Both are sound, so the
+        relax-N loop can skip every bound below the max without solving —
+        skipped bounds are provably infeasible.
+        """
+        return max(
+            partition_lower_bound(self.graph, self.resource_capacity),
+            cardinality_lower_bound(self.graph, self.resource_capacity),
+        )
 
     def partition_cap(self) -> int:
         """Largest partition count the relax-N loop may try."""

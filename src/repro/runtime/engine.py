@@ -205,6 +205,7 @@ class PartitionEngine:
             backend=solver.get("backend", defaults.backend),
             time_limit=solver.get("time_limit", defaults.time_limit),
             explore_extra_partitions=solver.get("explore_extra_partitions", 0),
+            seed=solver.get("seed", defaults.seed),
         )
         return PartitionJob(problem=problem, solver=spec, tag=tag)
 

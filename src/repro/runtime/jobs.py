@@ -19,7 +19,7 @@ from ..partition.spec import PartitionProblem
 from .canonical import problem_fingerprint
 
 #: Partitioner algorithms the engine can dispatch.
-PARTITIONERS = ("ilp", "list", "level")
+PARTITIONERS = ("ilp", "list", "level", "anneal", "portfolio")
 
 
 @dataclass(frozen=True)
@@ -30,6 +30,9 @@ class SolverSpec:
     backend: str = "scipy"
     time_limit: Optional[float] = None
     explore_extra_partitions: int = 0
+    #: Random seed for the stochastic partitioners (``anneal``, and the
+    #: anneal arm inside ``portfolio``); ignored by the deterministic ones.
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.partitioner not in PARTITIONERS:
@@ -41,13 +44,18 @@ class SolverSpec:
         """The fields that distinguish cached results.
 
         ``time_limit`` is deliberately excluded: a completed solve is the
-        same result whatever limit it ran under.
+        same result whatever limit it ran under.  The ``seed`` is included
+        only for the partitioners whose result depends on it, so changing
+        the seed never invalidates cached deterministic solves.
         """
-        return {
+        fields: Dict[str, object] = {
             "partitioner": self.partitioner,
             "backend": self.backend,
             "explore_extra_partitions": self.explore_extra_partitions,
         }
+        if self.partitioner in ("anneal", "portfolio"):
+            fields["seed"] = self.seed
+        return fields
 
 
 @dataclass

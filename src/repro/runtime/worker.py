@@ -10,9 +10,11 @@ from __future__ import annotations
 import time
 
 from ..errors import ReproError
+from ..partition.anneal_partitioner import AnnealTemporalPartitioner
 from ..partition.greedy_partitioner import LevelClusteringPartitioner
 from ..partition.ilp_partitioner import IlpTemporalPartitioner
 from ..partition.list_partitioner import ListTemporalPartitioner
+from ..partition.portfolio import PortfolioPartitioner
 from ..partition.result import TemporalPartitioning
 from ..partition.spec import PartitionProblem
 from .jobs import JobOutcome, JobStatus, PartitionJob, SolverSpec
@@ -27,6 +29,12 @@ def _build_partitioner(solver: SolverSpec):
         )
     if solver.partitioner == "list":
         return ListTemporalPartitioner()
+    if solver.partitioner == "anneal":
+        return AnnealTemporalPartitioner(seed=solver.seed)
+    if solver.partitioner == "portfolio":
+        return PortfolioPartitioner(
+            ilp_backend=solver.backend, anneal_seed=solver.seed
+        )
     return LevelClusteringPartitioner()
 
 

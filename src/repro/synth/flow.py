@@ -32,9 +32,11 @@ from ..hls.estimator import TaskEstimator, merge_dfgs
 from ..hls.library import library_for_family
 from ..hls.rtl import RtlDesign
 from ..memmap.mapper import build_memory_map
+from ..partition.anneal_partitioner import AnnealTemporalPartitioner
 from ..partition.greedy_partitioner import LevelClusteringPartitioner
 from ..partition.ilp_partitioner import IlpTemporalPartitioner
 from ..partition.list_partitioner import ListTemporalPartitioner
+from ..partition.portfolio import PortfolioPartitioner
 from ..partition.result import TemporalPartitioning
 from ..partition.spec import PartitionProblem
 from ..partition.validate import assert_valid
@@ -44,7 +46,7 @@ from . import stages
 from .rtr_design import RtrDesign
 
 #: Registered partitioner names.
-PARTITIONERS = ("ilp", "list", "level")
+PARTITIONERS = ("ilp", "list", "level", "anneal", "portfolio")
 
 
 @dataclass
@@ -53,6 +55,9 @@ class FlowOptions:
 
     partitioner: str = "ilp"
     ilp_backend: str = "scipy"
+    #: Seed for the stochastic partitioners ("anneal", and the anneal arm of
+    #: "portfolio"); the deterministic partitioners ignore it.
+    partitioner_seed: int = 0
     max_clock_period: float = ns(100)
     round_memory_blocks: bool = False
     generate_rtl: bool = False
@@ -93,6 +98,15 @@ class DesignFlow:
             partitioner = IlpTemporalPartitioner(backend=self.options.ilp_backend)
         elif self.options.partitioner == "list":
             partitioner = ListTemporalPartitioner()
+        elif self.options.partitioner == "anneal":
+            partitioner = AnnealTemporalPartitioner(
+                seed=self.options.partitioner_seed
+            )
+        elif self.options.partitioner == "portfolio":
+            partitioner = PortfolioPartitioner(
+                ilp_backend=self.options.ilp_backend,
+                anneal_seed=self.options.partitioner_seed,
+            )
         else:
             partitioner = LevelClusteringPartitioner()
         result = partitioner.partition(problem)

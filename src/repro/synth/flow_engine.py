@@ -408,6 +408,7 @@ class FlowEngine:
                     tag=job.name,
                     partitioner=job.options.partitioner,
                     backend=job.options.ilp_backend,
+                    seed=job.options.partitioner_seed,
                 )
             )
             indices.append(index)

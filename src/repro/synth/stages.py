@@ -69,7 +69,10 @@ PIPELINE_STAGES: Tuple[str, ...] = (ESTIMATE, PARTITION, MEMORY_MAP, FISSION, TI
 #: leaving the rest of the disk cache valid.
 STAGE_VERSIONS: Dict[str, int] = {
     ESTIMATE: 1,
-    PARTITION: 1,
+    # v2: stronger preprocessing lower bound (cardinality), symmetry breaking
+    # and cardinality cuts for the built-in backend, and the anneal/portfolio
+    # partitioners — cached v1 partition results may differ in assignment.
+    PARTITION: 2,
     MEMORY_MAP: 1,
     FISSION: 1,
     TIMING: 1,
@@ -127,12 +130,17 @@ def _stage_digest(stage: str, version: int, payload: Dict[str, object]) -> str:
 def ct_invariant_solver(partitioner: str, explore_extra_partitions: int = 0) -> bool:
     """Whether the partition assignment is independent of ``CT``.
 
-    True for the heuristics (they never read ``CT``) and for the default ILP
-    relax-N loop (it stops at the first feasible bound; ``N*CT`` is a
-    constant per bound).  Only ``explore_extra_partitions > 0`` makes the
-    bound *selection* compare ``N*CT + sum_p d_p`` across bounds, which is
-    genuinely CT-dependent.
+    True for the greedy heuristics (they never read ``CT``) and for the
+    default ILP relax-N loop (it stops at the first feasible bound;
+    ``N*CT`` is a constant per bound).  False for ``explore_extra_partitions
+    > 0`` (the bound *selection* compares ``N*CT + sum_p d_p`` across
+    bounds), for ``anneal`` (move acceptance scores include ``N*CT`` with
+    the partition count varying as partitions empty), and for ``portfolio``
+    (the certificate compares latencies against a CT-dependent bound and
+    one arm is the annealer).
     """
+    if partitioner in ("anneal", "portfolio"):
+        return False
     if partitioner != "ilp":
         return True
     return explore_extra_partitions == 0
@@ -182,6 +190,22 @@ def estimate_stage_key(
     return StageKey(ESTIMATE, version, digest)
 
 
+def _solver_key_fields(options, explore_extra_partitions: int) -> Dict[str, object]:
+    """Solver fields of the partition-stage digest.
+
+    Mirrors :meth:`repro.runtime.jobs.SolverSpec.cache_key_fields`: the seed
+    enters the key only for the partitioners whose result depends on it.
+    """
+    fields: Dict[str, object] = {
+        "partitioner": options.partitioner,
+        "backend": options.ilp_backend,
+        "explore_extra_partitions": int(explore_extra_partitions),
+    }
+    if options.partitioner in ("anneal", "portfolio"):
+        fields["seed"] = int(getattr(options, "partitioner_seed", 0))
+    return fields
+
+
 def partition_stage_key(
     estimate_key: StageKey,
     system: RtrSystem,
@@ -206,11 +230,7 @@ def partition_stage_key(
                 for kind, amount in sorted(system.resource_capacity.as_dict().items())
             },
             "memory_words": int(system.memory_capacity_words),
-            "solver": {
-                "partitioner": options.partitioner,
-                "backend": options.ilp_backend,
-                "explore_extra_partitions": int(explore_extra_partitions),
-            },
+            "solver": _solver_key_fields(options, explore_extra_partitions),
             "ct": None if invariant else float(system.reconfiguration_time),
         },
     )

@@ -10,10 +10,13 @@ this representation.
 from .analysis import (
     DEFAULT_PATH_LIMIT,
     asap_levels,
+    cardinality_lower_bound,
     count_root_to_leaf_paths,
     critical_path,
     downstream_tasks,
     independent_task_pairs,
+    interchangeable_task_classes,
+    max_tasks_per_partition,
     partition_lower_bound,
     path_delay,
     root_to_leaf_paths,
@@ -39,6 +42,7 @@ __all__ = [
     "TaskCost",
     "TaskGraph",
     "asap_levels",
+    "cardinality_lower_bound",
     "clb_cost",
     "count_root_to_leaf_paths",
     "critical_path",
@@ -50,8 +54,10 @@ __all__ = [
     "from_json",
     "image_pipeline_task_graph",
     "independent_task_pairs",
+    "interchangeable_task_classes",
     "linear_pipeline",
     "load",
+    "max_tasks_per_partition",
     "partition_lower_bound",
     "path_delay",
     "random_dsp_task_graph",

@@ -147,6 +147,54 @@ def partition_lower_bound(graph: TaskGraph, capacity: ResourceVector) -> int:
     return bound
 
 
+def max_tasks_per_partition(graph: TaskGraph, capacity: ResourceVector) -> int:
+    """Largest number of tasks any single partition can hold, by resources.
+
+    For each resource type, sort the per-task usages ascending and count how
+    many of the *smallest* consumers fit within the capacity; tasks that use
+    none of the resource are free.  The minimum over resource types bounds
+    every feasible partition's cardinality: if even the ``k+1`` cheapest
+    tasks overflow some resource, no partition anywhere can hold ``k+1``
+    tasks.  Returns at least 1 (single-task feasibility is checked by
+    :func:`partition_lower_bound`).
+    """
+    names = graph.task_names()
+    best = max(len(names), 1)
+    for resource in capacity.names():
+        available = capacity[resource]
+        usages = sorted(
+            usage
+            for name in names
+            if (usage := graph.task(name).resources[resource]) > 0
+        )
+        if not usages:
+            continue
+        consumed = 0.0
+        count = 0
+        for usage in usages:
+            if consumed + usage > available:
+                break
+            consumed += usage
+            count += 1
+        best = min(best, count + (len(names) - len(usages)))
+    return max(best, 1)
+
+
+def cardinality_lower_bound(graph: TaskGraph, capacity: ResourceVector) -> int:
+    """Lower bound on the partition count from per-partition cardinality.
+
+    With at most ``k`` tasks per partition (:func:`max_tasks_per_partition`),
+    any feasible solution needs at least ``ceil(|T| / k)`` partitions.  This
+    bin-packing style bound is incomparable with the resource-sum bound of
+    :func:`partition_lower_bound` — e.g. many same-sized tasks that pack
+    poorly push this bound higher — so the preprocessing step takes the max
+    of both.
+    """
+    if len(graph) == 0:
+        return 1
+    return math.ceil(len(graph) / max_tasks_per_partition(graph, capacity))
+
+
 def transitive_reduction(graph: TaskGraph) -> TaskGraph:
     """A copy of *graph* with redundant (transitively implied) edges removed.
 
@@ -186,6 +234,43 @@ def upstream_tasks(graph: TaskGraph, task_name: str) -> List[str]:
     """All tasks from which *task_name* is reachable (excluding itself)."""
     nx_graph = graph.to_networkx()
     return sorted(nx.ancestors(nx_graph, task_name))
+
+
+def interchangeable_task_classes(graph: TaskGraph) -> List[List[str]]:
+    """Groups of mutually interchangeable tasks (size >= 2), sorted by name.
+
+    Two tasks are interchangeable when swapping them in any partition
+    assignment provably changes nothing the partitioning model can observe:
+    same delay, same resource vector, same predecessor and successor sets,
+    and the same data volume on each corresponding edge.  Such tasks induce
+    symmetric solutions that differ only by a permutation — the ILP
+    formulation breaks those symmetries by ordering each class's partition
+    positions (see ``FormulationOptions.symmetry_breaking``).
+
+    The grouping is deterministic: classes are ordered by their first member
+    and members are sorted by task name.
+    """
+    graph.validate()
+    signatures: Dict[tuple, List[str]] = {}
+    for task in graph.tasks():
+        preds = tuple(sorted(graph.predecessors(task.name)))
+        succs = tuple(sorted(graph.successors(task.name)))
+        in_words = tuple(graph.edge_words(pred, task.name) for pred in preds)
+        out_words = tuple(graph.edge_words(task.name, succ) for succ in succs)
+        signature = (
+            task.delay,
+            tuple(sorted(task.resources.as_dict().items())),
+            preds,
+            succs,
+            in_words,
+            out_words,
+            graph.env_input_words(task.name),
+            graph.env_output_words(task.name),
+        )
+        signatures.setdefault(signature, []).append(task.name)
+    classes = [sorted(members) for members in signatures.values() if len(members) > 1]
+    classes.sort(key=lambda members: members[0])
+    return classes
 
 
 def independent_task_pairs(graph: TaskGraph) -> List[Tuple[str, str]]:

@@ -1,0 +1,399 @@
+"""Differential properties of the solver hot-path acceleration.
+
+Every acceleration layer added to the solver stack — the vectorised simplex
+engine, the warm-started branch and bound, the symmetry/cardinality
+formulation tightening and the portfolio partitioner — is required to be
+*observationally identical* to the slow reference it replaced: same
+objectives, same statuses, byte-identical assignments across reruns.  These
+tests pin that contract on the same seeded scenario families the
+differential-verification harness fuzzes (see ``tests/strategies.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import strategies as strat
+from repro.arch import generic_system
+from repro.errors import SolverError
+from repro.ilp import Model, SolveStatus, linear_sum, solve
+from repro.ilp.branch_and_bound import incumbent_vector
+from repro.ilp.simplex import ENGINE_ENV_VAR, ENGINES, default_engine, solve_lp
+from repro.partition import (
+    AnnealTemporalPartitioner,
+    FormulationOptions,
+    IlpTemporalPartitioner,
+    PartitionProblem,
+    PortfolioPartitioner,
+    validate_partitioning,
+)
+from repro.partition.ilp_formulation import canonical_assignment
+from repro.taskgraph import (
+    cardinality_lower_bound,
+    interchangeable_task_classes,
+    max_tasks_per_partition,
+    partition_lower_bound,
+)
+from repro.verify.scenarios import FAMILIES, build_family_graph
+
+SLOW = settings(
+    max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _problem(graph, clb_capacity=700, memory_words=8192, ct=0.01):
+    system = generic_system(
+        clb_capacity=clb_capacity,
+        memory_words=memory_words,
+        reconfiguration_time=ct,
+    )
+    return PartitionProblem.from_system(graph, system)
+
+
+# ---------------------------------------------------------------------------
+# Simplex engines: vectorised vs. pure-python reference
+# ---------------------------------------------------------------------------
+
+
+def _random_lp(seed: int, variables: int = 6, constraints: int = 5) -> Model:
+    rng = np.random.default_rng(seed)
+    model = Model(f"lp-{seed}")
+    xs = [
+        model.add_continuous(f"x{i}", 0.0, float(rng.uniform(1.0, 10.0)))
+        for i in range(variables)
+    ]
+    for row in range(constraints):
+        coefficients = rng.uniform(0.0, 5.0, size=variables)
+        model.add_constraint(
+            linear_sum(float(c) * x for c, x in zip(coefficients, xs))
+            <= float(rng.uniform(1.0, 20.0)),
+            name=f"c{row}",
+        )
+    model.minimize(
+        linear_sum(
+            float(c) * x for c, x in zip(rng.uniform(-5.0, 5.0, size=variables), xs)
+        )
+    )
+    return model
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=40, deadline=None)
+def test_vectorised_simplex_matches_reference(seed):
+    form = _random_lp(seed).to_matrix_form()
+    vectorised = solve_lp(form, engine="vectorised")
+    reference = solve_lp(form, engine="reference")
+    assert vectorised.status is SolveStatus.OPTIMAL
+    if reference.status is SolveStatus.ITERATION_LIMIT:
+        # The reference engine may cycle out of budget on degenerate ties the
+        # vectorised engine's exact pivot-column rewrite avoids; that is the
+        # one tolerated divergence.
+        return
+    assert reference.status is SolveStatus.OPTIMAL
+    assert vectorised.objective == pytest.approx(
+        reference.objective, rel=1e-9, abs=1e-9
+    )
+
+
+def test_simplex_engine_selection(monkeypatch):
+    form = _random_lp(0).to_matrix_form()
+    with pytest.raises(SolverError, match="unknown simplex engine"):
+        solve_lp(form, engine="quantum")
+
+    monkeypatch.setenv(ENGINE_ENV_VAR, "reference")
+    assert default_engine() == "reference"
+    monkeypatch.setenv(ENGINE_ENV_VAR, "vectorised")
+    assert default_engine() == "vectorised"
+    monkeypatch.setenv(ENGINE_ENV_VAR, "nonsense")
+    with pytest.raises(SolverError):
+        default_engine()
+    monkeypatch.delenv(ENGINE_ENV_VAR)
+    assert default_engine() in ENGINES
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_simplex_engines_agree_on_infeasible(engine):
+    model = Model("infeasible")
+    x = model.add_continuous("x", 0.0, 1.0)
+    model.add_constraint(x >= 2.0)
+    model.minimize(x)
+    result = solve_lp(model.to_matrix_form(), engine=engine)
+    assert result.status is SolveStatus.INFEASIBLE
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_simplex_engines_agree_on_unbounded(engine):
+    model = Model("unbounded")
+    x = model.add_continuous("x")
+    model.minimize(-1.0 * x)
+    result = solve_lp(model.to_matrix_form(), engine=engine)
+    assert result.status is SolveStatus.UNBOUNDED
+
+
+# ---------------------------------------------------------------------------
+# Warm-started branch and bound vs. scipy
+# ---------------------------------------------------------------------------
+
+
+@given(strat.task_graphs(families=FAMILIES, min_tasks=4, max_tasks=9))
+@SLOW
+def test_warm_started_builtin_matches_scipy(graph):
+    problem = _problem(graph)
+    scipy_result = IlpTemporalPartitioner().partition(problem)
+    builtin = IlpTemporalPartitioner(backend="branch-and-bound").partition(problem)
+    assert validate_partitioning(problem, builtin).is_valid
+    assert builtin.partition_count == scipy_result.partition_count
+    assert builtin.total_latency == pytest.approx(
+        scipy_result.total_latency, rel=1e-9, abs=1e-12
+    )
+
+
+@given(strat.task_graphs(families=FAMILIES, min_tasks=4, max_tasks=9))
+@SLOW
+def test_warm_start_does_not_change_builtin_objective(graph):
+    """Warm starts prune the tree; they must never change the optimum.
+
+    The assignments may legitimately differ (when nothing in the tree beats
+    the seeded incumbent, the incumbent itself is returned), but both runs
+    must land on the same objective and partition count — and each
+    configuration must reproduce itself exactly.
+    """
+    problem = _problem(graph)
+    warm = IlpTemporalPartitioner(backend="branch-and-bound").partition(problem)
+    cold = IlpTemporalPartitioner(
+        backend="branch-and-bound", warm_start=False
+    ).partition(problem)
+    assert warm.total_latency == cold.total_latency
+    assert warm.partition_count == cold.partition_count
+    rerun = IlpTemporalPartitioner(backend="branch-and-bound").partition(problem)
+    assert rerun.assignment == warm.assignment
+
+
+# ---------------------------------------------------------------------------
+# Portfolio vs. the exact ILP
+# ---------------------------------------------------------------------------
+
+
+@given(strat.task_graphs(families=FAMILIES, min_tasks=4, max_tasks=9))
+@SLOW
+def test_portfolio_objective_matches_ilp(graph):
+    problem = _problem(graph)
+    portfolio = PortfolioPartitioner().partition(problem)
+    exact = IlpTemporalPartitioner().partition(problem)
+    assert validate_partitioning(problem, portfolio).is_valid
+    # A certified heuristic sits between the lower bound and the optimum, so
+    # it can differ from the ILP's objective only by the certificate rtol.
+    assert portfolio.total_latency == pytest.approx(
+        exact.total_latency, rel=1e-8, abs=1e-12
+    )
+
+
+@given(
+    strat.task_graphs(families=FAMILIES, min_tasks=4, max_tasks=10),
+    st.integers(min_value=0, max_value=2**16),
+)
+@SLOW
+def test_portfolio_same_seed_same_bytes(graph, seed):
+    problem = _problem(graph)
+    first = PortfolioPartitioner(anneal_seed=seed).partition(problem)
+    second = PortfolioPartitioner(anneal_seed=seed).partition(problem)
+    assert first.assignment == second.assignment
+    assert first.method == second.method
+    assert repr(sorted(first.assignment.items())).encode() == repr(
+        sorted(second.assignment.items())
+    ).encode()
+
+
+@given(
+    strat.task_graphs(families=FAMILIES, min_tasks=4, max_tasks=12),
+    st.integers(min_value=0, max_value=2**16),
+)
+@SLOW
+def test_anneal_same_seed_same_bytes(graph, seed):
+    problem = _problem(graph)
+    first = AnnealTemporalPartitioner(seed=seed, iterations=300).partition(problem)
+    second = AnnealTemporalPartitioner(seed=seed, iterations=300).partition(problem)
+    assert validate_partitioning(problem, first).is_valid
+    assert first.assignment == second.assignment
+    assert first.total_latency == second.total_latency
+
+
+def test_portfolio_certificate_short_circuits_the_ilp():
+    graph = build_family_graph("chain", seed=3, task_count=6)
+    problem = _problem(graph, clb_capacity=1200)
+    portfolio = PortfolioPartitioner()
+    result = portfolio.partition(problem)
+    report = portfolio.last_report
+    exact = IlpTemporalPartitioner().partition(problem)
+    assert result.total_latency == pytest.approx(exact.total_latency, rel=1e-9)
+    if report.certified:
+        assert report.ilp_report is None
+        assert result.method.endswith("certified]")
+    else:
+        assert result.method == "portfolio[ilp,exact]"
+
+
+def test_portfolio_without_certificate_always_runs_ilp():
+    graph = build_family_graph("chain", seed=3, task_count=6)
+    problem = _problem(graph, clb_capacity=1200)
+    portfolio = PortfolioPartitioner(use_certificate=False)
+    result = portfolio.partition(problem)
+    assert portfolio.last_report.winner == "ilp"
+    assert result.method == "portfolio[ilp,exact]"
+
+
+# ---------------------------------------------------------------------------
+# Preprocessing bounds
+# ---------------------------------------------------------------------------
+
+
+@given(strat.task_graphs(families=FAMILIES, min_tasks=2, max_tasks=16))
+@settings(max_examples=25, deadline=None)
+def test_cardinality_bound_is_sound(graph):
+    """No valid partitioning packs more tasks per partition than the bound."""
+    problem = _problem(graph)
+    capacity = problem.resource_capacity
+    limit = max_tasks_per_partition(graph, capacity)
+    assert 1 <= limit <= len(graph)
+
+    from repro.partition import ListTemporalPartitioner
+
+    result = ListTemporalPartitioner().partition(problem)
+    for index in range(1, result.partition_count + 1):
+        assert len(result.tasks_in_partition(index)) <= limit
+
+    lower = cardinality_lower_bound(graph, capacity)
+    assert lower >= 1
+    assert result.partition_count >= lower
+    assert problem.minimum_partitions() >= max(
+        lower, partition_lower_bound(graph, capacity)
+    )
+
+
+@given(strat.task_graphs(families=FAMILIES, min_tasks=4, max_tasks=9))
+@SLOW
+def test_minimum_partitions_never_cuts_off_the_optimum(graph):
+    problem = _problem(graph)
+    result = IlpTemporalPartitioner().partition(problem)
+    assert result.partition_count >= problem.minimum_partitions()
+
+
+# ---------------------------------------------------------------------------
+# Symmetry classes and canonical assignments
+# ---------------------------------------------------------------------------
+
+
+@given(strat.task_graphs(families=("fanout", "layered"), min_tasks=6, max_tasks=14))
+@settings(max_examples=20, deadline=None)
+def test_interchangeable_classes_are_really_interchangeable(graph):
+    classes = interchangeable_task_classes(graph)
+    for group in classes:
+        assert len(group) >= 2
+        first = graph.task(group[0])
+        for name in group[1:]:
+            other = graph.task(name)
+            assert other.delay == first.delay
+            assert other.resources == first.resources
+
+
+@given(strat.task_graphs(families=FAMILIES, min_tasks=4, max_tasks=12))
+@settings(max_examples=20, deadline=None)
+def test_canonical_assignment_preserves_objective_and_validity(graph):
+    from repro.partition import ListTemporalPartitioner
+
+    problem = _problem(graph)
+    result = ListTemporalPartitioner().partition(problem)
+    from repro.partition import TemporalPartitioning
+
+    canonical = canonical_assignment(graph, result.assignment)
+    assert sorted(canonical.values()) == sorted(result.assignment.values())
+    # Canonicalisation is idempotent and objective-preserving.
+    assert canonical_assignment(graph, canonical) == canonical
+    relabelled = TemporalPartitioning(
+        graph=result.graph,
+        assignment=canonical,
+        partition_count=result.partition_count,
+        reconfiguration_time=result.reconfiguration_time,
+        method=result.method,
+    )
+    assert validate_partitioning(problem, relabelled).is_valid
+    assert relabelled.total_latency == result.total_latency
+
+
+def test_cardinality_cuts_do_not_change_the_optimum():
+    graph = build_family_graph("layered", seed=11, task_count=8)
+    problem = _problem(graph)
+    plain = IlpTemporalPartitioner(
+        backend="branch-and-bound", options=FormulationOptions()
+    ).partition(problem)
+    cut = IlpTemporalPartitioner(
+        backend="branch-and-bound",
+        options=FormulationOptions(symmetry_breaking=True, cardinality_cuts=True),
+    ).partition(problem)
+    assert cut.partition_count == plain.partition_count
+    assert cut.total_latency == pytest.approx(plain.total_latency, rel=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Warm-start incumbent validation edge cases
+# ---------------------------------------------------------------------------
+
+
+def _knapsack_form():
+    model = Model("knapsack")
+    xs = [model.add_binary(f"x{i}") for i in range(3)]
+    model.add_constraint(linear_sum(2 * x for x in xs) <= 4)
+    model.maximize(linear_sum(xs))
+    return model, xs
+
+
+def test_incumbent_vector_accepts_feasible_point():
+    model, xs = _knapsack_form()
+    form = model.to_matrix_form()
+    vector = incumbent_vector(form, {xs[0]: 1.0, xs[1]: 1.0, xs[2]: 0.0})
+    assert vector is not None
+    assert vector[xs[0].index] == 1.0 and vector[xs[2].index] == 0.0
+
+
+def test_incumbent_vector_rejects_partial_assignment():
+    model, xs = _knapsack_form()
+    form = model.to_matrix_form()
+    assert incumbent_vector(form, {xs[0]: 1.0}) is None
+
+
+def test_incumbent_vector_rejects_fractional_integers():
+    model, xs = _knapsack_form()
+    form = model.to_matrix_form()
+    assert incumbent_vector(form, {xs[0]: 0.5, xs[1]: 0.0, xs[2]: 0.0}) is None
+
+
+def test_incumbent_vector_rejects_constraint_violation():
+    model, xs = _knapsack_form()
+    form = model.to_matrix_form()
+    assert incumbent_vector(form, {x: 1.0 for x in xs}) is None
+
+
+def test_incumbent_vector_rounds_near_integral_values():
+    model, xs = _knapsack_form()
+    form = model.to_matrix_form()
+    vector = incumbent_vector(
+        form, {xs[0]: 1.0 - 1e-9, xs[1]: 1e-9, xs[2]: 0.0}
+    )
+    assert vector is not None
+    assert vector[xs[0].index] == 1.0
+    assert vector[xs[1].index] == 0.0
+
+
+def test_solve_with_incumbent_matches_cold_solve():
+    model, xs = _knapsack_form()
+    cold = solve(model, backend="branch-and-bound")
+    warm = solve(
+        model,
+        backend="branch-and-bound",
+        incumbent={xs[0]: 1.0, xs[1]: 1.0, xs[2]: 0.0},
+    )
+    assert warm.is_optimal and cold.is_optimal
+    assert warm.objective == cold.objective
