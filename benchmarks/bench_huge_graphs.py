@@ -1,0 +1,182 @@
+"""Huge-graph scaling — the multilevel pre-partitioner at 10k-100k nodes.
+
+Runs the **full design flow** (estimation, partitioning, memory mapping,
+fission, timing) over the ``random_layered_10k/50k/100k`` workload shapes
+with the multilevel pre-partitioner and reports nodes/second per tier, then
+times the flat list scheduler against the multilevel partitioner on the
+largest flat-solvable tier and asserts the multilevel side wins by at least
+10x.  Every flow is built twice and the two designs must be bit-identical
+(same :func:`~repro.verify.oracles.design_fingerprint`): determinism at
+scale is part of the claim, not an afterthought.
+
+Environment knobs for constrained CI runners:
+
+* ``REPRO_BENCH_HUGE_TIERS`` — comma-separated tier node counts
+  (default ``10000,50000,100000``);
+* ``REPRO_BENCH_HUGE_FLAT`` — node count of the flat-vs-multilevel
+  comparison tier (default ``10000``, where the flat list scheduler needs
+  minutes; ``0`` disables the comparison);
+* ``REPRO_BENCH_STRICT=0`` — measure and print, but skip the hard >= 10x
+  speedup assertion (for tiny smoke budgets).
+
+Run standalone (``python benchmarks/bench_huge_graphs.py [--smoke]``) or
+under pytest; ``--smoke`` presets a single 2000-node tier with no strict
+assertions — small enough for CI, large enough that coarsening genuinely
+runs (2000 tasks >> the 48-task coarse target).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from bench_utils import record
+
+from repro.arch.catalog import generic_system
+from repro.partition import (
+    ListTemporalPartitioner,
+    MultilevelPartitioner,
+    PartitionProblem,
+    validate_partitioning,
+)
+from repro.synth.flow import DesignFlow, FlowOptions
+from repro.taskgraph.builders import random_dsp_task_graph
+from repro.units import ms
+from repro.verify.oracles import design_fingerprint
+
+TIERS = [
+    int(item)
+    for item in os.environ.get(
+        "REPRO_BENCH_HUGE_TIERS", "10000,50000,100000"
+    ).split(",")
+]
+FLAT_TIER = int(os.environ.get("REPRO_BENCH_HUGE_FLAT", "10000"))
+
+
+def _tier_graph(task_count: int):
+    """The tier's graph: the ``random_layered_<N>`` workload shape."""
+    return random_dsp_task_graph(
+        task_count=task_count,
+        seed=0,
+        max_level_width=24,
+        edge_probability=0.08,
+        name=f"bench_huge_{task_count}",
+    )
+
+
+def _tier_system(task_count: int):
+    """The tier's board, capacity scaled with size (20 CLBs/task) like the
+    registered huge workloads (10k -> 200k CLBs, ..., 100k -> 2M CLBs)."""
+    return generic_system(
+        clb_capacity=20 * task_count,
+        memory_words=1 << 20,
+        reconfiguration_time=ms(5),
+    )
+
+
+def test_huge_tier_full_flow_throughput():
+    """Full multilevel flow per tier: nodes/sec, validity, determinism."""
+    print()
+    nodes_per_sec = {}
+    for task_count in TIERS:
+        graph = _tier_graph(task_count)
+        system = _tier_system(task_count)
+        flow = DesignFlow(system, FlowOptions(partitioner="multilevel"))
+
+        start = time.perf_counter()
+        design = flow.build(graph)
+        elapsed = time.perf_counter() - start
+        nodes_per_sec[task_count] = task_count / elapsed
+
+        problem = PartitionProblem.from_system(graph, system)
+        validation = validate_partitioning(problem, design.partitioning)
+        assert validation.is_valid, validation.violations
+
+        # Same graph, fresh flow: the design must be bit-identical.
+        again = DesignFlow(
+            system, FlowOptions(partitioner="multilevel")
+        ).build(graph)
+        assert design_fingerprint(again) == design_fingerprint(design), (
+            f"{task_count}-node flow is not deterministic"
+        )
+
+        print(
+            f"  {task_count:>7,} nodes: {elapsed:7.2f} s full flow "
+            f"({nodes_per_sec[task_count]:8.0f} nodes/s, "
+            f"{design.partition_count} partitions)"
+        )
+
+    largest = max(TIERS)
+    record(
+        "huge_graphs",
+        tiers=sorted(TIERS),
+        nodes_per_sec_by_tier={str(n): nodes_per_sec[n] for n in sorted(TIERS)},
+        largest_tier=largest,
+        largest_tier_nodes_per_sec=nodes_per_sec[largest],
+    )
+
+
+def test_multilevel_vs_flat_speedup():
+    """The multilevel partitioner must beat the flat list scheduler >= 10x."""
+    if FLAT_TIER <= 0:
+        import pytest
+
+        pytest.skip("flat comparison disabled (REPRO_BENCH_HUGE_FLAT=0)")
+    graph = _tier_graph(FLAT_TIER)
+    problem = PartitionProblem.from_system(graph, _tier_system(FLAT_TIER))
+
+    start = time.perf_counter()
+    multilevel = MultilevelPartitioner().partition(problem)
+    multilevel_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    flat = ListTemporalPartitioner().partition(problem)
+    flat_seconds = time.perf_counter() - start
+
+    speedup = flat_seconds / multilevel_seconds if multilevel_seconds else 0.0
+    print()
+    print(
+        f"  {FLAT_TIER:>7,} nodes: multilevel {multilevel_seconds:7.2f} s "
+        f"({multilevel.partition_count}p)  flat list {flat_seconds:7.2f} s "
+        f"({flat.partition_count}p)  speedup {speedup:5.1f}x"
+    )
+
+    for result in (multilevel, flat):
+        validation = validate_partitioning(problem, result)
+        assert validation.is_valid, validation.violations
+
+    record(
+        "huge_graphs",
+        flat_tier=FLAT_TIER,
+        flat_seconds=flat_seconds,
+        multilevel_seconds=multilevel_seconds,
+        multilevel_speedup_vs_flat=speedup,
+    )
+
+    strict = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+    if strict:
+        assert speedup >= 10.0, (
+            f"multilevel only {speedup:.1f}x faster than the flat list "
+            f"scheduler at {FLAT_TIER} nodes (claimed >= 10x)"
+        )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="single 2000-node tier, no strict assertions")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        os.environ.setdefault("REPRO_BENCH_HUGE_TIERS", "2000")
+        os.environ.setdefault("REPRO_BENCH_HUGE_FLAT", "2000")
+        os.environ.setdefault("REPRO_BENCH_STRICT", "0")
+    import pytest
+
+    return pytest.main([__file__, "-x", "-q", "-s"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,14 +56,17 @@ from .experiments.table2 import xc6000_conjecture
 from .fission import SequencingStrategy, compare_static_vs_rtr
 from .jpeg import build_dct_task_graph, static_design_delay
 from .partition import (
+    MULTILEVEL_INNER_CHOICES,
     AnnealTemporalPartitioner,
     IlpTemporalPartitioner,
     LevelClusteringPartitioner,
     ListTemporalPartitioner,
+    MultilevelPartitioner,
     PartitionProblem,
     PortfolioPartitioner,
     assert_valid,
     compute_metrics,
+    multilevel_inner,
 )
 from .runtime import EngineConfig, PartitionEngine, ct_sweep_jobs
 from .synth import DesignFlow, FlowEngine, FlowOptions, workload_flow_jobs
@@ -72,6 +75,13 @@ from .units import format_time
 
 #: Default target-system preset applied when none is chosen explicitly.
 DEFAULT_SYSTEM = "paper-xc4044"
+
+#: ``--partitioner`` values the CLI accepts; the ``multilevel:<inner>``
+#: spellings pick the engine the multilevel scheme runs on the coarse graph.
+PARTITIONER_CHOICES = [
+    "ilp", "list", "level", "anneal", "portfolio", "multilevel",
+    *[f"multilevel:{inner}" for inner in MULTILEVEL_INNER_CHOICES],
+]
 
 
 def _version() -> str:
@@ -140,7 +150,10 @@ def cmd_partition(args: argparse.Namespace) -> int:
     graph = _load_graph(args.taskgraph)
     system = _make_system(args)
     problem = PartitionProblem.from_system(graph, system)
-    if args.partitioner == "ilp":
+    inner = multilevel_inner(args.partitioner)
+    if inner is not None:
+        partitioner = MultilevelPartitioner(inner=inner, ilp_backend=args.backend)
+    elif args.partitioner == "ilp":
         partitioner = IlpTemporalPartitioner(backend=args.backend)
     elif args.partitioner == "list":
         partitioner = ListTemporalPartitioner()
@@ -166,6 +179,13 @@ def cmd_partition(args: argparse.Namespace) -> int:
         print(f"portfolio: winner={report.winner} certified={report.certified} "
               f"lower bound {report.lower_bound * 1e6:.2f} us "
               f"({report.total_time:.2f} s)")
+    if inner is not None and partitioner.last_report is not None:
+        report = partitioner.last_report
+        levels = "->".join(str(count) for count in report.level_sizes)
+        print(f"multilevel: inner={report.inner} levels {levels} "
+              f"refine moves={report.refinement_moves} "
+              f"(coarsen {report.coarsen_time:.2f} s, "
+              f"inner {report.inner_time:.2f} s)")
     return 0
 
 
@@ -279,7 +299,11 @@ def _flow_batch(args: argparse.Namespace) -> int:
         return 2
     from .workloads import workload_names
 
-    names = workload_names() if args.workload == "all" else [args.workload]
+    names = (
+        workload_names(exclude_tags=("huge",))
+        if args.workload == "all"
+        else [args.workload]
+    )
     flow_engine = FlowEngine(
         config=EngineConfig(workers=args.workers, cache_dir=args.cache_dir)
     )
@@ -436,7 +460,11 @@ def cmd_explore(args: argparse.Namespace) -> int:
     objectives = tuple(_parse_csv_list(args.objectives, "objectives"))
     resolve_objectives(objectives)
 
-    names = workload_names() if args.workload == "all" else [args.workload]
+    names = (
+        workload_names(exclude_tags=("huge",))
+        if args.workload == "all"
+        else [args.workload]
+    )
     ct_values = _parse_ct_sweep(args.ct_sweep)
     space = SearchSpace.for_workloads(
         names,
@@ -727,7 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
     partition = subparsers.add_parser("partition", help="temporally partition a task graph")
     partition.add_argument("taskgraph", nargs="?", default="dct",
                            help="task-graph JSON file, or 'dct' for the case study (default)")
-    partition.add_argument("--partitioner", default="ilp", choices=["ilp", "list", "level", "anneal", "portfolio"])
+    partition.add_argument("--partitioner", default="ilp", choices=PARTITIONER_CHOICES)
     partition.add_argument("--backend", default="scipy",
                            choices=["scipy", "branch-and-bound"],
                            help="ILP solver backend")
@@ -740,7 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("taskgraphs", nargs="*", default=None, metavar="taskgraph",
                        help="task-graph JSON files, or 'dct' for the case study (default)")
-    batch.add_argument("--partitioner", default="ilp", choices=["ilp", "list", "level", "anneal", "portfolio"])
+    batch.add_argument("--partitioner", default="ilp", choices=PARTITIONER_CHOICES)
     batch.add_argument("--backend", default="scipy",
                        choices=["scipy", "branch-and-bound"],
                        help="ILP solver backend")
@@ -785,7 +813,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="with --batch: output format")
     flow.add_argument("--output", default=None,
                       help="with --batch: write the rows to this file instead of stdout")
-    flow.add_argument("--partitioner", default=None, choices=["ilp", "list", "level", "anneal", "portfolio"],
+    flow.add_argument("--partitioner", default=None, choices=PARTITIONER_CHOICES,
                       help="partitioner override (default: the workload's own choice, "
                            "or ilp for task-graph files)")
     flow.add_argument("--strategy", default="idh", choices=["fdh", "idh"])

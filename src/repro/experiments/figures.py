@@ -22,8 +22,9 @@ from ..fission.strategies import (
     idh_overhead,
 )
 from ..partition.result import TemporalPartitioning
-from ..taskgraph.analysis import path_delay, root_to_leaf_paths
+from ..taskgraph.analysis import count_root_to_leaf_paths
 from ..taskgraph.builders import figure4_example, figure4_partition_assignment
+from ..taskgraph.kpaths import k_longest_path_delays
 from ..units import ceil_div, to_ns
 from . import paper_constants as paper
 from .case_study import CaseStudy, build_case_study
@@ -61,13 +62,21 @@ def reproduce_figure4() -> Figure4Result:
         reconfiguration_time=0.0,
         method="figure4",
     )
-    # Path delays restricted to partition 1: only the path prefix mapped there.
-    partition1_tasks = set(partitioning.tasks_in_partition(1))
-    path_delays: List[float] = []
-    for path in root_to_leaf_paths(graph):
-        inside = [name for name in path if name in partition1_tasks]
-        if inside:
-            path_delays.append(to_ns(path_delay(graph, inside)))
+    # Path delays restricted to partition 1: paths of the induced subgraph.
+    # Partition 1 is downward closed (every predecessor of a partition-1
+    # task is also in partition 1), so its induced subgraph's root-to-leaf
+    # paths are exactly the partition-1 prefixes of the full paths.  The
+    # delays come from the nonenumerative k-paths tables with k set to the
+    # (DP-counted) path count, so nothing is ever enumerated.
+    partition1 = graph.subgraph_copy(
+        partitioning.tasks_in_partition(1), name="figure4-p1"
+    )
+    path_delays = [
+        to_ns(delay)
+        for delay in k_longest_path_delays(
+            partition1, count_root_to_leaf_paths(partition1)
+        )
+    ]
     # Deduplicate identical prefixes (several full paths share a partition-1 prefix).
     unique_delays = sorted(set(round(d, 6) for d in path_delays), reverse=True)
     return Figure4Result(

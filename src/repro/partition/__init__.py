@@ -11,11 +11,20 @@
 * :class:`PortfolioPartitioner` — deterministic ladder over all of the above
   plus an optimality certificate, ILP fallback warm-started from the best
   heuristic;
+* :class:`MultilevelPartitioner` — criticality-driven multilevel clustering
+  pre-partitioner for 10k-100k-node graphs (coarsen, solve with any inner
+  engine, uncoarsen + refine);
 * validation and metrics shared by all of them.
 """
 
 from .anneal_partitioner import AnnealTemporalPartitioner
 from .greedy_partitioner import LevelClusteringPartitioner
+from .hierarchy import (
+    MULTILEVEL_INNER_CHOICES,
+    MultilevelPartitioner,
+    MultilevelReport,
+    multilevel_inner,
+)
 from .ilp_formulation import FormulationOptions, TemporalPartitioningFormulation
 from .ilp_partitioner import IlpPartitionerReport, IlpTemporalPartitioner
 from .list_partitioner import ListTemporalPartitioner
@@ -38,6 +47,9 @@ __all__ = [
     "IlpTemporalPartitioner",
     "LevelClusteringPartitioner",
     "ListTemporalPartitioner",
+    "MULTILEVEL_INNER_CHOICES",
+    "MultilevelPartitioner",
+    "MultilevelReport",
     "PartitionInfo",
     "PartitionProblem",
     "PartitioningComparison",
@@ -50,6 +62,7 @@ __all__ = [
     "assert_valid",
     "compare_partitionings",
     "compute_metrics",
+    "multilevel_inner",
     "partition_summary_rows",
     "validate_partitioning",
 ]

@@ -46,11 +46,12 @@ from ..ilp.linearize import ordered_position_chain
 from ..ilp.model import Model
 from ..taskgraph.analysis import (
     DEFAULT_PATH_LIMIT,
+    count_root_to_leaf_paths,
     interchangeable_task_classes,
     max_tasks_per_partition,
-    root_to_leaf_paths,
 )
 from ..taskgraph.graph import TaskGraph
+from ..taskgraph.kpaths import root_to_leaf_paths_by_delay
 from .spec import PartitionProblem
 
 #: Time scale used inside the ILP: delays are expressed in nanoseconds rather
@@ -67,7 +68,11 @@ class FormulationOptions:
 
     order_form: str = "paper"  # "paper" (Eq. 2) or "position"
     linkage_form: str = "aggregated"  # "aggregated" or "pairwise"
-    delay_form: str = "path"  # "path" (Eq. 7) or "chain"
+    #: "path" (Eq. 7, fails over the path limit), "chain" (big-M prefix
+    #: form), or "auto" (path when the DP-counted path total fits the
+    #: limit, chain otherwise — the form the multilevel inner solves use,
+    #: since coarse graphs can be arbitrarily reconvergent).
+    delay_form: str = "path"
     path_limit: Optional[int] = DEFAULT_PATH_LIMIT
     #: Order the partition positions of interchangeable tasks (see
     #: :func:`repro.taskgraph.analysis.interchangeable_task_classes`) so
@@ -89,7 +94,7 @@ class FormulationOptions:
             raise PartitioningError(f"unknown order_form {self.order_form!r}")
         if self.linkage_form not in ("aggregated", "pairwise"):
             raise PartitioningError(f"unknown linkage_form {self.linkage_form!r}")
-        if self.delay_form not in ("path", "chain"):
+        if self.delay_form not in ("path", "chain", "auto"):
             raise PartitioningError(f"unknown delay_form {self.delay_form!r}")
 
 
@@ -133,7 +138,7 @@ class TemporalPartitioningFormulation:
             self._add_liveness_linking_constraints()
             self._add_memory_constraints()
         self._add_resource_constraints()
-        if self.options.delay_form == "path":
+        if self._resolved_delay_form() == "path":
             self._add_path_delay_constraints()
         else:
             self._add_chain_delay_constraints()
@@ -148,6 +153,16 @@ class TemporalPartitioningFormulation:
         self.model.minimize(objective)
         # Unused: keep a reference to the graph for result extraction.
         self._graph = graph
+
+    def _resolved_delay_form(self) -> str:
+        """The concrete delay form, resolving ``"auto"`` by path count."""
+        if self.options.delay_form != "auto":
+            return self.options.delay_form
+        limit = self.options.path_limit
+        if limit is None:
+            return "path"
+        count = count_root_to_leaf_paths(self.problem.graph)
+        return "path" if count <= limit else "chain"
 
     def _create_variables(self) -> None:
         graph = self.problem.graph
@@ -266,10 +281,18 @@ class TemporalPartitioningFormulation:
 
     def _add_path_delay_constraints(self) -> None:
         """Eq. 7: per root-to-leaf path and partition, the in-partition delay
-        along the path is at most ``d[p]``."""
+        along the path is at most ``d[p]``.
+
+        The path set is generated nonenumeratively (sorted by path delay,
+        most critical first) so that over-limit graphs are rejected in
+        ``O(V + E)`` time and the solver sees the binding constraints at
+        the top of the constraint matrix.  Exactness needs the *complete*
+        path set — a globally short path can still own the longest
+        in-partition segment — so no path is dropped.
+        """
         n = self.partition_bound
         graph = self.problem.graph
-        paths = root_to_leaf_paths(graph, limit=self.options.path_limit)
+        paths = root_to_leaf_paths_by_delay(graph, limit=self.options.path_limit)
         for path_index, path in enumerate(paths):
             for p in range(1, n + 1):
                 terms = [

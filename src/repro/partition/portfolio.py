@@ -34,6 +34,7 @@ from ..errors import PartitioningError
 from ..taskgraph.analysis import critical_path
 from .anneal_partitioner import AnnealTemporalPartitioner
 from .greedy_partitioner import LevelClusteringPartitioner
+from .ilp_formulation import FormulationOptions
 from .ilp_partitioner import IlpPartitionerReport, IlpTemporalPartitioner
 from .list_partitioner import ListTemporalPartitioner
 from .result import TemporalPartitioning
@@ -86,6 +87,11 @@ class PortfolioPartitioner:
         Allow the lower-bound certificate to short-circuit the ILP.  With
         ``False`` the portfolio always ends in the exact arm (useful for
         differential testing of the certificate itself).
+    ilp_options:
+        Formulation switches forwarded to the exact arm (``None`` keeps the
+        backend-dependent defaults).  The multilevel partitioner passes the
+        ``"auto"`` delay form here so reconvergent coarse graphs fall back
+        to the chain formulation instead of failing on the path limit.
     """
 
     def __init__(
@@ -94,11 +100,13 @@ class PortfolioPartitioner:
         anneal_seed: int = 0,
         anneal_iterations: int = 2000,
         use_certificate: bool = True,
+        ilp_options: Optional[FormulationOptions] = None,
     ) -> None:
         self.ilp_backend = ilp_backend
         self.anneal_seed = anneal_seed
         self.anneal_iterations = anneal_iterations
         self.use_certificate = use_certificate
+        self.ilp_options = ilp_options
         self.last_report: Optional[PortfolioReport] = None
 
     def partition(self, problem: PartitionProblem) -> TemporalPartitioning:
@@ -136,6 +144,8 @@ class PortfolioPartitioner:
         # No certificate: the exact arm decides, seeded with the best
         # heuristic candidate as its incumbent upper bound.
         ilp_kwargs = {} if self.ilp_backend is None else {"backend": self.ilp_backend}
+        if self.ilp_options is not None:
+            ilp_kwargs["options"] = self.ilp_options
         ilp = IlpTemporalPartitioner(**ilp_kwargs)
         report.arms_run.append("ilp")
         result = ilp.partition(problem)

@@ -12,6 +12,7 @@ import time
 from ..errors import ReproError
 from ..partition.anneal_partitioner import AnnealTemporalPartitioner
 from ..partition.greedy_partitioner import LevelClusteringPartitioner
+from ..partition.hierarchy import MultilevelPartitioner, multilevel_inner
 from ..partition.ilp_partitioner import IlpTemporalPartitioner
 from ..partition.list_partitioner import ListTemporalPartitioner
 from ..partition.portfolio import PortfolioPartitioner
@@ -21,6 +22,14 @@ from .jobs import JobOutcome, JobStatus, PartitionJob, SolverSpec
 
 
 def _build_partitioner(solver: SolverSpec):
+    inner = multilevel_inner(solver.partitioner)
+    if inner is not None:
+        return MultilevelPartitioner(
+            inner=inner,
+            ilp_backend=solver.backend,
+            seed=solver.seed,
+            time_limit=solver.time_limit,
+        )
     if solver.partitioner == "ilp":
         return IlpTemporalPartitioner(
             backend=solver.backend,

@@ -34,6 +34,7 @@ from ..hls.rtl import RtlDesign
 from ..memmap.mapper import build_memory_map
 from ..partition.anneal_partitioner import AnnealTemporalPartitioner
 from ..partition.greedy_partitioner import LevelClusteringPartitioner
+from ..partition.hierarchy import MultilevelPartitioner, multilevel_inner
 from ..partition.ilp_partitioner import IlpTemporalPartitioner
 from ..partition.list_partitioner import ListTemporalPartitioner
 from ..partition.portfolio import PortfolioPartitioner
@@ -45,8 +46,9 @@ from ..units import ns
 from . import stages
 from .rtr_design import RtrDesign
 
-#: Registered partitioner names.
-PARTITIONERS = ("ilp", "list", "level", "anneal", "portfolio")
+#: Registered partitioner names.  ``"multilevel"`` additionally accepts a
+#: ``multilevel:<inner>`` suffix selecting the coarse-graph engine.
+PARTITIONERS = ("ilp", "list", "level", "anneal", "portfolio", "multilevel")
 
 
 @dataclass
@@ -64,7 +66,10 @@ class FlowOptions:
     estimate_missing_costs: bool = True
 
     def __post_init__(self) -> None:
-        if self.partitioner not in PARTITIONERS:
+        if (
+            self.partitioner not in PARTITIONERS
+            and multilevel_inner(self.partitioner) is None
+        ):
             raise SynthesisError(
                 f"unknown partitioner {self.partitioner!r}; choose from {PARTITIONERS}"
             )
@@ -94,7 +99,14 @@ class DesignFlow:
     def partition(self, graph: TaskGraph) -> TemporalPartitioning:
         """Temporal-partitioning stage (ILP or a heuristic baseline)."""
         problem = PartitionProblem.from_system(graph, self.system)
-        if self.options.partitioner == "ilp":
+        inner = multilevel_inner(self.options.partitioner)
+        if inner is not None:
+            partitioner = MultilevelPartitioner(
+                inner=inner,
+                ilp_backend=self.options.ilp_backend,
+                seed=self.options.partitioner_seed,
+            )
+        elif self.options.partitioner == "ilp":
             partitioner = IlpTemporalPartitioner(backend=self.options.ilp_backend)
         elif self.options.partitioner == "list":
             partitioner = ListTemporalPartitioner()

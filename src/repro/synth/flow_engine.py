@@ -532,7 +532,9 @@ def workload_flow_jobs(
     Parameters
     ----------
     names:
-        Workload names to expand (default: every registered workload).
+        Workload names to expand (default: every registered workload except
+        those tagged ``"huge"`` — the 10k-100k-node tiers run only when
+        named explicitly).
     ct_values:
         Optional reconfiguration times (seconds); each workload/variant is
         swept across them (default: the workload system's own ``CT``).
@@ -549,7 +551,9 @@ def workload_flow_jobs(
     from ..workloads import WorkloadVariant, get_workload, workload_names
 
     jobs: List[FlowJob] = []
-    for name in names if names is not None else workload_names():
+    for name in (
+        names if names is not None else workload_names(exclude_tags=("huge",))
+    ):
         workload = get_workload(name)
         expansion = (
             workload.variants()

@@ -72,7 +72,10 @@ STAGE_VERSIONS: Dict[str, int] = {
     # v2: stronger preprocessing lower bound (cardinality), symmetry breaking
     # and cardinality cuts for the built-in backend, and the anneal/portfolio
     # partitioners — cached v1 partition results may differ in assignment.
-    PARTITION: 2,
+    # v3: the multilevel pre-partitioner family and the nonenumerative Eq. 7
+    # path generation (path constraints now enter the ILP in delay order, so
+    # solver traces — though not optima — can differ from v2).
+    PARTITION: 3,
     MEMORY_MAP: 1,
     FISSION: 1,
     TIMING: 1,
@@ -141,6 +144,10 @@ def ct_invariant_solver(partitioner: str, explore_extra_partitions: int = 0) -> 
     """
     if partitioner in ("anneal", "portfolio"):
         return False
+    if partitioner.startswith("multilevel"):
+        # The coarse solve runs a CT-reading inner engine (portfolio by
+        # default) and refinement accepts moves on latency deltas.
+        return False
     if partitioner != "ilp":
         return True
     return explore_extra_partitions == 0
@@ -201,7 +208,9 @@ def _solver_key_fields(options, explore_extra_partitions: int) -> Dict[str, obje
         "backend": options.ilp_backend,
         "explore_extra_partitions": int(explore_extra_partitions),
     }
-    if options.partitioner in ("anneal", "portfolio"):
+    if options.partitioner in ("anneal", "portfolio") or options.partitioner.startswith(
+        "multilevel"
+    ):
         fields["seed"] = int(getattr(options, "partitioner_seed", 0))
     return fields
 

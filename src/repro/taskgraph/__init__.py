@@ -33,6 +33,13 @@ from .builders import (
     random_dsp_task_graph,
 )
 from .graph import TaskGraph
+from .kpaths import (
+    edge_criticalities,
+    k_longest_path_delays,
+    k_longest_paths,
+    longest_path_through,
+    root_to_leaf_paths_by_delay,
+)
 from .serialize import from_dict, from_json, load, save, to_dict, to_json
 from .task import Task, TaskCost, clb_cost
 
@@ -47,6 +54,7 @@ __all__ = [
     "count_root_to_leaf_paths",
     "critical_path",
     "downstream_tasks",
+    "edge_criticalities",
     "figure4_example",
     "figure4_partition_assignment",
     "fork_join",
@@ -55,13 +63,17 @@ __all__ = [
     "image_pipeline_task_graph",
     "independent_task_pairs",
     "interchangeable_task_classes",
+    "k_longest_path_delays",
+    "k_longest_paths",
     "linear_pipeline",
     "load",
+    "longest_path_through",
     "max_tasks_per_partition",
     "partition_lower_bound",
     "path_delay",
     "random_dsp_task_graph",
     "root_to_leaf_paths",
+    "root_to_leaf_paths_by_delay",
     "save",
     "tasks_by_level",
     "to_dict",

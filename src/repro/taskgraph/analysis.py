@@ -33,9 +33,17 @@ def root_to_leaf_paths(
     Isolated tasks (both root and leaf) yield a single one-task path.  When
     *limit* is given and the graph has more paths than the limit, a
     :class:`GraphError` is raised so the caller can switch to the fallback
-    delay formulation instead of silently dropping constraints.
+    delay formulation instead of silently dropping constraints.  The count
+    is checked by :func:`count_root_to_leaf_paths` before any enumeration
+    starts, so an over-limit graph fails in ``O(V + E)`` time instead of
+    after grinding through *limit* simple paths.
     """
     graph.validate()
+    if limit is not None and count_root_to_leaf_paths(graph) > limit:
+        raise GraphError(
+            f"task graph {graph.name!r} has more than {limit} "
+            "root-to-leaf paths; use the prefix-delay formulation"
+        )
     nx_graph = graph.to_networkx()
     paths: List[Tuple[str, ...]] = []
     leaves = set(graph.leaves())
@@ -45,11 +53,6 @@ def root_to_leaf_paths(
             continue
         for path in nx.all_simple_paths(nx_graph, root, leaves):
             paths.append(tuple(path))
-            if limit is not None and len(paths) > limit:
-                raise GraphError(
-                    f"task graph {graph.name!r} has more than {limit} "
-                    "root-to-leaf paths; use the prefix-delay formulation"
-                )
     return paths
 
 

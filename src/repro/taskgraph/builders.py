@@ -192,17 +192,21 @@ def random_dsp_task_graph(
             )
 
     # Wire levels: every non-root task gets at least one predecessor from the
-    # previous level; extra edges are added with edge_probability.
+    # previous level; extra edges are added with edge_probability.  Edges go
+    # in through the bulk path (one acyclicity check) so generating 10k+-node
+    # graphs stays linear in the edge count.
+    edges: List[tuple] = []
     for level_index in range(1, len(levels)):
         previous = levels[level_index - 1]
         for task_name in levels[level_index]:
             mandatory = rng.choice(previous)
-            graph.add_edge(mandatory, task_name, words=rng.randint(*words_range))
+            edges.append((mandatory, task_name, rng.randint(*words_range)))
             for candidate in previous:
                 if candidate == mandatory:
                     continue
                 if rng.random() < edge_probability:
-                    graph.add_edge(candidate, task_name, words=rng.randint(*words_range))
+                    edges.append((candidate, task_name, rng.randint(*words_range)))
+    graph.add_edges(edges)
     return graph
 
 

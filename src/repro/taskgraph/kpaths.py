@@ -1,0 +1,200 @@
+"""Nonenumerative k-longest-paths analysis over task-graph DAGs.
+
+:func:`root_to_leaf_paths` enumerates every simple path, which blows up
+combinatorially on reconvergent graphs (a 60-node diamond chain already has
+a million paths).  This module computes the **k largest root-to-leaf path
+delays** — and, on demand, the paths themselves — *without* enumeration, in
+the style of the nonenumerative k-longest-path DAG algorithms the delay
+estimation literature uses (cf. arXiv 1301.0181): every node keeps a table
+of its top-k incoming-path delays, and the tables are folded once over the
+topological order.
+
+Two properties are load-bearing for the rest of the library:
+
+* **Bit-identical delays.**  A table entry accumulates task delays in path
+  order (root first), exactly like :func:`~repro.taskgraph.analysis.path_delay`
+  sums an enumerated path, so the reported delays are bit-identical to the
+  enumerated ones — the equality the differential ``kpaths-vs-enum`` oracle
+  asserts, and the reason the ILP formulation can generate its Eq. 7 path
+  set through this module without changing any solve.
+* **Determinism.**  Ties on delay are broken by task name (then by table
+  position), so the same graph always yields the same entry order on every
+  platform.
+
+Complexity is ``O(E * k * log k)`` time and ``O(V * k)`` space — polynomial
+in the graph size for fixed ``k``, where enumeration is exponential.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import GraphError
+from .analysis import DEFAULT_PATH_LIMIT, count_root_to_leaf_paths
+from .graph import TaskGraph
+
+#: One per-node table entry: the accumulated delay of one distinct
+#: root-to-this-node path, the predecessor it arrived through (``None`` for
+#: a root) and the index of the predecessor's table entry it extends.
+_Entry = Tuple[float, Optional[str], int]
+
+
+def _topk_tables(graph: TaskGraph, k: int) -> Dict[str, List[_Entry]]:
+    """Fold the per-node top-k delay tables over the topological order.
+
+    Entry ``tables[v][i]`` describes the ``i``-th largest-delay distinct
+    path from any root to ``v`` (inclusive of ``v``'s own delay).  Each
+    entry records its predecessor and the predecessor-entry index, so any
+    path can be reconstructed by backtracking without materialising it.
+    """
+    if k < 1:
+        raise GraphError(f"k must be at least 1, got {k}")
+    tables: Dict[str, List[_Entry]] = {}
+    for name in graph.topological_order():
+        delay = graph.task(name).delay
+        preds = graph.predecessors(name)
+        if not preds:
+            tables[name] = [(delay, None, 0)]
+            continue
+        candidates: List[_Entry] = []
+        for pred in sorted(preds):
+            for index, (pred_delay, _, _) in enumerate(tables[pred]):
+                candidates.append((pred_delay + delay, pred, index))
+        candidates.sort(key=lambda entry: (-entry[0], entry[1], entry[2]))
+        tables[name] = candidates[:k]
+    return tables
+
+
+def _leaf_entries(
+    graph: TaskGraph, tables: Dict[str, List[_Entry]], k: int
+) -> List[Tuple[float, str, int]]:
+    """The global top-k entries over all leaves: ``(delay, leaf, index)``."""
+    merged: List[Tuple[float, str, int]] = []
+    for leaf in sorted(graph.leaves()):
+        for index, (delay, _, _) in enumerate(tables[leaf]):
+            merged.append((delay, leaf, index))
+    merged.sort(key=lambda entry: (-entry[0], entry[1], entry[2]))
+    return merged[:k]
+
+
+def _reconstruct(
+    tables: Dict[str, List[_Entry]], leaf: str, index: int
+) -> Tuple[str, ...]:
+    """Backtrack one table entry into its root-to-leaf path."""
+    path: List[str] = []
+    name: Optional[str] = leaf
+    while name is not None:
+        path.append(name)
+        _, name, index = tables[name][index]
+    path.reverse()
+    return tuple(path)
+
+
+def k_longest_path_delays(graph: TaskGraph, k: int) -> List[float]:
+    """The ``k`` largest root-to-leaf path delays, descending.
+
+    Each distinct path is counted once; fewer than ``k`` values come back
+    when the graph has fewer than ``k`` root-to-leaf paths.  The values are
+    bit-identical to sorting the enumerated
+    :func:`~repro.taskgraph.analysis.path_delay` values (same summation
+    order), but no path is ever enumerated.
+    """
+    graph.validate()
+    tables = _topk_tables(graph, k)
+    return [delay for delay, _, _ in _leaf_entries(graph, tables, k)]
+
+
+def k_longest_paths(
+    graph: TaskGraph, k: int
+) -> List[Tuple[Tuple[str, ...], float]]:
+    """The ``k`` most-critical root-to-leaf paths with their delays, descending."""
+    graph.validate()
+    tables = _topk_tables(graph, k)
+    return [
+        (_reconstruct(tables, leaf, index), delay)
+        for delay, leaf, index in _leaf_entries(graph, tables, k)
+    ]
+
+
+def root_to_leaf_paths_by_delay(
+    graph: TaskGraph, limit: Optional[int] = DEFAULT_PATH_LIMIT
+) -> List[Tuple[str, ...]]:
+    """The complete ``P_rl`` path set, generated nonenumeratively.
+
+    A drop-in replacement for
+    :func:`~repro.taskgraph.analysis.root_to_leaf_paths` where the caller
+    needs *every* path but not the enumeration order: the paths come back
+    sorted by delay (descending, name tie-breaks) instead.  The path count
+    is checked by dynamic programming **before** any path is materialised,
+    so an over-limit graph raises :class:`GraphError` in ``O(V + E)`` time
+    rather than after grinding through ``limit`` simple paths.
+
+    This is what the ILP's Eq. 7 constraint generation calls: soundness of
+    the exact formulation needs the *full* path set (a globally short path
+    can still own the longest in-partition segment), so no path is dropped —
+    only the generation strategy changes.
+    """
+    graph.validate()
+    count = count_root_to_leaf_paths(graph)
+    if limit is not None and count > limit:
+        raise GraphError(
+            f"task graph {graph.name!r} has more than {limit} "
+            "root-to-leaf paths; use the prefix-delay formulation"
+        )
+    return [path for path, _ in k_longest_paths(graph, count)]
+
+
+def _up_down(graph: TaskGraph) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Top-1 tables folded forward and backward.
+
+    ``up[t]`` is the longest root-to-``t`` path delay and ``down[t]`` the
+    longest ``t``-to-leaf path delay, both inclusive of ``t``'s own delay.
+    """
+    up: Dict[str, float] = {}
+    order = graph.topological_order()
+    for name in order:
+        delay = graph.task(name).delay
+        preds = graph.predecessors(name)
+        up[name] = (max(up[p] for p in preds) if preds else 0.0) + delay
+    down: Dict[str, float] = {}
+    for name in reversed(order):
+        delay = graph.task(name).delay
+        succs = graph.successors(name)
+        down[name] = (max(down[s] for s in succs) if succs else 0.0) + delay
+    return up, down
+
+
+def longest_path_through(graph: TaskGraph) -> Dict[str, float]:
+    """Per-task criticality: the largest delay of any path through the task.
+
+    ``up[t]`` plus the longest delay strictly below ``t`` (the best
+    successor's ``down`` table entry), so no delay is ever subtracted back
+    out and leaf criticalities are bit-identical to the critical-path DP.
+    The maximum over all tasks is the critical-path delay (exactly at the
+    critical path's leaf; interior tasks may differ in the last ulp because
+    the summation association differs).  This is the signal the multilevel
+    partitioner's coarsening orders its merges by.
+    """
+    graph.validate()
+    up, down = _up_down(graph)
+    return {
+        name: up[name]
+        + (max(down[s] for s in succs) if (succs := graph.successors(name)) else 0.0)
+        for name in graph.task_names()
+    }
+
+
+def edge_criticalities(graph: TaskGraph) -> Dict[Tuple[str, str], float]:
+    """Per-edge criticality: the largest delay of any path using the edge.
+
+    For edge ``u -> v`` this is ``up[u] + down[v]`` (longest root-to-``u``
+    prefix plus longest ``v``-to-leaf suffix).  Used by the multilevel
+    coarsener to contract the most timing-critical chains first, so the
+    coarse graph preserves the structures the partition delays depend on.
+    """
+    graph.validate()
+    up, down = _up_down(graph)
+    return {
+        (producer, consumer): up[producer] + down[consumer]
+        for producer, consumer in graph.edges()
+    }

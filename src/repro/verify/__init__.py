@@ -7,7 +7,8 @@ bit-identical to cold ones.  This package turns those invariants into a
 generative test harness:
 
 * :mod:`repro.verify.scenarios` — seeded, reproducible scenario generation
-  (five DAG families, skewed cost distributions, tight/loose budgets);
+  (five small DAG families plus the opt-in ``huge`` scale family, skewed
+  cost distributions, tight/loose budgets);
 * :mod:`repro.verify.oracles` — the cross-implementation oracle library;
 * :mod:`repro.verify.harness` — the :class:`Verifier` fanning scenarios
   through the flow engine, shrinking failures, and producing a report;
@@ -27,6 +28,7 @@ from .harness import ScenarioVerdict, Verifier, VerifyConfig, VerifyReport
 from .oracles import (
     FeasibilityOracle,
     IlpNotWorseOracle,
+    KPathsOracle,
     MemoryLegalityOracle,
     Oracle,
     OracleVerdict,
@@ -39,7 +41,9 @@ from .oracles import (
     run_oracles,
 )
 from .scenarios import (
+    ALL_FAMILIES,
     FAMILIES,
+    HUGE_FAMILY,
     Scenario,
     build_family_graph,
     generate_scenario,
@@ -48,9 +52,12 @@ from .scenarios import (
 from .store import VerdictStore, read_verdicts
 
 __all__ = [
+    "ALL_FAMILIES",
     "FAMILIES",
     "FeasibilityOracle",
+    "HUGE_FAMILY",
     "IlpNotWorseOracle",
+    "KPathsOracle",
     "MemoryLegalityOracle",
     "Oracle",
     "OracleVerdict",

@@ -13,10 +13,11 @@ from __future__ import annotations
 from typing import Optional
 
 from ..arch.catalog import generic_system
+from ..synth.flow import FlowOptions
 from ..taskgraph.graph import TaskGraph
 from ..units import ms
 from ..workloads.registry import register_workload
-from .scenarios import _TASK_COUNT_RANGES, FAMILIES, build_family_graph
+from .scenarios import _TASK_COUNT_RANGES, FAMILIES, HUGE_FAMILY, build_family_graph
 
 
 def _verify_system():
@@ -61,3 +62,33 @@ for _family in FAMILIES:
         sweep={"seed": (0, 1, 2, 3)},
         tags=("verify", "synthetic", "seeded"),
     )(_family_builder(_family))
+
+
+def _verify_huge_system():
+    """A board sized so the default huge graphs split into a handful of
+    partitions with comfortably loose memory."""
+    return generic_system(
+        clb_capacity=24_000, memory_words=1 << 17, reconfiguration_time=ms(5)
+    )
+
+
+def _verify_huge_options():
+    return FlowOptions(partitioner="multilevel")
+
+
+# The huge scale family rides the same builder machinery but carries the
+# "huge" tag (excluded from every --workload all batch) and multilevel flow
+# options: a flat exact solve at hundreds of tasks is intractable.
+register_workload(
+    f"verify_{HUGE_FAMILY}",
+    description=(
+        "seeded verification family: hundreds-of-tasks layered DAGs through "
+        "the multilevel pre-partitioner (tag 'huge': excluded from "
+        "--workload all)"
+    ),
+    default_params={"seed": 0, "task_count": _default_task_count(HUGE_FAMILY)},
+    system=_verify_huge_system,
+    flow_options=_verify_huge_options,
+    sweep={"seed": (0, 1, 2, 3)},
+    tags=("verify", "synthetic", "seeded", "huge"),
+)(_family_builder(HUGE_FAMILY))

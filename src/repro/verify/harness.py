@@ -3,7 +3,9 @@
 :class:`Verifier` fans N seeded scenarios through the batched
 :class:`~repro.synth.flow_engine.FlowEngine` (reusing its dedup, caches and
 process-pool runtime), runs the whole design flow under two partitioner
-implementations (ILP and list) plus a cache-warm re-run, evaluates the
+implementations (the exact ILP — or the multilevel pre-partitioner for the
+opt-in ``huge`` family — plus the list scheduler) and a cache-warm re-run,
+evaluates the
 oracle suite on every scenario's artifacts, and records structured verdicts
 — counterexample recipes included — to a JSONL :class:`VerdictStore`.
 
@@ -30,7 +32,7 @@ from ..errors import SpecificationError, WorkloadError
 from ..runtime.engine import EngineConfig
 from ..synth.flow_engine import FlowEngine, FlowJob, FlowReport
 from .oracles import Oracle, OracleVerdict, ScenarioArtifacts, default_oracles
-from .scenarios import FAMILIES, Scenario, generate_scenarios
+from .scenarios import ALL_FAMILIES, FAMILIES, Scenario, generate_scenarios
 from .store import VerdictStore
 
 #: Candidate task counts the shrinker tries, smallest first.
@@ -49,7 +51,8 @@ class VerifyConfig:
         Base seed of the scenario stream; the whole run — scenarios,
         verdicts, stored bytes — is a deterministic function of it.
     families:
-        Scenario families to draw from (default: all five).
+        Scenario families to draw from (default: the five small families;
+        the opt-in ``"huge"`` scale family must be asked for by name).
     workers:
         Worker processes for partition-stage cache misses (0 = in-process).
     blocks:
@@ -95,10 +98,10 @@ class VerifyConfig:
         if not self.families:
             raise SpecificationError("families must not be empty")
         for family in self.families:
-            if family not in FAMILIES:
+            if family not in ALL_FAMILIES:
                 raise WorkloadError(
                     f"unknown scenario family {family!r}; known: "
-                    f"{', '.join(FAMILIES)}"
+                    f"{', '.join(ALL_FAMILIES)}"
                 )
 
     def meta_dict(self) -> Dict[str, object]:
@@ -291,12 +294,17 @@ class Verifier:
     # ------------------------------------------------------------------
 
     def _flow_jobs(self, scenarios: Sequence[Scenario]) -> List[FlowJob]:
-        """Two jobs per scenario (ILP + list), in scenario order."""
+        """Two jobs per scenario (primary + list baseline), in scenario order.
+
+        The primary implementation is the exact ILP for every small family
+        and the multilevel pre-partitioner for the ``huge`` family — the
+        scenario itself decides (:meth:`Scenario.implementations`).
+        """
         jobs: List[FlowJob] = []
         for scenario in scenarios:
             graph = scenario.build_graph()
             system = scenario.build_system()
-            for partitioner in ("ilp", "list"):
+            for partitioner in scenario.implementations():
                 jobs.append(
                     FlowJob(
                         graph=graph,
@@ -321,7 +329,7 @@ class Verifier:
         cold = cold_engine.run_batch(jobs)
         # The warm engine is a *fresh* process state sharing only the disk
         # caches the cold run populated — exactly the "new run, old cache"
-        # situation the warm-vs-cold oracle is about.  Only the ILP jobs
+        # situation the warm-vs-cold oracle is about.  Only the primary jobs
         # (every even index) are re-run: they are all the oracle consumes.
         warm_engine = FlowEngine(config=EngineConfig(workers=0, cache_dir=cache_dir))
         warm = warm_engine.run_batch(jobs[0::2])
@@ -340,6 +348,7 @@ class Verifier:
                     list_report=list_report,
                     warm_ilp_report=warm[index],
                     blocks=config.blocks,
+                    primary_partitioner=scenario.primary_partitioner,
                 )
             )
         return flow_wall, cold_engine.stats.snapshot(), bundles

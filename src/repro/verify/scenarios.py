@@ -20,6 +20,17 @@ The five families stress different structures of the flow:
 * ``degenerate``   — single-node, fully disconnected, and independent-task
   graphs (the boundary cases every traversal must survive).
 
+A sixth, *opt-in* family exists for scale testing: ``huge`` draws layered
+DAGs of hundreds of tasks — far past every flat partitioner's comfort zone
+but well inside the multilevel pre-partitioner's — and always with *loose*
+budgets (an infeasible 600-task instance would grind the differential
+baseline through its whole relax loop for nothing).  It is deliberately not
+part of :data:`FAMILIES`, so default verification runs — and their stored
+verdict bytes — are unchanged; ask for it explicitly with
+``families=("huge",)`` (CLI: ``--families huge``).  Huge scenarios are
+verified under the ``multilevel`` primary partitioner instead of the exact
+ILP (see :meth:`Scenario.implementations`).
+
 Delay and area values are drawn from per-scenario *skew profiles* (uniform,
 low-skewed, high-skewed) and the target system is drawn with *tight* or
 *loose* resource and memory budgets, so the population includes both easily
@@ -47,15 +58,27 @@ from ..units import ns
 #: generator cycles through (so any run of >= 5 scenarios covers them all).
 FAMILIES: Tuple[str, ...] = ("layered", "fanout", "chain", "diamond", "degenerate")
 
+#: The opt-in scale-testing family: hundreds-of-tasks layered DAGs verified
+#: under the multilevel primary partitioner with loose budgets only.
+HUGE_FAMILY = "huge"
+
+#: Every known family, including the opt-in ``huge`` one.  Validation
+#: accepts these; the default round-robin stays :data:`FAMILIES` so default
+#: runs (and their byte-identical verdict stores) are unchanged.
+ALL_FAMILIES: Tuple[str, ...] = FAMILIES + (HUGE_FAMILY,)
+
 #: Per-family (min, max) task counts the generator draws from.  Sizes are
 #: kept small enough that the ILP stays fast even on infeasible instances
-#: (where the relax-N loop tries every bound).
+#: (where the relax-N loop tries every bound).  The ``huge`` family is the
+#: deliberate exception: big enough that every scenario actually coarsens
+#: (task count far above the multilevel partitioner's ``max_coarse_tasks``).
 _TASK_COUNT_RANGES: Dict[str, Tuple[int, int]] = {
     "layered": (4, 13),
     "fanout": (4, 12),
     "chain": (2, 16),
     "diamond": (4, 13),
     "degenerate": (1, 6),
+    HUGE_FAMILY: (300, 800),
 }
 
 #: Skew profiles for drawing delays/areas: ``uniform`` spreads evenly,
@@ -257,12 +280,33 @@ def _build_degenerate(rng: random.Random, seed: int, task_count: int) -> TaskGra
     return graph
 
 
+def _build_huge(rng: random.Random, seed: int, task_count: int) -> TaskGraph:
+    """Hundreds-of-tasks layered DAGs (the multilevel scale family).
+
+    Structurally the ``layered`` family at 20-100x the size, with the wide
+    levels and sparse wiring of the ``random_layered_10k/50k/100k`` workload
+    tiers — the shape the multilevel coarsener is built for.  Kept a pure
+    function of ``(seed, task_count)`` like every family, so huge failures
+    shrink down the same ladder as small ones.
+    """
+    return random_dsp_task_graph(
+        task_count=task_count,
+        seed=rng.randrange(2 ** 31),
+        max_level_width=rng.randint(8, 24),
+        words_range=(1, rng.choice((8, 24, 48))),
+        edge_probability=0.08,
+        env_io_words=rng.randint(0, 16),
+        name=f"verify-huge-s{seed}-n{task_count}",
+    )
+
+
 _BUILDERS = {
     "layered": _build_layered,
     "fanout": _build_fanout,
     "chain": _build_chain,
     "diamond": _build_diamond,
     "degenerate": _build_degenerate,
+    HUGE_FAMILY: _build_huge,
 }
 
 
@@ -270,7 +314,7 @@ def build_family_graph(family: str, seed: int, task_count: int) -> TaskGraph:
     """Build the deterministic graph of ``(family, seed, task_count)``."""
     if family not in _BUILDERS:
         raise WorkloadError(
-            f"unknown scenario family {family!r}; known: {', '.join(FAMILIES)}"
+            f"unknown scenario family {family!r}; known: {', '.join(ALL_FAMILIES)}"
         )
     if task_count < 1:
         raise SpecificationError("task_count must be >= 1")
@@ -316,6 +360,21 @@ class Scenario:
             memory_words=self.memory_words,
             reconfiguration_time=self.reconfiguration_time,
         )
+
+    @property
+    def primary_partitioner(self) -> str:
+        """The primary implementation this scenario is verified under.
+
+        The exact ILP for every small family; the multilevel pre-partitioner
+        for the ``huge`` family, where a flat exact solve is intractable.
+        The oracles read this to know which optimality claims apply (a
+        heuristic primary makes no "never beaten" promise).
+        """
+        return "multilevel" if self.family == HUGE_FAMILY else "ilp"
+
+    def implementations(self) -> Tuple[str, str]:
+        """The ``(primary, baseline)`` partitioner pair the harness runs."""
+        return (self.primary_partitioner, "list")
 
     def flow_options(self, partitioner: str = "ilp") -> FlowOptions:
         """Flow options for one implementation under test."""
@@ -391,14 +450,14 @@ def generate_scenario(
     if not families:
         raise SpecificationError("families must not be empty")
     for name in families:
-        if name not in FAMILIES:
+        if name not in ALL_FAMILIES:
             raise WorkloadError(
-                f"unknown scenario family {name!r}; known: {', '.join(FAMILIES)}"
+                f"unknown scenario family {name!r}; known: {', '.join(ALL_FAMILIES)}"
             )
     chosen = family or families[index % len(families)]
-    if chosen not in FAMILIES:
+    if chosen not in ALL_FAMILIES:
         raise WorkloadError(
-            f"unknown scenario family {chosen!r}; known: {', '.join(FAMILIES)}"
+            f"unknown scenario family {chosen!r}; known: {', '.join(ALL_FAMILIES)}"
         )
     seed = scenario_seed(base_seed, index)
     rng = random.Random(f"verify:scenario:{seed}:{chosen}")
@@ -408,6 +467,31 @@ def generate_scenario(
 
     max_task_clbs = max(task.clbs for task in graph.tasks())
     total_clbs = sum(task.clbs for task in graph.tasks())
+
+    if chosen == HUGE_FAMILY:
+        # Loose budgets only: the huge family verifies the multilevel flow
+        # at scale, not infeasibility handling — an infeasible 600-task
+        # instance would grind the differential baseline through its whole
+        # relax loop for nothing.  The area budget still forces several
+        # partitions, so the coarse solve stays non-trivial.
+        capacity = max(
+            max_task_clbs * 4, int(total_clbs * rng.uniform(0.12, 0.35))
+        )
+        edge_words = [graph.edge_words(p, c) for p, c in graph.edges()]
+        env_words = graph.total_env_input_words() + graph.total_env_output_words()
+        demand = sum(edge_words) + env_words
+        floor = max(max(edge_words, default=0) * 2, 32)
+        memory_words = max(floor, int(demand * rng.uniform(1.2, 2.0)) + 64)
+        return Scenario(
+            family=chosen,
+            seed=seed,
+            task_count=task_count,
+            clb_capacity=capacity,
+            memory_words=memory_words,
+            reconfiguration_time=rng.choice(_CT_CHOICES),
+            memory_profile="loose",
+        )
+
     tight_area = rng.random() < 0.4
     if tight_area:
         capacity = max(max_task_clbs, int(total_clbs * rng.uniform(0.3, 0.7)))

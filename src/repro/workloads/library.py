@@ -8,7 +8,9 @@ Five workload families ship with the library:
   ``examples/fir_filterbank_partitioning.py``; costs come from the HLS
   estimator inside the flow;
 * ``random_layered`` — seeded random layered DAGs with DSP-like statistics
-  (deterministic: same seed, same graph, same canonical hash);
+  (deterministic: same seed, same graph, same canonical hash), plus the
+  ``random_layered_10k/50k/100k`` huge tiers (tag ``"huge"``, excluded from
+  ``--workload all``) that exercise the multilevel pre-partitioner;
 * ``wavelet_pyramid`` — a dyadic discrete-wavelet-transform analysis
   pyramid (per-level low/high-pass pairs with decimating data volumes);
 * ``matmul_pipeline`` — a two-stage blocked matrix-product pipeline
@@ -137,6 +139,64 @@ def build_random_layered_graph(
         max_level_width=max_level_width,
         name=f"random_layered-{task_count}-s{seed}",
     )
+
+
+# ---------------------------------------------------------------------------
+# Huge random layered DAGs (the multilevel pre-partitioner tier)
+# ---------------------------------------------------------------------------
+
+def _huge_options():
+    return FlowOptions(partitioner="multilevel")
+
+
+def _register_huge_random_layered(
+    label: str, task_count: int, clb_capacity: int
+) -> None:
+    """Register one ``random_layered_<label>`` huge-graph workload.
+
+    The ``"huge"`` tag keeps these out of ``workload_names(exclude_tags=
+    ("huge",))`` — i.e. out of every ``--workload all`` batch — so the
+    10k-100k-node tiers only run when named explicitly (benchmarks, the
+    ``verify_huge`` scenario family).  Their flow options select the
+    multilevel pre-partitioner: the flat partitioners are intractable at
+    this scale.
+    """
+
+    @register_workload(
+        f"random_layered_{label}",
+        description=(
+            f"{task_count:,}-task seeded random layered DAG solved through "
+            "the multilevel pre-partitioner (tag 'huge': excluded from "
+            "--workload all)"
+        ),
+        default_params={
+            "task_count": task_count,
+            "seed": 0,
+            "max_level_width": 24,
+        },
+        system=lambda: generic_system(
+            clb_capacity=clb_capacity,
+            memory_words=1 << 20,
+            reconfiguration_time=ms(5),
+        ),
+        flow_options=_huge_options,
+        tags=("synthetic", "seeded", "huge"),
+    )
+    def build_huge_random_layered(
+        task_count: int = task_count, seed: int = 0, max_level_width: int = 24
+    ) -> TaskGraph:
+        return random_dsp_task_graph(
+            task_count=task_count,
+            seed=seed,
+            max_level_width=max_level_width,
+            edge_probability=0.08,
+            name=f"random_layered_{label}-s{seed}",
+        )
+
+
+_register_huge_random_layered("10k", 10_000, 200_000)
+_register_huge_random_layered("50k", 50_000, 1_000_000)
+_register_huge_random_layered("100k", 100_000, 2_000_000)
 
 
 # ---------------------------------------------------------------------------

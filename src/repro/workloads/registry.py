@@ -105,9 +105,18 @@ def get_workload(name: str) -> Workload:
         raise WorkloadError(f"unknown workload {name!r}; known: {known}")
 
 
-def workload_names() -> List[str]:
-    """Sorted names of every registered workload."""
-    return sorted(_REGISTRY)
+def workload_names(exclude_tags: Tuple[str, ...] = ()) -> List[str]:
+    """Sorted names of every registered workload.
+
+    *exclude_tags* drops workloads carrying any of the given tags — batch
+    drivers pass ``("huge",)`` so ``--workload all`` never silently pulls a
+    100k-node graph into an interactive run.
+    """
+    return sorted(
+        name
+        for name, workload in _REGISTRY.items()
+        if not any(tag in workload.tags for tag in exclude_tags)
+    )
 
 
 def iter_workloads() -> Iterator[Workload]:

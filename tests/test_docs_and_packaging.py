@@ -96,7 +96,7 @@ class TestExamples:
 
 class TestPublicApi:
     def test_version_string(self):
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.6.0"
 
     @pytest.mark.parametrize(
         "module_name",

@@ -1,0 +1,138 @@
+"""Tests for the nonenumerative k-longest-paths analysis (repro.taskgraph.kpaths)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.taskgraph import (
+    Task,
+    TaskGraph,
+    clb_cost,
+    count_root_to_leaf_paths,
+    critical_path,
+    edge_criticalities,
+    fork_join,
+    k_longest_path_delays,
+    k_longest_paths,
+    longest_path_through,
+    path_delay,
+    random_dsp_task_graph,
+    root_to_leaf_paths,
+    root_to_leaf_paths_by_delay,
+)
+
+
+def diamond_chain(motifs, *, delay_step=0.5):
+    """``motifs`` diamonds in series: exactly ``2**motifs`` root-leaf paths.
+
+    Delays are small multiples of 0.5 (exact in binary), so every path sum
+    is exact and bitwise comparisons carry no ulp caveats.
+    """
+    graph = TaskGraph(f"diamond_chain_{motifs}")
+    previous = None
+    for index in range(motifs):
+        head = f"h{index:03d}"
+        top = f"t{index:03d}"
+        bottom = f"b{index:03d}"
+        for offset, name in enumerate((head, top, bottom)):
+            graph.add_task(
+                Task(name, cost=clb_cost(10, delay_step * (offset + 1)))
+            )
+        if previous is not None:
+            graph.add_edge(previous, head, 4)
+        graph.add_edge(head, top, 4)
+        graph.add_edge(head, bottom, 4)
+        tail = f"j{index:03d}"
+        graph.add_task(Task(tail, cost=clb_cost(10, delay_step)))
+        graph.add_edge(top, tail, 4)
+        graph.add_edge(bottom, tail, 4)
+        previous = tail
+    return graph
+
+
+SMALL_GRAPHS = [
+    fork_join(branch_count=4),
+    random_dsp_task_graph(task_count=18, seed=3, max_level_width=4),
+    diamond_chain(3),
+]
+
+
+class TestKLongestPathDelays:
+    @pytest.mark.parametrize("graph", SMALL_GRAPHS, ids=lambda g: g.name)
+    def test_matches_enumeration_bitwise(self, graph):
+        enumerated = sorted(
+            (path_delay(graph, path) for path in root_to_leaf_paths(graph)),
+            reverse=True,
+        )
+        for k in (1, 2, len(enumerated), len(enumerated) + 5):
+            delays = k_longest_path_delays(graph, k)
+            assert [float(d).hex() for d in delays] == [
+                float(d).hex() for d in enumerated[:k]
+            ]
+
+    def test_top1_is_the_critical_path(self):
+        graph = random_dsp_task_graph(task_count=30, seed=7)
+        _, expected = critical_path(graph)
+        assert float(k_longest_path_delays(graph, 1)[0]).hex() == float(expected).hex()
+
+    def test_k_below_one_rejected(self):
+        graph = fork_join()
+        with pytest.raises(GraphError):
+            k_longest_path_delays(graph, 0)
+        with pytest.raises(GraphError):
+            k_longest_paths(graph, -1)
+
+    def test_no_enumeration_needed_on_exponential_graphs(self):
+        # 2**40 paths: enumeration is hopeless, the tables are trivial.
+        graph = diamond_chain(40)
+        assert count_root_to_leaf_paths(graph) == 2**40
+        cp_path, cp_delay = critical_path(graph)
+        delays = k_longest_path_delays(graph, 8)
+        assert len(delays) == 8
+        assert float(delays[0]).hex() == float(cp_delay).hex()
+        assert delays == sorted(delays, reverse=True)
+        # The reconstructed winner is the critical path itself.
+        paths = k_longest_paths(graph, 1)
+        assert paths[0][0] == tuple(cp_path)
+
+    def test_deterministic(self):
+        graph = random_dsp_task_graph(task_count=24, seed=11)
+        assert k_longest_paths(graph, 6) == k_longest_paths(graph, 6)
+
+
+class TestPathSetGeneration:
+    @pytest.mark.parametrize("graph", SMALL_GRAPHS, ids=lambda g: g.name)
+    def test_full_path_set_matches_enumeration(self, graph):
+        by_delay = root_to_leaf_paths_by_delay(graph)
+        assert set(by_delay) == {tuple(p) for p in root_to_leaf_paths(graph)}
+        delays = [path_delay(graph, path) for path in by_delay]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_over_limit_raises_before_materialising_any_path(self):
+        graph = diamond_chain(40)  # 2**40 paths; must fail fast
+        with pytest.raises(GraphError, match="more than 1000"):
+            root_to_leaf_paths_by_delay(graph, limit=1000)
+
+    def test_no_limit_means_no_guard(self):
+        graph = diamond_chain(3)
+        assert len(root_to_leaf_paths_by_delay(graph, limit=None)) == 8
+
+
+class TestCriticalities:
+    def test_task_criticality_peaks_at_the_critical_delay(self):
+        graph = diamond_chain(5)
+        cp_path, cp_delay = critical_path(graph)
+        through = longest_path_through(graph)
+        assert set(through) == set(graph.task_names())
+        assert float(max(through.values())).hex() == float(cp_delay).hex()
+        # Every task on the critical path sees the full critical delay.
+        for name in cp_path:
+            assert float(through[name]).hex() == float(cp_delay).hex()
+
+    def test_edge_criticality_peaks_at_the_critical_delay(self):
+        graph = diamond_chain(5)
+        _, cp_delay = critical_path(graph)
+        per_edge = edge_criticalities(graph)
+        assert set(per_edge) == set(graph.edges())
+        assert float(max(per_edge.values())).hex() == float(cp_delay).hex()
+        # No path through an edge can beat the critical path.
+        assert all(value <= cp_delay for value in per_edge.values())

@@ -6,16 +6,19 @@ from repro.arch import clbs
 from repro.errors import PartitioningError, PartitionValidationError
 from repro.ilp import SolveStatus, solve
 from repro.partition import (
+    MULTILEVEL_INNER_CHOICES,
     FormulationOptions,
     IlpTemporalPartitioner,
     LevelClusteringPartitioner,
     ListTemporalPartitioner,
+    MultilevelPartitioner,
     PartitionProblem,
     TemporalPartitioning,
     TemporalPartitioningFormulation,
     assert_valid,
     compare_partitionings,
     compute_metrics,
+    multilevel_inner,
     partition_summary_rows,
     validate_partitioning,
 )
@@ -266,6 +269,69 @@ class TestHeuristicPartitioners:
         problem = make_problem(graph, clb_capacity=250, memory_words=60, ct=ms(1))
         result = ListTemporalPartitioner().partition(problem)
         assert_valid(problem, result)
+
+
+class TestMultilevelPartitioner:
+    def test_valid_and_deterministic_on_a_large_graph(self):
+        graph = random_dsp_task_graph(task_count=400, seed=0, max_level_width=12)
+        problem = make_problem(
+            graph, clb_capacity=20 * 400, memory_words=1 << 16, ct=ms(5)
+        )
+        partitioner = MultilevelPartitioner()
+        result = partitioner.partition(problem)
+        assert_valid(problem, result)
+
+        report = partitioner.last_report
+        assert report.level_sizes[0] == 400
+        assert report.coarse_tasks <= partitioner.max_coarse_tasks
+        assert result.method.startswith("multilevel[portfolio,")
+
+        again = MultilevelPartitioner().partition(problem)
+        assert again.assignment == result.assignment
+        assert again.method == result.method
+
+    def test_small_graph_skips_coarsening(self):
+        graph = random_dsp_task_graph(task_count=12, seed=2)
+        problem = make_problem(graph, clb_capacity=800, memory_words=4096, ct=ms(10))
+        partitioner = MultilevelPartitioner()
+        result = partitioner.partition(problem)
+        assert_valid(problem, result)
+        # Already below the coarse target: one level, no merge pass ran.
+        assert partitioner.last_report.level_sizes == [12]
+        assert result.method == "multilevel[portfolio,0lv,12t]"
+
+    @pytest.mark.parametrize("inner", MULTILEVEL_INNER_CHOICES)
+    def test_every_inner_engine_solves_the_coarse_graph(self, inner):
+        graph = random_dsp_task_graph(task_count=120, seed=1, max_level_width=8)
+        # 30 CLBs/task keeps the coarse packing loose enough that the exact
+        # inner engines solve it in milliseconds, not minutes.
+        problem = make_problem(
+            graph, clb_capacity=30 * 120, memory_words=1 << 16, ct=ms(5)
+        )
+        partitioner = MultilevelPartitioner(inner=inner, max_coarse_tasks=12)
+        result = partitioner.partition(problem)
+        assert_valid(problem, result)
+        assert partitioner.last_report.inner == inner
+        assert result.method.startswith(f"multilevel[{inner},")
+
+    def test_inner_name_parsing(self):
+        assert multilevel_inner("multilevel") == "portfolio"
+        assert multilevel_inner("multilevel:list") == "list"
+        assert multilevel_inner("ilp") is None
+        with pytest.raises(PartitioningError, match="unknown multilevel inner"):
+            multilevel_inner("multilevel:bogus")
+
+    def test_constructor_validation(self):
+        with pytest.raises(PartitioningError):
+            MultilevelPartitioner(inner="bogus")
+        with pytest.raises(PartitioningError):
+            MultilevelPartitioner(max_coarse_tasks=0)
+        with pytest.raises(PartitioningError):
+            MultilevelPartitioner(cluster_cap_fraction=0.0)
+        with pytest.raises(PartitioningError):
+            MultilevelPartitioner(cluster_cap_fraction=1.5)
+        with pytest.raises(PartitioningError):
+            MultilevelPartitioner(max_refine_moves=-1)
 
 
 class TestValidationAndMetrics:

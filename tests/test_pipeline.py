@@ -264,7 +264,7 @@ class TestDeltaEvaluation:
         latencies = [r.design.partitioning.total_latency for r in batch]
         assert latencies == sorted(latencies) and len(set(latencies)) == 3
 
-    @pytest.mark.parametrize("name", sorted(workload_names()))
+    @pytest.mark.parametrize("name", sorted(workload_names(exclude_tags=("huge",))))
     def test_incremental_metrics_bit_identical_to_cold_run(self, name):
         """ISSUE-4 acceptance: delta evaluation == cold full flow, bitwise."""
         base_ct, new_ct = ms(3), ms(7)

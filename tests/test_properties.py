@@ -34,7 +34,15 @@ from repro.partition import (
     PartitionProblem,
     validate_partitioning,
 )
-from repro.taskgraph import partition_lower_bound
+from repro.taskgraph import (
+    count_root_to_leaf_paths,
+    critical_path,
+    k_longest_path_delays,
+    k_longest_paths,
+    partition_lower_bound,
+    path_delay,
+    root_to_leaf_paths,
+)
 from repro.units import ceil_div, next_power_of_two
 from repro.simulate import RtrExecutionSimulator
 
@@ -199,6 +207,60 @@ def test_memory_map_boundaries_match_partitioning(graph, system):
 
     for boundary in range(1, result.partition_count):
         assert boundary_words_from_map(memory_map, boundary) == result.boundary_words(boundary)
+
+
+# ---------------------------------------------------------------------------
+# Nonenumerative k-longest-paths invariants
+# ---------------------------------------------------------------------------
+
+#: All five small verification families, reconvergent and degenerate alike —
+#: the k-paths analysis must agree with enumeration on every shape.
+_KPATHS_FAMILIES = strat.CONNECTED_FAMILIES + ("degenerate",)
+
+
+@given(strat.task_graphs(families=_KPATHS_FAMILIES, min_tasks=1, max_tasks=16))
+@settings(max_examples=40, deadline=None)
+def test_kpaths_top1_is_the_critical_path_bitwise(graph):
+    """The nonenumerative top-1 delay equals the critical-path DP, bitwise."""
+    _, expected = critical_path(graph)
+    top1 = k_longest_path_delays(graph, 1)
+    assert len(top1) == 1
+    assert float(top1[0]).hex() == float(expected).hex()
+
+
+@given(
+    strat.task_graphs(families=_KPATHS_FAMILIES, min_tasks=1, max_tasks=14),
+    st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=40, deadline=None)
+def test_kpaths_multiset_matches_enumeration_bitwise(graph, k):
+    """Top-k delays == the k largest enumerated path delays, bit-identical."""
+    enumerated = sorted(
+        (path_delay(graph, path) for path in root_to_leaf_paths(graph)),
+        reverse=True,
+    )
+    top = k_longest_path_delays(graph, k)
+    assert [float(d).hex() for d in top] == [
+        float(d).hex() for d in enumerated[:k]
+    ]
+
+
+@given(strat.task_graphs(families=_KPATHS_FAMILIES, min_tasks=1, max_tasks=14))
+@settings(max_examples=25, deadline=None)
+def test_kpaths_reconstructed_paths_are_real_and_distinct(graph):
+    """Reconstructed paths are genuine root-to-leaf paths, each counted once,
+    and each reported delay is bitwise the delay of its own path."""
+    count = count_root_to_leaf_paths(graph)
+    results = k_longest_paths(graph, min(count, 25))
+    seen = set()
+    for path, delay in results:
+        assert path not in seen
+        seen.add(path)
+        assert not graph.predecessors(path[0])
+        assert not graph.successors(path[-1])
+        for producer, consumer in zip(path, path[1:]):
+            assert consumer in graph.successors(producer)
+        assert float(path_delay(graph, path)).hex() == float(delay).hex()
 
 
 # ---------------------------------------------------------------------------

@@ -129,6 +129,52 @@ class TestTaskGraph:
             two_task_graph.add_edge("a", "c", words=-1)
 
 
+class TestBulkEdgeInsertion:
+    @staticmethod
+    def _nodes(count):
+        graph = TaskGraph("bulk")
+        for index in range(count):
+            graph.add_task(Task(f"t{index}", cost=clb_cost(10, ns(100))))
+        return graph
+
+    def test_matches_serial_add_edge(self):
+        edges = [("t0", "t1", 4), ("t1", "t2", 8), ("t0", "t3", 2), ("t3", "t2", 6)]
+        bulk = self._nodes(4)
+        bulk.add_edges(edges)
+        serial = self._nodes(4)
+        for producer, consumer, words in edges:
+            serial.add_edge(producer, consumer, words)
+        assert sorted(bulk.edges()) == sorted(serial.edges())
+        for producer, consumer, words in edges:
+            assert bulk.edge_words(producer, consumer) == words
+        bulk.validate()
+
+    @pytest.mark.parametrize(
+        "bad_edges, error",
+        [
+            ([("t0", "t1", 4), ("t1", "t0", 4)], CycleError),
+            ([("t0", "t1", 4), ("t0", "t1", 4)], GraphError),
+            ([("t0", "t1", 4), ("t1", "t1", 4)], GraphError),
+            ([("t0", "t1", 4), ("t1", "t2", -1)], GraphError),
+            ([("t0", "t1", 4), ("t1", "zzz", 4)], UnknownTaskError),
+        ],
+        ids=["cycle", "duplicate", "self-edge", "negative-words", "unknown-task"],
+    )
+    def test_any_failure_rolls_back_every_edge(self, bad_edges, error):
+        graph = self._nodes(3)
+        with pytest.raises(error):
+            graph.add_edges(bad_edges)
+        # The good prefix must not survive the failed bulk call.
+        assert graph.edge_count() == 0
+
+    def test_rollback_preserves_preexisting_edges(self):
+        graph = self._nodes(3)
+        graph.add_edge("t0", "t1", 4)
+        with pytest.raises(CycleError):
+            graph.add_edges([("t1", "t2", 4), ("t2", "t0", 4)])
+        assert sorted(graph.edges()) == [("t0", "t1")]
+
+
 class TestAnalysis:
     def test_root_to_leaf_paths_pipeline(self):
         graph = linear_pipeline([10, 10, 10], [ns(1), ns(2), ns(3)])

@@ -24,9 +24,12 @@ from repro.runtime.engine import EngineConfig
 from repro.synth.flow_engine import FlowEngine, FlowJob, FlowReport
 from repro.synth.stages import graph_content_digest
 from repro.verify import (
+    ALL_FAMILIES,
     FAMILIES,
+    HUGE_FAMILY,
     FeasibilityOracle,
     IlpNotWorseOracle,
+    KPathsOracle,
     MemoryLegalityOracle,
     Oracle,
     PartitionValidityOracle,
@@ -207,6 +210,68 @@ class TestWorkloadCatalog:
 
 
 # ---------------------------------------------------------------------------
+# The opt-in huge scale family
+# ---------------------------------------------------------------------------
+
+class TestHugeScaleFamily:
+    def test_huge_family_is_opt_in(self):
+        assert HUGE_FAMILY not in FAMILIES
+        assert ALL_FAMILIES == FAMILIES + (HUGE_FAMILY,)
+        # The default round-robin stream never draws it.
+        assert all(s.family != HUGE_FAMILY for s in generate_scenarios(15, 0))
+
+    def test_huge_scenarios_get_loose_budgets_and_a_multilevel_primary(self):
+        for index in range(3):
+            scenario = generate_scenario(index, 0, families=(HUGE_FAMILY,))
+            assert scenario.family == HUGE_FAMILY
+            assert 300 <= scenario.task_count <= 800
+            assert scenario.memory_profile == "loose"
+            assert scenario.primary_partitioner == "multilevel"
+            assert scenario.implementations() == ("multilevel", "list")
+
+    def test_small_families_keep_the_exact_primary(self):
+        assert FEASIBLE.primary_partitioner == "ilp"
+        assert FEASIBLE.implementations() == ("ilp", "list")
+
+    def test_huge_graphs_build_deterministically(self):
+        scenario = generate_scenario(0, 0, families=(HUGE_FAMILY,))
+        graph = scenario.build_graph()
+        assert len(graph) == scenario.task_count
+        assert all(task.has_cost for task in graph.tasks())
+        assert graph_content_digest(graph) == (
+            graph_content_digest(scenario.build_graph())
+        )
+
+    def test_huge_family_shrinks_to_tiny_graphs(self):
+        # The shrinker rebuilds failing scenarios at smaller node counts,
+        # so the builder must stay well-defined down to one task.
+        for count in (1, 2, 5):
+            assert len(build_family_graph(HUGE_FAMILY, 3, count)) == count
+
+    def test_verify_huge_workload_registered(self):
+        from repro.workloads import get_workload
+
+        workload = get_workload(f"verify_{HUGE_FAMILY}")
+        assert "huge" in workload.tags
+        assert workload.flow_options().partitioner == "multilevel"
+
+    def test_huge_end_to_end_run_is_green_and_byte_stable(self, tmp_path):
+        for name in ("a", "b"):
+            report = Verifier(
+                VerifyConfig(scenarios=1, seed=0, families=(HUGE_FAMILY,),
+                             store_path=tmp_path / f"{name}.jsonl")
+            ).run()
+            assert report.ok
+            record = report.records[0]
+            assert record.scenario.family == HUGE_FAMILY
+            skipped = [v for v in record.verdicts if v.status == "skip"]
+            assert [v.oracle for v in skipped] == ["ilp-not-worse"]
+        assert (tmp_path / "a.jsonl").read_bytes() == (
+            (tmp_path / "b.jsonl").read_bytes()
+        )
+
+
+# ---------------------------------------------------------------------------
 # Fault injection: every oracle must catch its deliberately broken input
 # ---------------------------------------------------------------------------
 
@@ -215,7 +280,8 @@ class TestOracleFaultInjection:
         artifacts = build_artifacts(tmp_path)
         for oracle in (IlpNotWorseOracle(), FeasibilityOracle(),
                        TimingModelOracle(), WarmColdOracle(),
-                       MemoryLegalityOracle(), PartitionValidityOracle()):
+                       MemoryLegalityOracle(), PartitionValidityOracle(),
+                       KPathsOracle()):
             verdict = oracle.check(artifacts)
             assert verdict.status == "pass", (oracle.name, verdict.detail)
 
@@ -349,6 +415,66 @@ class TestOracleFaultInjection:
         verdict = PartitionValidityOracle().check(artifacts)
         assert verdict.failed
         assert "temporal order violated" in verdict.detail
+
+    def test_ilp_not_worse_skips_for_a_heuristic_primary(self, tmp_path):
+        artifacts = build_artifacts(tmp_path)
+        artifacts.primary_partitioner = "multilevel"
+        assert not artifacts.primary_is_exact
+        verdict = IlpNotWorseOracle().check(artifacts)
+        assert verdict.status == "skip"
+        assert "no never-beaten optimality claim" in verdict.detail
+
+    def test_feasibility_tolerates_a_heuristic_primary_dead_end(self, tmp_path):
+        artifacts = build_artifacts(tmp_path)
+        artifacts.primary_partitioner = "multilevel"
+        artifacts.ilp_report = failed_partition_report(artifacts.ilp_report.job)
+        verdict = FeasibilityOracle().check(artifacts)
+        assert verdict.status == "pass"
+        assert "dead-ended on an instance the list scheduler solved" in verdict.detail
+        assert verdict.data["list_partitions"] >= 1
+
+    def test_kpaths_oracle_catches_a_broken_top1(self, tmp_path, monkeypatch):
+        from repro.taskgraph import k_longest_path_delays as real
+
+        artifacts = build_artifacts(tmp_path)
+        monkeypatch.setattr(
+            "repro.verify.oracles.k_longest_path_delays",
+            lambda graph, k: [delay * 2 for delay in real(graph, k)],
+        )
+        verdict = KPathsOracle().check(artifacts)
+        assert verdict.failed
+        assert "critical-path DP" in verdict.detail
+
+    def test_kpaths_oracle_catches_a_drifting_tail(self, tmp_path, monkeypatch):
+        from repro.taskgraph import count_root_to_leaf_paths
+        from repro.taskgraph import k_longest_path_delays as real
+
+        artifacts = build_artifacts(tmp_path)
+        # The feasible chain has a single path; swap in a reconvergent graph
+        # so the multiset comparison has a tail to drift.
+        artifacts.graph = build_family_graph("layered", 0, 10)
+        assert count_root_to_leaf_paths(artifacts.graph) > 1
+
+        def drifting(graph, k):
+            delays = real(graph, k)
+            # Top-1 intact (passes the critical-path cross-check), the rest
+            # off by one ulp-scale factor — exactly the bug class the
+            # bitwise multiset comparison exists to catch.
+            return delays[:1] + [delay * (1 + 1e-12) for delay in delays[1:]]
+
+        monkeypatch.setattr("repro.verify.oracles.k_longest_path_delays", drifting)
+        verdict = KPathsOracle().check(artifacts)
+        assert verdict.failed
+        assert "diverge from enumeration" in verdict.detail
+        assert verdict.data["rank"] >= 1
+
+    def test_kpaths_oracle_skips_enumeration_past_the_budget(self, tmp_path, monkeypatch):
+        artifacts = build_artifacts(tmp_path)
+        monkeypatch.setattr("repro.verify.oracles.KPATHS_ENUM_LIMIT", 0)
+        verdict = KPathsOracle().check(artifacts)
+        assert verdict.status == "pass"
+        assert "enumeration budget" in verdict.detail
+        assert verdict.data["path_count"] >= 1
 
     def test_design_fingerprint_is_content_sensitive(self, tmp_path):
         artifacts = build_artifacts(tmp_path)
