@@ -1,0 +1,247 @@
+"""Load generator for the design-flow service daemon (``repro serve``).
+
+Drives an in-process daemon (:func:`repro.serve.start_in_background`)
+through the blocking client, exactly the way external clients would, and
+measures the three temperatures the service exists for:
+
+* **cold** — N distinct ``random_layered`` jobs (different graph seeds, so
+  every one is a genuine end-to-end solve), submitted closed-loop;
+* **warm** — the same N specs resubmitted to the same daemon: every ack is
+  ``coalesced-cached`` and the answer comes straight from the completed
+  entry, so the per-request latency is pure service overhead;
+* **concurrent duplicates** — M clients submit one identical ``jpeg_dct``
+  spec simultaneously against a *fresh* daemon (fresh private cache): the
+  queue must coalesce them onto exactly one partition solve, verified from
+  the summed worker-engine ``cache_misses`` counter.
+
+It also replays the cold run against a second fresh daemon and asserts the
+canonically encoded results are byte-identical — the service keeps the
+repo's determinism contract.
+
+Reported metrics (``BENCH_serve.json``): requests/sec plus p50/p99/mean
+latency per temperature, ``warm_speedup_vs_cold``,
+``concurrent_duplicate_solves`` and the byte-identity flag.  Gated by
+``check_regression.py``: the warm path must stay an order of magnitude
+faster than cold, warm throughput must not collapse, and the duplicate
+phase must never run a second solve.
+
+Environment knobs for constrained runners:
+
+* ``REPRO_BENCH_SERVE_JOBS`` — distinct cold jobs (default 8);
+* ``REPRO_BENCH_SERVE_DUPES`` — concurrent duplicate clients (default 16);
+* ``REPRO_BENCH_SERVE_WORKERS`` — daemon worker count (default 2);
+* ``REPRO_BENCH_STRICT=0`` — measure and print, skip the hard assertions.
+
+Run standalone (``python benchmarks/bench_serve.py [--smoke]``) or under
+pytest; ``--smoke`` presets a small cold batch with no strict assertions.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Tuple
+
+from bench_utils import record
+
+from repro.serve import (
+    FlowServiceClient,
+    JobSpec,
+    ServeConfig,
+    encode_result,
+    start_in_background,
+)
+
+COLD_JOBS = int(os.environ.get("REPRO_BENCH_SERVE_JOBS", "8"))
+DUPLICATE_CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_DUPES", "16"))
+WORKERS = int(os.environ.get("REPRO_BENCH_SERVE_WORKERS", "2"))
+
+
+def _cold_specs() -> List[JobSpec]:
+    """N distinct design problems: different graph seeds, no dedup."""
+    return [
+        JobSpec(workload="random_layered", params={"seed": seed})
+        for seed in range(COLD_JOBS)
+    ]
+
+
+def _percentile(sorted_ms: List[float], fraction: float) -> float:
+    index = min(len(sorted_ms) - 1, int(fraction * len(sorted_ms)))
+    return sorted_ms[index]
+
+
+def _latency_summary(latencies_s: List[float]) -> Dict[str, float]:
+    ordered = sorted(seconds * 1e3 for seconds in latencies_s)
+    total = sum(latencies_s)
+    return {
+        "requests": len(ordered),
+        "requests_per_sec": len(ordered) / total if total else 0.0,
+        "mean_ms": sum(ordered) / len(ordered),
+        "p50_ms": _percentile(ordered, 0.50),
+        "p99_ms": _percentile(ordered, 0.99),
+    }
+
+
+def _run_closed_loop(
+    client: FlowServiceClient, specs: List[JobSpec]
+) -> Tuple[List[float], List[str], List[str]]:
+    """Submit + wait + fetch each spec in turn; per-request wall latencies."""
+    latencies: List[float] = []
+    encoded: List[str] = []
+    dispositions: List[str] = []
+    for spec in specs:
+        start = time.perf_counter()
+        ack = client.submit(spec)
+        client.wait(ack["job_id"], timeout=600)
+        payload = client.result(ack["job_id"])
+        latencies.append(time.perf_counter() - start)
+        dispositions.append(ack["disposition"])
+        assert payload["state"] == "done", (
+            f"{spec.workload} seed {spec.seed} failed: {payload}"
+        )
+        encoded.append(encode_result(payload["result"]))
+    return latencies, encoded, dispositions
+
+
+def test_cold_warm_and_duplicate_load():
+    strict = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+    specs = _cold_specs()
+    print()
+    print(
+        f"serve load: {len(specs)} distinct jobs, {DUPLICATE_CLIENTS} "
+        f"duplicate clients, {WORKERS} workers, {os.cpu_count()} CPU(s)"
+    )
+
+    # ------------------------------------------------------------------
+    # Cold + warm against one daemon (private cache: nothing pre-warmed).
+    # ------------------------------------------------------------------
+    with start_in_background(ServeConfig(port=0, workers=WORKERS)) as handle:
+        client = FlowServiceClient(handle.url)
+        cold_latencies, cold_bytes, cold_dispositions = _run_closed_loop(
+            client, specs
+        )
+        assert all(d == "queued" for d in cold_dispositions)
+        warm_latencies, warm_bytes, warm_dispositions = _run_closed_loop(
+            client, specs
+        )
+        assert all(d == "coalesced-cached" for d in warm_dispositions)
+        assert warm_bytes == cold_bytes
+        stats = client.stats()
+        assert stats["pool"]["jobs_run"] == len(specs)
+
+    cold = _latency_summary(cold_latencies)
+    warm = _latency_summary(warm_latencies)
+    warm_speedup = cold["mean_ms"] / warm["mean_ms"]
+    print(
+        f"  cold: {cold['requests_per_sec']:7.1f} req/s   "
+        f"p50 {cold['p50_ms']:8.2f} ms   p99 {cold['p99_ms']:8.2f} ms"
+    )
+    print(
+        f"  warm: {warm['requests_per_sec']:7.1f} req/s   "
+        f"p50 {warm['p50_ms']:8.2f} ms   p99 {warm['p99_ms']:8.2f} ms   "
+        f"({warm_speedup:.1f}x faster than cold)"
+    )
+
+    # ------------------------------------------------------------------
+    # Concurrent identical submissions against a fresh daemon.
+    # ------------------------------------------------------------------
+    duplicate_spec = JobSpec(workload="jpeg_dct")
+    barrier = threading.Barrier(DUPLICATE_CLIENTS)
+    results: List[str] = [""] * DUPLICATE_CLIENTS
+    duplicate_latencies: List[float] = [0.0] * DUPLICATE_CLIENTS
+
+    with start_in_background(ServeConfig(port=0, workers=WORKERS)) as handle:
+        url = handle.url
+
+        def one_client(index: int) -> None:
+            client = FlowServiceClient(url)
+            barrier.wait(timeout=60)
+            start = time.perf_counter()
+            ack = client.submit(duplicate_spec)
+            client.wait(ack["job_id"], timeout=600)
+            payload = client.result(ack["job_id"])
+            duplicate_latencies[index] = time.perf_counter() - start
+            results[index] = encode_result(payload["result"])
+
+        threads = [
+            threading.Thread(target=one_client, args=(index,), daemon=True)
+            for index in range(DUPLICATE_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+            assert not thread.is_alive(), "a duplicate client never finished"
+        stats = FlowServiceClient(url).stats()
+
+    duplicate_solves = stats["pool"]["engine"]["cache_misses"]
+    coalesced = stats["queue"]["coalesced"]
+    duplicate = _latency_summary(duplicate_latencies)
+    assert len(set(results)) == 1, "duplicate clients saw different results"
+    print(
+        f"  dupes: {DUPLICATE_CLIENTS} clients -> {duplicate_solves} solve(s), "
+        f"{coalesced} coalesced   p99 {duplicate['p99_ms']:8.2f} ms"
+    )
+
+    # ------------------------------------------------------------------
+    # Determinism: a second fresh daemon replays the cold run bit-for-bit.
+    # ------------------------------------------------------------------
+    with start_in_background(ServeConfig(port=0, workers=WORKERS)) as handle:
+        _, replay_bytes, _ = _run_closed_loop(
+            FlowServiceClient(handle.url), specs
+        )
+    bytes_identical = "\n".join(replay_bytes) == "\n".join(cold_bytes)
+    print(f"  replay: result bytes identical = {bytes_identical}")
+
+    record(
+        "serve",
+        workers=WORKERS,
+        cold_jobs=len(specs),
+        cold_requests_per_sec=cold["requests_per_sec"],
+        cold_mean_ms=cold["mean_ms"],
+        cold_p50_ms=cold["p50_ms"],
+        cold_p99_ms=cold["p99_ms"],
+        warm_requests_per_sec=warm["requests_per_sec"],
+        warm_mean_ms=warm["mean_ms"],
+        warm_p50_ms=warm["p50_ms"],
+        warm_p99_ms=warm["p99_ms"],
+        warm_speedup_vs_cold=warm_speedup,
+        duplicate_clients=DUPLICATE_CLIENTS,
+        concurrent_duplicate_solves=duplicate_solves,
+        concurrent_duplicate_coalesced=coalesced,
+        duplicate_p99_ms=duplicate["p99_ms"],
+        deterministic_result_bytes_identical=bytes_identical,
+    )
+
+    assert bytes_identical, "replayed cold run produced different result bytes"
+    assert duplicate_solves == 1, (
+        f"{DUPLICATE_CLIENTS} identical submissions ran "
+        f"{duplicate_solves} partition solves (expected exactly 1)"
+    )
+    assert coalesced == DUPLICATE_CLIENTS - 1
+    if strict:
+        assert warm_speedup >= 10.0, (
+            f"warm path only {warm_speedup:.1f}x faster than cold "
+            "(claimed >= 10x)"
+        )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small cold batch, no strict assertions")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        os.environ.setdefault("REPRO_BENCH_SERVE_JOBS", "4")
+        os.environ.setdefault("REPRO_BENCH_STRICT", "0")
+    import pytest
+
+    return pytest.main([__file__, "-x", "-q", "-s"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,11 @@ writing Python:
   scenarios: ILP vs. list partitioner, analytic timing vs. the event
   simulator, warm vs. cold caches, memory-map legality — with failing
   scenarios shrunk to minimal counterexamples;
+* ``repro serve`` — run the long-lived design-flow daemon: an async
+  HTTP/JSON API with a bounded deduplicating job queue and N flow-engine
+  workers over the shared caches;
+* ``repro submit`` / ``repro job`` — client commands against a running
+  daemon (submit flow jobs, watch/wait/cancel them, fetch results);
 * ``repro cache stats`` / ``clear`` / ``prune`` — inspect and manage the
   shared disk caches (partition outcomes plus per-stage flow artifacts);
 * ``repro frontier`` — the JPEG-DCT Pareto frontier vs. the paper's own
@@ -379,6 +384,32 @@ def _format_flow_rows(rows: List[dict], fmt: str, stream) -> None:
     stream.write("\n")
 
 
+def _flow_single_rows(args: argparse.Namespace, graph, system, options,
+                      workload: str) -> int:
+    """``repro flow --format json|csv`` without ``--batch``.
+
+    The single-job path shares the batch path's serialisation exactly: one
+    flow job through the flow engine, rows out of
+    :meth:`~repro.synth.flow_engine.FlowReport.row` — so the service
+    client, the batch CLI and the one-shot CLI emit identical shapes.
+    """
+    from .synth.flow_engine import FlowJob
+
+    engine = FlowEngine(config=EngineConfig(workers=0))
+    batch = engine.run_batch([
+        FlowJob(graph=graph, system=system, options=options,
+                tag=graph.name, workload=workload)
+    ])
+    rows = batch.rows()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8", newline="") as stream:
+            _format_flow_rows(rows, args.format, stream)
+    else:
+        _format_flow_rows(rows, args.format, sys.stdout)
+    print(batch.describe(failures_only=True), file=sys.stderr)
+    return 0 if batch.ok else 1
+
+
 def cmd_flow(args: argparse.Namespace) -> int:
     if args.workload and args.taskgraph != "dct":
         print("error: pass either a task-graph file or --workload, not both",
@@ -409,6 +440,8 @@ def cmd_flow(args: argparse.Namespace) -> int:
             partitioner=args.partitioner or "ilp",
             round_memory_blocks=args.round_blocks,
         )
+    if args.format != "table":
+        return _flow_single_rows(args, graph, system, options, args.workload or "")
     design = DesignFlow(system, options).build(graph)
     print(design.describe())
     print()
@@ -608,6 +641,122 @@ def _format_verify_rows(rows: List[dict], fmt: str, stream) -> None:
     _format_rows(
         rows, fmt, stream, "Differential verification", "(no scenarios verified)"
     )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .runtime import default_cache_dir
+    from .serve import FlowServer, ServeConfig
+
+    cache_dir = args.cache_dir
+    if cache_dir is None and not args.private_cache:
+        cache_dir = str(default_cache_dir())
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache_dir=cache_dir,
+        job_timeout=args.job_timeout,
+    )
+
+    async def main() -> None:
+        server = FlowServer(config)
+        await server.start()
+        host, port = server.address
+        print(
+            f"repro serve: listening on http://{host}:{port} "
+            f"({config.workers} worker(s), queue depth {config.queue_depth}, "
+            f"cache {server.cache_dir})",
+            flush=True,
+        )
+        await server.serve_forever()
+        print("repro serve: drained, exiting", flush=True)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass  # signal handler already drained; a second ^C lands here
+    return 0
+
+
+def _submit_specs(args: argparse.Namespace):
+    """Build the (repeated) JobSpec a ``repro submit`` invocation names."""
+    from .serve import JobSpec
+
+    if args.params:
+        try:
+            params = json.loads(args.params)
+        except ValueError as error:
+            raise ReproError(f"--params must be a JSON object: {error}")
+        if not isinstance(params, dict):
+            raise ReproError("--params must be a JSON object")
+    else:
+        params = {}
+    spec = JobSpec(
+        workload=args.workload,
+        params=params,
+        system=args.system,
+        ct_ms=args.ct,
+        partitioner=args.partitioner,
+        seed=args.seed,
+        priority=args.priority,
+        tag=args.tag,
+    )
+    return [spec] * max(args.count, 1)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import FlowServiceClient
+
+    client = FlowServiceClient(args.url)
+    acks = client.submit_many(_submit_specs(args))
+    failures = 0
+    for ack in acks:
+        if "error" in ack:
+            detail = ack["error"]
+            print(f"rejected: [{detail.get('code')}] {detail.get('message')}",
+                  file=sys.stderr)
+            failures += 1
+        else:
+            print(f"{ack['job_id']}  {ack['disposition']}  key={ack['key'][:12]}")
+    if not args.wait:
+        return 1 if failures else 0
+    rows = []
+    for ack in acks:
+        if "error" in ack:
+            continue
+        client.wait(ack["job_id"], timeout=args.timeout)
+        result = client.result(ack["job_id"])
+        row = {"job_id": ack["job_id"], "state": result["state"]}
+        row.update(result.get("result") or {})
+        if result["state"] == "failed":
+            row["error"] = result.get("error", "")
+            failures += 1
+        rows.append(row)
+    if rows:
+        _format_rows(rows, args.format, sys.stdout, "Submitted jobs", "(no jobs)")
+    return 1 if failures else 0
+
+
+def cmd_job(args: argparse.Namespace) -> int:
+    from .serve import FlowServiceClient
+
+    client = FlowServiceClient(args.url)
+    if args.cancel:
+        view = client.cancel(args.job_id)
+    elif args.wait:
+        view = client.wait(args.job_id, timeout=args.timeout)
+    else:
+        view = client.status(args.job_id)
+    if args.result:
+        view = client.result(args.job_id)  # 409 -> structured error exit
+    json.dump(view, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    if view.get("state") == "failed":
+        return 1
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -911,6 +1060,76 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--output", default=None,
                         help="write the rows to this file instead of stdout")
     verify.set_defaults(handler=cmd_verify)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the design-flow service daemon (async HTTP/JSON API with a "
+             "deduplicating job queue and N flow-engine workers)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="port to bind; 0 picks a free port (default: 8787)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="flow-engine workers draining the queue (default: 2)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="queued jobs accepted before 429 back-pressure "
+                            "(default: 64)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="shared cache root for partition outcomes and stage "
+                            "artifacts (default: .repro-cache / $REPRO_CACHE_DIR)")
+    serve.add_argument("--private-cache", action="store_true",
+                       help="use a private temporary cache that dies with the "
+                            "daemon instead of the shared root")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       help="per-job wall-clock limit in seconds")
+    serve.set_defaults(handler=cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit flow jobs to a running design-flow daemon"
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8787",
+                        help="daemon base URL (default: http://127.0.0.1:8787)")
+    submit.add_argument("--workload", required=True,
+                        help="registered workload name")
+    submit.add_argument("--params", default="",
+                        help="workload parameters as a JSON object")
+    submit.add_argument("--system", default=None,
+                        help="target system preset (default: the workload's own)")
+    submit.add_argument("--ct", type=float, default=None,
+                        help="reconfiguration time in milliseconds")
+    submit.add_argument("--partitioner", default=None, choices=PARTITIONER_CHOICES,
+                        help="partitioner override")
+    submit.add_argument("--seed", type=int, default=0,
+                        help="seed for the stochastic partitioners")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="scheduling priority (higher runs earlier)")
+    submit.add_argument("--tag", default="", help="display tag")
+    submit.add_argument("--count", type=int, default=1,
+                        help="submit N identical copies (they coalesce onto "
+                             "one solve)")
+    submit.add_argument("--wait", action="store_true",
+                        help="wait for completion and print the result rows")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="with --wait: seconds to wait per job")
+    submit.add_argument("--format", default="table", choices=["table", "json", "csv"])
+    submit.set_defaults(handler=cmd_submit)
+
+    job = subparsers.add_parser(
+        "job", help="inspect, wait on, or cancel a daemon job"
+    )
+    job.add_argument("job_id", help="job id returned by 'repro submit'")
+    job.add_argument("--url", default="http://127.0.0.1:8787",
+                     help="daemon base URL (default: http://127.0.0.1:8787)")
+    job.add_argument("--wait", action="store_true",
+                     help="long-poll until the job is terminal")
+    job.add_argument("--result", action="store_true",
+                     help="fetch the deterministic result payload")
+    job.add_argument("--cancel", action="store_true",
+                     help="cancel the job if it is still queued")
+    job.add_argument("--timeout", type=float, default=300.0,
+                     help="with --wait: seconds to wait")
+    job.set_defaults(handler=cmd_job)
 
     cache = subparsers.add_parser(
         "cache",

@@ -1,0 +1,45 @@
+"""The design-flow service daemon: ``repro serve`` and its client.
+
+Turns the one-shot CLI flow into a long-lived service: an asyncio HTTP/JSON
+API (:mod:`~repro.serve.server`) fronting a bounded, priority-aware,
+deduplicating job queue (:mod:`~repro.serve.queue`) drained by N
+flow-engine workers (:mod:`~repro.serve.workers`) over the shared
+content-addressed caches — so N identical submissions, from however many
+clients, cost exactly one solve.  The wire schema lives in
+:mod:`~repro.serve.protocol`; :mod:`~repro.serve.client` is the blocking
+client the CLI, tests and load generator use.
+"""
+
+from .client import FlowServiceClient, ServeClientError
+from .protocol import (
+    PROTOCOL_VERSION,
+    JobSpec,
+    JobState,
+    ProtocolError,
+    deterministic_result,
+    encode_result,
+)
+from .queue import JobQueue, QueueClosedError, QueueFullError, SolveEntry
+from .server import FlowServer, ServeConfig, ServerHandle, start_in_background
+from .workers import WorkerPool, build_flow_job
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FlowServer",
+    "FlowServiceClient",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "ProtocolError",
+    "QueueClosedError",
+    "QueueFullError",
+    "ServeClientError",
+    "ServeConfig",
+    "ServerHandle",
+    "SolveEntry",
+    "WorkerPool",
+    "build_flow_job",
+    "deterministic_result",
+    "encode_result",
+    "start_in_background",
+]

@@ -1,0 +1,204 @@
+"""A small blocking client for the design-flow daemon.
+
+Used by the CLI (``repro submit`` / ``repro job``), the test suite, the CI
+smoke and the load-generator bench.  One stdlib ``http.client`` connection
+per call (the daemon is ``Connection: close``), JSON in and out, HTTP
+errors mapped onto :class:`ServeClientError` carrying the structured error
+envelope the server emitted.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional, Union
+from urllib.parse import urlsplit
+
+from ..errors import ReproError
+from .protocol import API_PREFIX, JobSpec
+
+SpecLike = Union[JobSpec, Dict[str, object]]
+
+
+class ServeClientError(ReproError):
+    """An error response (or transport failure) from the daemon."""
+
+    def __init__(self, message: str, status: int = 0, code: str = "",
+                 retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+
+class FlowServiceClient:
+    """Blocking JSON client for one daemon."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http") or not split.hostname:
+            raise ServeClientError(f"unsupported server URL {url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[object] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            try:
+                connection.request(method, API_PREFIX + path, payload, headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as error:
+                raise ServeClientError(
+                    f"cannot reach the daemon at {self.host}:{self.port}: {error}"
+                ) from error
+            return self._decode(response, raw)
+        finally:
+            connection.close()
+
+    def _decode(self, response, raw: bytes) -> Dict[str, object]:
+        try:
+            data = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError as error:
+            raise ServeClientError(
+                f"daemon sent invalid JSON (HTTP {response.status}): {error}",
+                status=response.status,
+            ) from error
+        if response.status >= 400:
+            detail = data.get("error", {}) if isinstance(data, dict) else {}
+            retry_after = detail.get("retry_after_s")
+            header = response.getheader("Retry-After")
+            if retry_after is None and header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
+            raise ServeClientError(
+                str(detail.get("message", f"HTTP {response.status}")),
+                status=response.status,
+                code=str(detail.get("code", "")),
+                retry_after_s=retry_after,
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """``GET /v1/health``."""
+        return self._request("GET", "/health")
+
+    def stats(self) -> Dict[str, object]:
+        """``GET /v1/stats``."""
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: SpecLike) -> Dict[str, object]:
+        """Submit one job; returns the ack (job id, key, disposition)."""
+        return self._request("POST", "/jobs", self._spec_dict(spec))
+
+    def submit_many(self, specs: List[SpecLike]) -> List[Dict[str, object]]:
+        """Submit a batch; returns per-item acks (errors inline)."""
+        body = {"jobs": [self._spec_dict(spec) for spec in specs]}
+        return list(self._request("POST", "/batch", body)["jobs"])
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """``GET /v1/jobs/<id>``."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """``GET /v1/jobs/<id>/result`` (409 until the job is terminal)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """``POST /v1/jobs/<id>/cancel``."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> Dict[str, object]:
+        """Long-poll until the job is terminal (or *timeout* expires)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeClientError(
+                    f"job {job_id} not terminal after {timeout:.1f} s",
+                    code="wait-timeout",
+                )
+            poll = min(30.0, max(0.05, remaining))
+            view = self._request(
+                "GET", f"/jobs/{job_id}/wait?timeout={poll:g}",
+                timeout=poll + self.timeout,
+            )
+            if view.get("state") in ("done", "failed", "cancelled"):
+                return view
+
+    def watch(self, job_id: str, timeout: float = 300.0) -> Iterator[Dict[str, object]]:
+        """Yield every status transition from the chunked stream endpoint."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            try:
+                connection.request(
+                    "GET", f"{API_PREFIX}/jobs/{job_id}/stream?timeout={timeout:g}"
+                )
+                response = connection.getresponse()
+            except (OSError, http.client.HTTPException) as error:
+                raise ServeClientError(
+                    f"cannot reach the daemon at {self.host}:{self.port}: {error}"
+                ) from error
+            if response.status >= 400:
+                self._decode(response, response.read())
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def shutdown(self) -> Dict[str, object]:
+        """``POST /v1/admin/shutdown`` — graceful drain."""
+        return self._request("POST", "/admin/shutdown")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _spec_dict(spec: SpecLike) -> Dict[str, object]:
+        if isinstance(spec, JobSpec):
+            return spec.to_json_dict()
+        return dict(spec)
+
+    def wait_until_healthy(self, timeout: float = 30.0) -> Dict[str, object]:
+        """Poll ``/health`` until the daemon answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except ServeClientError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)

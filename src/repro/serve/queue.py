@@ -1,0 +1,337 @@
+"""The daemon's bounded, priority-aware, deduplicating job queue.
+
+One :class:`SolveEntry` exists per *unique request key* (the canonical
+fingerprint from :meth:`~repro.serve.protocol.JobSpec.request_key`); every
+submission gets its own job id, but ids sharing a key attach to one entry:
+
+* a key whose entry is still **queued or running** coalesces — the new id
+  rides the in-flight solve (``coalesced-inflight``);
+* a key whose entry already **finished successfully** is served straight
+  from the completed entry (``coalesced-cached``) — the server-side mirror
+  of the engine's dedup-by-cache;
+* failed and cancelled entries are *not* reused (a timeout or crash is not
+  a property of the problem), matching the result-cache policy.
+
+The queue is bounded by the number of *queued entries* (coalescing is free:
+it adds no work, so it never counts against the bound).  A full queue
+raises :class:`QueueFullError` carrying a ``retry_after_s`` hint derived
+from the observed solve rate, which the server turns into a 429 +
+``Retry-After``.  Higher ``priority`` values run earlier; ties run in
+submission order.
+
+Everything here runs on one asyncio event loop — no locks, just a
+``Condition`` waking workers and an ``Event``/``Condition`` pair per entry
+waking long-polls and streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from .protocol import JobSpec, JobState
+
+#: Fallback retry hint before any job has completed.
+DEFAULT_RETRY_AFTER_S = 0.5
+
+
+class QueueFullError(ReproError):
+    """The queue is at capacity; retry after ``retry_after_s`` seconds."""
+
+    def __init__(self, capacity: int, retry_after_s: float):
+        super().__init__(
+            f"job queue is full ({capacity} queued entries); "
+            f"retry in {retry_after_s:.2f} s"
+        )
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+
+
+class QueueClosedError(ReproError):
+    """The queue is closed and drained; workers should exit."""
+
+
+@dataclass
+class SolveEntry:
+    """One unique design problem moving through the daemon."""
+
+    key: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    job_ids: List[str] = field(default_factory=list)
+    #: The full FlowReport row once the flow ran (``None`` until then).
+    result_row: Optional[Dict[str, object]] = None
+    failed_stage: str = ""
+    error: str = ""
+    error_kind: str = ""
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: Set on entering a terminal state (long-polls wait on this).
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+    #: Notified on *every* state change (streams wait on this).
+    changed: asyncio.Condition = field(default_factory=asyncio.Condition)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the entry finished with a usable design."""
+        return self.state is JobState.DONE
+
+    def view(self, job_id: str) -> Dict[str, object]:
+        """The status payload one attached job id sees."""
+        payload: Dict[str, object] = {
+            "job_id": job_id,
+            "key": self.key,
+            "state": self.state.value,
+            "workload": self.spec.workload,
+            "tag": self.spec.tag,
+            "priority": self.spec.priority,
+            "attached_jobs": len(self.job_ids),
+        }
+        if self.state is JobState.FAILED:
+            payload["failed_stage"] = self.failed_stage
+            payload["error"] = self.error
+            payload["error_kind"] = self.error_kind
+        return payload
+
+    async def set_state(self, state: JobState) -> None:
+        """Transition, waking streams (and long-polls on terminal states)."""
+        self.state = state
+        if state.terminal:
+            self.done.set()
+        async with self.changed:
+            self.changed.notify_all()
+
+
+class JobQueue:
+    """Bounded priority queue of :class:`SolveEntry` objects with dedup."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ReproError("queue capacity must be at least 1")
+        self.capacity = capacity
+        self._heap: List[Tuple[int, int, SolveEntry]] = []
+        self._seq = itertools.count()
+        self._job_seq = itertools.count(1)
+        self._by_key: Dict[str, SolveEntry] = {}
+        self._by_job_id: Dict[str, SolveEntry] = {}
+        self._cancelled_ids: set = set()
+        self._queued = 0
+        self._closed = False
+        self._wakeup = asyncio.Condition()
+        # Exponentially-weighted mean solve seconds, feeding retry hints.
+        self._mean_solve_s: Optional[float] = None
+        # Counters surfaced by /v1/stats.
+        self.submitted = 0
+        self.coalesced_inflight = 0
+        self.coalesced_cached = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.completed = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    # Submission side
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Tuple[str, SolveEntry, str]:
+        """Enqueue one spec; returns ``(job_id, entry, disposition)``.
+
+        *disposition* is ``"queued"`` for a fresh entry,
+        ``"coalesced-inflight"`` when the id attached to a queued/running
+        entry, and ``"coalesced-cached"`` when a completed entry served it.
+        Raises :class:`QueueFullError` on back-pressure and
+        :class:`QueueClosedError` while draining.
+        """
+        if self._closed:
+            raise QueueClosedError("the queue is draining; no new submissions")
+        key = spec.request_key()
+        existing = self._by_key.get(key)
+        disposition = "queued"
+        if existing is not None and existing.state in (
+            JobState.QUEUED, JobState.RUNNING,
+        ):
+            entry = existing
+            disposition = "coalesced-inflight"
+            self.coalesced_inflight += 1
+        elif existing is not None and existing.state is JobState.DONE:
+            entry = existing
+            disposition = "coalesced-cached"
+            self.coalesced_cached += 1
+        else:
+            if self._queued >= self.capacity:
+                self.rejected += 1
+                raise QueueFullError(self.capacity, self.retry_after_hint())
+            entry = SolveEntry(
+                key=key, spec=spec, submitted_at=time.monotonic()
+            )
+            self._by_key[entry.key] = entry
+            heapq.heappush(self._heap, (-spec.priority, next(self._seq), entry))
+            self._queued += 1
+            self._notify_workers()
+        job_id = f"job-{next(self._job_seq):06d}"
+        entry.job_ids.append(job_id)
+        self._by_job_id[job_id] = entry
+        self.submitted += 1
+        return job_id, entry, disposition
+
+    def cancel(self, job_id: str) -> bool:
+        """Detach one job id; cancel its entry if nothing else needs it.
+
+        Only *queued* entries can be cancelled (a running flow is not
+        preemptible); returns whether this id is now cancelled.  The entry
+        stays in the heap and is skipped lazily by :meth:`get`.
+        """
+        entry = self._by_job_id.get(job_id)
+        if entry is None:
+            raise ProtocolUnknownJob(job_id)
+        if entry.state is not JobState.QUEUED:
+            return job_id in self._cancelled_ids
+        self._cancelled_ids.add(job_id)
+        self.cancelled += 1
+        entry.job_ids.remove(job_id)
+        if not entry.job_ids:
+            entry.job_ids.append(job_id)  # the view still lists the canceller
+            entry.state = JobState.CANCELLED
+            entry.done.set()
+            del self._by_key[entry.key]
+            self._queued -= 1
+        return True
+
+    def entry_for(self, job_id: str) -> SolveEntry:
+        """Resolve a job id (raising a 404-shaped error when unknown)."""
+        entry = self._by_job_id.get(job_id)
+        if entry is None:
+            raise ProtocolUnknownJob(job_id)
+        return entry
+
+    def view(self, job_id: str) -> Dict[str, object]:
+        """One job id's status payload (individually-cancelled ids included)."""
+        payload = self.entry_for(job_id).view(job_id)
+        if job_id in self._cancelled_ids:
+            payload["state"] = JobState.CANCELLED.value
+        return payload
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    async def get(self) -> SolveEntry:
+        """Wait for the next runnable entry (highest priority first).
+
+        Raises :class:`QueueClosedError` once the queue is closed *and*
+        empty — closing still drains whatever was already accepted.
+        """
+        while True:
+            while self._heap:
+                _, _, entry = heapq.heappop(self._heap)
+                if entry.state is not JobState.QUEUED:
+                    continue  # cancelled while queued
+                self._queued -= 1
+                entry.started_at = time.monotonic()
+                await entry.set_state(JobState.RUNNING)
+                return entry
+            if self._closed:
+                raise QueueClosedError("queue closed and drained")
+            async with self._wakeup:
+                await self._wakeup.wait()
+
+    async def finish(self, entry: SolveEntry, row: Optional[Dict[str, object]],
+                     failed_stage: str = "", error: str = "",
+                     error_kind: str = "") -> None:
+        """Record one entry's terminal outcome and wake its waiters."""
+        entry.finished_at = time.monotonic()
+        entry.result_row = row
+        ok = row is not None and not failed_stage and not error
+        if ok:
+            self.completed += 1
+            self._record_solve_seconds(entry.finished_at - entry.started_at)
+        else:
+            entry.failed_stage = failed_stage
+            entry.error = error
+            entry.error_kind = error_kind
+            self.failed += 1
+            # Failures are not reusable results: drop the key so the next
+            # identical submission gets a fresh attempt.
+            if self._by_key.get(entry.key) is entry:
+                del self._by_key[entry.key]
+        await entry.set_state(JobState.DONE if ok else JobState.FAILED)
+
+    def close(self) -> None:
+        """Refuse new submissions; queued entries still drain."""
+        self._closed = True
+        self._notify_workers()
+
+    @property
+    def closed(self) -> bool:
+        """Whether the queue is draining."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Entries currently queued (excluding running/terminal ones)."""
+        return self._queued
+
+    def retry_after_hint(self) -> float:
+        """Seconds a 429'd client should wait before retrying.
+
+        The backlog drained at the observed mean solve rate; before any
+        solve completed, a small constant.
+        """
+        if self._mean_solve_s is None:
+            return DEFAULT_RETRY_AFTER_S
+        return max(0.05, self._mean_solve_s * max(1, self._queued))
+
+    def _record_solve_seconds(self, seconds: float) -> None:
+        if self._mean_solve_s is None:
+            self._mean_solve_s = seconds
+        else:
+            self._mean_solve_s = 0.7 * self._mean_solve_s + 0.3 * seconds
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for ``/v1/stats``."""
+        states: Dict[str, int] = {}
+        for entry in self._by_job_id.values():
+            states[entry.state.value] = states.get(entry.state.value, 0) + 1
+        return {
+            "capacity": self.capacity,
+            "depth": self.depth,
+            "closed": self._closed,
+            "submitted": self.submitted,
+            "coalesced_inflight": self.coalesced_inflight,
+            "coalesced_cached": self.coalesced_cached,
+            "coalesced": self.coalesced_inflight + self.coalesced_cached,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "completed": self.completed,
+            "failed": self.failed,
+            "jobs_by_state": states,
+        }
+
+    def _notify_workers(self) -> None:
+        async def wake() -> None:
+            async with self._wakeup:
+                self._wakeup.notify_all()
+
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return  # no loop yet (e.g. queue built before the server starts)
+        loop.create_task(wake())
+
+
+class ProtocolUnknownJob(ReproError):
+    """Raised for job ids the daemon has never issued (a 404)."""
+
+    def __init__(self, job_id: str):
+        super().__init__(f"unknown job id {job_id!r}")
+        self.job_id = job_id

@@ -85,6 +85,19 @@ CACHED_SOURCES = (
 )
 
 
+def canonical_metric(value: float) -> float:
+    """Round a derived metric to its canonical shortest decimal form.
+
+    Unit conversions (``block_delay * 1e9``) and latency sums accumulate
+    binary-float artifacts (``8439.999999999998`` for an exact 8440 ns),
+    which leak into JSON rows and break byte-identity between runs that
+    computed the same design along different cache paths.  12 significant
+    digits is far beyond the models' fidelity but well inside a double's
+    15–16, so the rounding is lossless for every real metric.
+    """
+    return float(f"{value:.12g}")
+
+
 @dataclass
 class FlowReport:
     """Everything one flow job produced: the design or a structured failure."""
@@ -129,9 +142,13 @@ class FlowReport:
             "cached_estimate": self.cached_stage(FlowStage.ESTIMATE.value),
             "partitions": self.design.partition_count if self.ok else 0,
             "k": self.design.computations_per_run if self.ok else 0,
-            "block_delay_ns": self.design.block_delay * 1e9 if self.ok else 0.0,
+            "block_delay_ns": (
+                canonical_metric(self.design.block_delay * 1e9) if self.ok else 0.0
+            ),
             "total_latency_s": (
-                self.design.partitioning.total_latency if self.ok else 0.0
+                canonical_metric(self.design.partitioning.total_latency)
+                if self.ok
+                else 0.0
             ),
             "wall_time_s": self.wall_time,
         }

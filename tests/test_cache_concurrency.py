@@ -53,6 +53,21 @@ def _hammer_artifact_store(root: str, writer: int) -> None:
         store.put(STAGE, STAGE_VERSION, DIGEST, payload, encode=lambda value: value)
 
 
+PRUNE_MAX_ENTRIES = 8
+PRUNE_WRITES_PER_PROCESS = 120
+
+
+def _prune_key(writer: int, iteration: int) -> str:
+    """A distinct, filename-safe fingerprint per (writer, iteration)."""
+    return f"{writer:02d}{iteration:05d}".ljust(64, "e")
+
+
+def _hammer_pruning_cache(directory: str, writer: int) -> None:
+    cache = DiskCache(directory, max_entries=PRUNE_MAX_ENTRIES)
+    for iteration in range(PRUNE_WRITES_PER_PROCESS):
+        cache.put(_prune_key(writer, iteration), _outcome(writer, iteration))
+
+
 def _run_writers(target, args_for):
     context = multiprocessing.get_context("spawn")
     writers = [
@@ -110,6 +125,60 @@ class TestDiskCacheConcurrentWriters:
         # The next write repairs the entry.
         cache.put(FINGERPRINT, _outcome(1, 1))
         assert cache.get(FINGERPRINT).partition_count == 2
+
+
+class TestDiskCachePruningUnderConcurrency:
+    """A bounded cache pruning entries out from under concurrent readers.
+
+    Two writer processes stream *distinct* keys through a small
+    ``max_entries`` bound, so every store prunes — files vanish constantly
+    while the parent lists and reads them.  A read racing a prune must be
+    a miss, never an error and never a torn payload; the bound must hold
+    once the writers finish; and no temp files may leak.
+    """
+
+    def test_pruning_while_reading_is_a_miss_never_an_error(self, tmp_path):
+        reader = DiskCache(tmp_path, max_entries=PRUNE_MAX_ENTRIES)
+        writers = _run_writers(
+            _hammer_pruning_cache, lambda writer: (str(tmp_path), writer)
+        )
+        hits = 0
+        try:
+            deadline = time.monotonic() + 60
+            while not list(tmp_path.glob("*.json")):
+                assert time.monotonic() < deadline, "writers never wrote"
+                time.sleep(0.01)
+            for _ in range(READS):
+                # Read whatever is present *right now*: by the time the
+                # read happens the pruner may already have deleted it,
+                # which is exactly the race under test.
+                for path in list(tmp_path.glob("*.json"))[:4]:
+                    outcome = reader.get(path.stem)
+                    if outcome is None:
+                        continue  # pruned (or repruned) between list and read
+                    hits += 1
+                    assert outcome.status is JobStatus.SOLVED
+                    assert outcome.partition_count in (1, 2)
+                    assert outcome.assignment["b"] == outcome.partition_count
+                    assert outcome.method == f"writer-{outcome.partition_count - 1}"
+        finally:
+            _join_all(writers)
+        assert hits > 0, "the read loop never overlapped a live entry"
+        # One more bounded store re-establishes the invariant regardless of
+        # how the two pruners' final removals interleaved.
+        reader.put(_prune_key(9, 0), _outcome(0, 0))
+        remaining = list(tmp_path.glob("*.json"))
+        assert len(remaining) <= PRUNE_MAX_ENTRIES
+        assert not list(tmp_path.glob("*.tmp")), "temporary write files leaked"
+
+    def test_prune_never_evicts_the_entry_just_written(self, tmp_path):
+        cache = DiskCache(tmp_path, max_entries=2)
+        for iteration in range(10):
+            key = _prune_key(0, iteration)
+            cache.put(key, _outcome(0, iteration))
+            assert cache.get(key) is not None, "prune evicted its own store"
+        assert len(list(tmp_path.glob("*.json"))) <= 2
+        assert cache.pruned >= 8
 
 
 class TestArtifactStoreConcurrentWriters:

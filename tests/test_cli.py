@@ -132,6 +132,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "2 configurations" in out and "host sequencing code" in out
 
+    def test_flow_single_json_shares_the_batch_serialisation(self, capsys):
+        """``--format json`` without ``--batch`` emits the same row shape."""
+        assert main(["flow", "--workload", "jpeg_dct", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1 and rows[0]["status"] == "ok"
+        assert rows[0]["workload"] == "jpeg_dct"
+        # Derived metrics are canonicalised: the shortest decimal form,
+        # never a binary-float artifact like 8439.999999999998.
+        assert rows[0]["block_delay_ns"] == 8440.0
+        assert json.dumps(rows[0]["block_delay_ns"]) == "8440.0"
+
     def test_flow_batch_requires_workload(self, capsys):
         assert main(["flow", "--batch"]) == 2
         assert "--workload" in capsys.readouterr().err

@@ -96,7 +96,7 @@ class TestExamples:
 
 class TestPublicApi:
     def test_version_string(self):
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
 
     @pytest.mark.parametrize(
         "module_name",
@@ -115,6 +115,7 @@ class TestPublicApi:
             "repro.workloads",
             "repro.explore",
             "repro.experiments",
+            "repro.serve",
             "repro.cli",
         ],
     )
@@ -127,7 +128,7 @@ class TestPublicApi:
         for module_name in (
             "repro", "repro.arch", "repro.taskgraph", "repro.partition",
             "repro.fission", "repro.jpeg", "repro.ilp", "repro.hls",
-            "repro.workloads", "repro.synth", "repro.explore",
+            "repro.workloads", "repro.synth", "repro.explore", "repro.serve",
         ):
             module = importlib.import_module(module_name)
             for name in module.__all__:
