@@ -1,0 +1,168 @@
+"""Sharded exploration throughput — points/sec at 1/2/4/8 shards + merge time.
+
+Explores a space in which **every point is a distinct partition problem**
+(workload graph variants x partitioner, a single CT and sequencing), so the
+flow-engine caches cannot collapse the work and the shard processes see
+real, disjoint solve loads.  For each configured shard count the bench runs
+a cold ``run_sharded`` with fresh stores and a fresh per-run disk cache,
+then checks that every merged union frontier is byte-identical to the
+unsharded reference front — the machine-independent correctness metric the
+regression gate pins at zero tolerance.
+
+Run standalone (``python benchmarks/bench_explore_sharded.py [--smoke]``)
+or under pytest.  Environment knobs for constrained CI runners:
+
+* ``REPRO_BENCH_SHARDS`` — comma-separated shard counts (default 1,2,4,8);
+* ``REPRO_BENCH_SHARDED_BUDGET`` — design points to visit (default 48);
+* ``REPRO_BENCH_STRICT=0`` — measure and print, but skip the hard >= 3x
+  speedup assertion (which also needs >= 4 CPUs and a 4-shard tier; the
+  byte-identity assertion always runs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from bench_utils import record
+
+from repro.explore import (
+    ExploreConfig,
+    Explorer,
+    RunStore,
+    SearchSpace,
+    run_sharded,
+)
+from repro.units import ms
+
+BUDGET = int(os.environ.get("REPRO_BENCH_SHARDED_BUDGET", "48"))
+SHARD_COUNTS = [
+    int(item) for item in os.environ.get("REPRO_BENCH_SHARDS", "1,2,4,8").split(",")
+]
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+
+#: The >= 3x-at-4-shards claim only holds with real parallel hardware.
+SPEEDUP_SHARDS = 4
+SPEEDUP_FLOOR = 3.0
+
+
+def _space() -> SearchSpace:
+    # Graph variants x partitioners: 17 distinct task graphs x 3 partition
+    # algorithms = 51 distinct partition problems.  One CT and sequencing,
+    # so no two points share a solve — sharding splits actual work, not
+    # cache hits.
+    return SearchSpace.for_workloads(
+        ["random_layered", "fir_filterbank", "wavelet_pyramid", "matmul_pipeline"],
+        variants=True,
+        ct_values=(ms(5),),
+        partitioners=("ilp", "list", "level"),
+        sequencings=("idh",),
+    )
+
+
+def _config(cache_dir) -> ExploreConfig:
+    return ExploreConfig(
+        strategy="grid",
+        budget=BUDGET,
+        batch_size=min(12, BUDGET),
+        objectives=("latency", "throughput"),
+        workers=0,  # the shard processes are the parallelism
+        cache_dir=cache_dir,
+    )
+
+
+def _front_bytes(front) -> str:
+    return json.dumps(front.to_json_dict(), sort_keys=True)
+
+
+def test_sharded_explore_scaling(tmp_path):
+    space = _space()
+    budget = min(BUDGET, space.size)
+    print()
+    print(f"exploring {budget} of {space.size} points at shard counts "
+          f"{SHARD_COUNTS} ({os.cpu_count()} CPU(s) available)")
+
+    # Unsharded reference: the frontier every merged run must reproduce
+    # byte for byte.  Fresh cache, persistent store, serial engine — the
+    # same configuration a 1-shard run uses.
+    with RunStore(tmp_path / "solo.jsonl", space.fingerprint()) as store:
+        solo = Explorer(
+            space, config=_config(tmp_path / "cache-solo"), store=store
+        ).run()
+    assert solo.ok, [r.error for r in solo.records if not r.ok]
+    reference = _front_bytes(solo.front)
+    solo_rate = solo.visited / solo.wall_time if solo.wall_time else float("inf")
+    print(f"  unsharded reference: {solo.wall_time:8.2f} s "
+          f"({solo_rate:7.1f} points/s, front size {len(solo.front)})")
+
+    rates = {}
+    merge_seconds = {}
+    identical = True
+    for count in SHARD_COUNTS:
+        run_dir = tmp_path / f"shards-{count}"
+        run_dir.mkdir()
+        result = run_sharded(
+            space,
+            _config(run_dir / "cache"),
+            count,
+            run_dir / "run.jsonl",
+        )
+        assert result.ok
+        rates[count] = budget / result.wall_time if result.wall_time else float("inf")
+        merge_seconds[count] = result.merge.merge_time
+        same = _front_bytes(result.front) == reference
+        identical = identical and same
+        print(f"  {count} shard(s): {result.wall_time:8.2f} s "
+              f"({rates[count]:7.1f} points/s, merge {result.merge.merge_time:.3f} s, "
+              f"merged front {'==' if same else '!='} unsharded)")
+
+    # The correctness half of the bench is unconditional: a sharded run
+    # that produces a different frontier is wrong at any speed.
+    assert identical, "a merged shard frontier diverged from the unsharded front"
+
+    max_shards = max(SHARD_COUNTS)
+    serial_rate = rates.get(1, solo_rate)
+    speedup = rates[max_shards] / serial_rate if serial_rate else 0.0
+    print(f"  speedup at {max_shards} shards: {speedup:.2f}x")
+
+    record(
+        "explore_sharded",
+        budget=budget,
+        space_size=space.size,
+        points_per_sec_by_shards={str(c): r for c, r in rates.items()},
+        merge_seconds_by_shards={str(c): s for c, s in merge_seconds.items()},
+        merge_seconds=merge_seconds[max_shards],
+        merged_front_size=len(solo.front),
+        merged_equals_unsharded=1.0 if identical else 0.0,
+        cold_points_per_sec_serial=serial_rate,
+        speedup_at_max_shards=speedup,
+    )
+
+    cpus = os.cpu_count() or 1
+    if STRICT and cpus >= SPEEDUP_SHARDS and SPEEDUP_SHARDS in rates:
+        four_way = rates[SPEEDUP_SHARDS] / serial_rate
+        assert four_way >= SPEEDUP_FLOOR, (
+            f"cold {SPEEDUP_SHARDS}-shard run reached only {four_way:.2f}x "
+            f"over serial; expected >= {SPEEDUP_FLOOR}x"
+        )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny budget, 1+2 shards, no speedup assertion")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        os.environ.setdefault("REPRO_BENCH_SHARDED_BUDGET", "12")
+        os.environ.setdefault("REPRO_BENCH_SHARDS", "1,2")
+        os.environ.setdefault("REPRO_BENCH_STRICT", "0")
+    import pytest
+
+    return pytest.main([__file__, "-x", "-q", "-s"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

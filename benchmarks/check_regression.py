@@ -76,6 +76,29 @@ GATES: Dict[str, List[Gate]] = {
         # solve; any second solve is a dedup regression, so zero tolerance.
         Gate("concurrent_duplicate_solves", "max", 0.0),
     ],
+    "explore": [
+        # Warm exploration (engine caches hot) must stay a small fraction
+        # of cold; like engine_scaling the warm side is milliseconds, so a
+        # wide ceiling that still catches hits-stop-being-hits regressions.
+        Gate("warm_fraction_of_cold", "max", 4.0),
+        # A resumed exploration must run zero flow jobs — any nonzero value
+        # means the run store stopped resuming, so zero tolerance.
+        Gate("store_warm_flow_jobs", "max", 0.0),
+    ],
+    "explore_sharded": [
+        # The merged N-shard frontier must be byte-identical to the
+        # unsharded frontier (1.0 = identical).  Machine-independent
+        # correctness, so zero tolerance.
+        Gate("merged_equals_unsharded", "min", 0.0),
+        # Same-machine sharded/serial throughput ratio.  On few-core CI
+        # runners the 2-shard smoke ratio hovers near 1.0 with process
+        # startup noise, so a 50% band — the gate catches sharding becoming
+        # a multiple-x slowdown, the >= 3x claim is asserted by the bench
+        # itself on >= 4-CPU hardware.
+        Gate("speedup_at_max_shards", "min", 0.50),
+        # Absolute serial exploration throughput over distinct solves.
+        Gate("cold_points_per_sec_serial", "min", ABSOLUTE_TOLERANCE),
+    ],
     "huge_graphs": [
         # Same-machine multilevel-vs-flat ratio (baseline ~19x at the 2000-
         # node smoke tier).  A 50% band is looser than RATIO_TOLERANCE on

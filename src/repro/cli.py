@@ -519,9 +519,27 @@ def cmd_explore(args: argparse.Namespace) -> int:
     )
     if args.resume and args.fresh:
         raise ReproError("pass either --resume or --fresh, not both")
+    if args.shards < 1:
+        raise ReproError(f"--shards must be >= 1, got {args.shards}")
+    if args.shard_index is not None and not 0 <= args.shard_index < args.shards:
+        raise ReproError(
+            f"--shard-index {args.shard_index} outside 0..{args.shards - 1} "
+            f"(--shards {args.shards})"
+        )
     from pathlib import Path
 
-    store_path = Path(args.store or default_store_path(space))
+    store_base = Path(args.store or default_store_path(space))
+    if args.shards > 1 and args.shard_index is None:
+        return _explore_sharded(args, space, config, store_base)
+
+    if args.shard_index is not None:
+        from .explore import ShardSpec, shard_store_path
+
+        shard = ShardSpec(args.shard_index, args.shards)
+        store_path = shard_store_path(store_base, args.shard_index, args.shards)
+    else:
+        shard = None
+        store_path = store_base
     if (
         store_path.exists()
         and store_path.stat().st_size
@@ -538,12 +556,22 @@ def cmd_explore(args: argparse.Namespace) -> int:
         resume=args.resume,
         context={"eval_blocks": args.eval_blocks},
     )
-    explorer = Explorer(space, config=config, store=store)
+    explorer = Explorer(space, config=config, store=store, shard=shard)
     try:
         result = explorer.run()
     finally:
         store.close()
 
+    if shard is not None:
+        print(shard.describe(), file=sys.stderr)
+        print(
+            "merge the shard stores with: repro frontier "
+            + " ".join(
+                f"--store {path}"
+                for path in _shard_paths(store_base, args.shards)
+            ),
+            file=sys.stderr,
+        )
     rows = result.front.rows()
     if args.output:
         with open(args.output, "w", encoding="utf-8", newline="") as stream:
@@ -566,6 +594,50 @@ def cmd_explore(args: argparse.Namespace) -> int:
         f"{stats.get('deduped', 0)} deduped",
         file=sys.stderr,
     )
+    return 0 if len(result.front) else 1
+
+
+def _shard_paths(store_base, shards: int):
+    from .explore import shard_store_paths
+
+    return shard_store_paths(store_base, shards)
+
+
+def _explore_sharded(args: argparse.Namespace, space, config, store_base) -> int:
+    """``repro explore --shards N``: N parallel shard workers plus the merge."""
+    from .explore import run_sharded
+
+    for path in _shard_paths(store_base, args.shards):
+        if path.exists() and path.stat().st_size and not args.resume and not args.fresh:
+            raise ReproError(
+                f"shard store {path} already exists; pass --resume to continue "
+                "the sharded run or --fresh to overwrite it"
+            )
+    result = run_sharded(
+        space,
+        config,
+        args.shards,
+        store_base,
+        resume=args.resume,
+        objectives=config.objectives,
+    )
+    rows = result.front.rows()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8", newline="") as stream:
+            _format_explore_rows(rows, args.format, stream)
+    else:
+        _format_explore_rows(rows, args.format, sys.stdout)
+    print(space.describe(), file=sys.stderr)
+    for shard in result.shards:
+        print(
+            f"  shard {shard.index + 1}/{shard.count}: {shard.evaluated} "
+            f"evaluated ({shard.flow_evaluated} flow, {shard.store_hits} store "
+            f"hits, {shard.failures} failed, {shard.off_shard} off-shard) in "
+            f"{shard.wall_time:.2f} s -> {shard.store_path}",
+            file=sys.stderr,
+        )
+    print(result.merge.describe(), file=sys.stderr)
+    print(result.describe(), file=sys.stderr)
     return 0 if len(result.front) else 1
 
 
@@ -798,6 +870,24 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 
 def cmd_frontier(args: argparse.Namespace) -> int:
+    if args.store:
+        # Merge any number of run stores (shard stores of one run, or
+        # several independent runs over one evaluation context) through the
+        # Pareto fold and print the union frontier.
+        from .explore import merge_stores, resolve_objectives
+
+        objectives = tuple(_parse_csv_list(args.objectives, "objectives"))
+        resolve_objectives(objectives)
+        result = merge_stores(args.store, objectives=objectives)
+        rows = result.front.rows()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8", newline="") as stream:
+                _format_explore_rows(rows, args.format, stream)
+        else:
+            _format_explore_rows(rows, args.format, sys.stdout)
+        print(result.describe(), file=sys.stderr)
+        return 0 if len(result.front) else 1
+
     from .experiments.frontier import format_frontier_table, jpeg_dct_frontier
 
     report = jpeg_dct_frontier()
@@ -1021,9 +1111,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "(without --resume or --fresh an existing store "
                               "is refused, never silently truncated)")
     explore.add_argument("--workers", type=int, default=0,
-                         help="worker processes for partition-stage misses")
+                         help="worker processes for partition-stage misses "
+                              "(ignored with --shards: the shard processes "
+                              "are the parallelism)")
     explore.add_argument("--cache-dir", default=None,
                          help="directory for the on-disk partition result cache")
+    explore.add_argument("--shards", type=int, default=1,
+                         help="split the run into N fingerprint-range shard "
+                              "workers (parallel processes over the shared "
+                              "cache), each with its own "
+                              "<store>.shard-<i>-of-<N>.jsonl store, then "
+                              "merge their frontiers (default: 1 = unsharded)")
+    explore.add_argument("--shard-index", type=int, default=None,
+                         help="with --shards N: run ONLY shard i of N in this "
+                              "process (for spreading shards across machines); "
+                              "merge afterwards with 'repro frontier --store "
+                              "...' over the shard stores")
     explore.add_argument("--format", default="table", choices=["table", "json", "csv"])
     explore.add_argument("--output", default=None,
                          help="write the Pareto front to this file instead of stdout")
@@ -1157,8 +1260,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     frontier = subparsers.add_parser(
         "frontier",
-        help="JPEG-DCT Pareto frontier vs. the paper's chosen design point",
+        help="JPEG-DCT Pareto frontier vs. the paper's chosen design point, "
+             "or (with --store) the merged union frontier of any number of "
+             "exploration run stores",
     )
+    frontier.add_argument("--store", action="append", default=[],
+                          help="exploration run store(s) to merge through the "
+                               "Pareto fold; repeat for shard stores "
+                               "(default: the built-in paper frontier report)")
+    frontier.add_argument("--objectives", default="latency,throughput",
+                          help="with --store: comma-separated objectives the "
+                               "merged front is computed over")
+    frontier.add_argument("--format", default="table",
+                          choices=["table", "json", "csv"],
+                          help="with --store: output format")
+    frontier.add_argument("--output", default=None,
+                          help="with --store: write the front to this file "
+                               "instead of stdout")
     frontier.set_defaults(handler=cmd_frontier)
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1 (FDH)")

@@ -18,7 +18,12 @@ automates that loop as a subsystem:
   makes interrupted explorations resumable by point fingerprint;
 * :mod:`repro.explore.engine` — :class:`Explorer`, which evaluates candidate
   batches through :class:`~repro.synth.flow_engine.FlowEngine` so the
-  partition caches make repeated neighbourhoods nearly free.
+  partition caches make repeated neighbourhoods nearly free;
+* :mod:`repro.explore.shard` — fingerprint-range sharding: N independent
+  shard workers replaying one trajectory over disjoint slices of the space,
+  each with its own ``<store>.shard-<i>-of-<n>.jsonl`` store;
+* :mod:`repro.explore.merge` — the Pareto-merge fold that unions shard (or
+  any) run stores into one front, order-invariantly and idempotently.
 
 Quickstart::
 
@@ -51,9 +56,20 @@ from .objectives import (
     objective_vector,
     resolve_objectives,
 )
+from .merge import MergeResult, merge_fronts, merge_records, merge_stores
 from .pareto import FrontEntry, ParetoFront, dominates
+from .shard import (
+    ShardRunSummary,
+    ShardSpec,
+    ShardedExplorationResult,
+    run_sharded,
+    shard_key,
+    shard_of,
+    shard_store_path,
+    shard_store_paths,
+)
 from .space import WORKLOAD_DEFAULT_SYSTEM, DesignPoint, SearchSpace
-from .store import PointRecord, RunStore
+from .store import PointRecord, RunStore, read_store
 from .strategies import (
     SEARCH_STRATEGIES,
     ExhaustiveSearch,
@@ -62,8 +78,10 @@ from .strategies import (
     Scalariser,
     SearchStrategy,
     SimulatedAnnealing,
+    assert_shardable,
     make_strategy,
     register_strategy,
+    shardable_strategy_names,
     strategy_names,
 )
 
@@ -76,6 +94,7 @@ __all__ = [
     "Explorer",
     "FrontEntry",
     "GreedyHillClimb",
+    "MergeResult",
     "OBJECTIVES",
     "Objective",
     "ParetoFront",
@@ -86,17 +105,31 @@ __all__ = [
     "Scalariser",
     "SearchSpace",
     "SearchStrategy",
+    "ShardRunSummary",
+    "ShardSpec",
+    "ShardedExplorationResult",
     "SimulatedAnnealing",
     "WORKLOAD_DEFAULT_SYSTEM",
+    "assert_shardable",
     "default_store_path",
     "dominates",
     "evaluate_report",
     "explore",
     "is_deterministic_failure",
     "make_strategy",
+    "merge_fronts",
+    "merge_records",
+    "merge_stores",
     "objective_names",
     "objective_vector",
+    "read_store",
     "register_strategy",
     "resolve_objectives",
+    "run_sharded",
+    "shard_key",
+    "shard_of",
+    "shard_store_path",
+    "shard_store_paths",
+    "shardable_strategy_names",
     "strategy_names",
 ]

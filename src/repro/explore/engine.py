@@ -36,9 +36,10 @@ from .objectives import (
     resolve_objectives,
 )
 from .pareto import ParetoFront
+from .shard import ShardSpec
 from .space import WORKLOAD_DEFAULT_SYSTEM, DesignPoint, SearchSpace
 from .store import PointRecord, RunStore
-from .strategies import make_strategy
+from .strategies import assert_shardable, make_strategy
 
 
 def default_store_path(space: SearchSpace, directory: Union[str, Path] = ".repro-explore") -> Path:
@@ -95,6 +96,9 @@ class ExplorationResult:
     flow_evaluated: int = 0
     store_hits: int = 0
     failures: int = 0
+    #: Trajectory points skipped because their fingerprint belongs to
+    #: another shard (always 0 for an unsharded exploration).
+    off_shard: int = 0
     wall_time: float = 0.0
     engine_stats: Dict[str, int] = field(default_factory=dict)
 
@@ -125,10 +129,14 @@ class ExplorationResult:
 
     def describe(self) -> str:
         """One-line human readable summary."""
+        sharded = (
+            f", {self.off_shard} off-shard skipped" if self.off_shard else ""
+        )
         return (
             f"explored {self.visited} point(s) in {self.wall_time:.2f} s "
             f"({self.flow_evaluated} flow-evaluated, {self.store_hits} served "
-            f"from the run store, {self.failures} failed); {self.front.describe()}"
+            f"from the run store, {self.failures} failed{sharded}); "
+            f"{self.front.describe()}"
         )
 
 
@@ -141,6 +149,7 @@ class Explorer:
         config: Optional[ExploreConfig] = None,
         flow_engine: Optional[FlowEngine] = None,
         store: Optional[RunStore] = None,
+        shard: Optional[ShardSpec] = None,
         **overrides,
     ) -> None:
         if config is not None and overrides:
@@ -149,6 +158,14 @@ class Explorer:
             )
         self.space = space
         self.config = config or ExploreConfig(**overrides)
+        #: When set, this explorer is one worker of an N-way sharded run: it
+        #: replays the full strategy trajectory (identical seed, budget and
+        #: proposal order) but evaluates only the points whose fingerprint
+        #: falls in its shard's range — everything else is skipped without
+        #: flow work and without touching the store.
+        self.shard = shard
+        if shard is not None:
+            assert_shardable(self.config.strategy)
         self.flow_engine = flow_engine or FlowEngine(
             config=EngineConfig(
                 workers=self.config.workers, cache_dir=self.config.cache_dir
@@ -306,6 +323,7 @@ class Explorer:
                 (point, fingerprint)
                 for point, fingerprint in keyed
                 if fingerprint not in self.store
+                and (self.shard is None or self.shard.contains(fingerprint))
             ]
             evaluated, jobs_run = self._evaluate(missing) if missing else ({}, 0)
             result.flow_evaluated += jobs_run
@@ -320,6 +338,21 @@ class Explorer:
             for point, fingerprint in keyed:
                 if fingerprint in evaluated:
                     record = evaluated[fingerprint]
+                elif self.shard is not None and not self.shard.contains(fingerprint):
+                    # Another shard's point: consume the trajectory position
+                    # (so replay stays aligned with the unsharded run) but do
+                    # no flow work and write nothing to this shard's store.
+                    record = PointRecord(
+                        fingerprint=fingerprint,
+                        point=point,
+                        status="skipped",
+                        source="off-shard",
+                    )
+                    result.off_shard += 1
+                    batch_records.append(record)
+                    result.records.append(record)
+                    result.visited += 1
+                    continue
                 else:
                     stored = self.store.get(fingerprint)
                     assert stored is not None

@@ -1,0 +1,268 @@
+"""Sharded distributed exploration: fingerprint-range partitioning.
+
+A :class:`ShardSpec` names one of *N* disjoint slices of the design space,
+cut by point-fingerprint range: the first 64 bits of a point's sha256
+content fingerprint (already the run-store key) are mapped onto shard
+``floor(h * N / 2**64)``.  Shard membership is therefore a **pure function
+of the point** — no coordination, no shared state, no assignment table —
+and the N ranges are a disjoint cover of the fingerprint space for any N
+(property-tested in ``tests/test_explore_sharded.py``).
+
+Each shard worker replays the *same* strategy trajectory the unsharded run
+would walk (same seed, same budget, same proposal order) but evaluates only
+the points whose fingerprint falls in its range; everything else is skipped
+without flow work.  The union of the shards' evaluated points is therefore
+exactly the unsharded run's evaluated set, which is what makes the merged
+frontier byte-identical to the unsharded frontier (see
+:mod:`repro.explore.merge`).  Replay is only sound for strategies whose
+proposals do not depend on observed *metrics* (``grid``, ``random`` — the
+:attr:`~repro.explore.strategies.SearchStrategy.shardable` flag); adaptive
+strategies (``greedy``, ``anneal``) would diverge without the off-shard
+outcomes and are refused up front.
+
+Workers run as independent processes (:func:`run_sharded`), each with its
+own :class:`~repro.synth.flow_engine.FlowEngine` over the shared
+content-addressed disk cache and its own append-only shard store
+``<store>.shard-<i>-of-<n>.jsonl``.  A killed worker loses at most one
+partial JSONL line, which the store heals on resume — restarting a sharded
+run re-evaluates zero already-done flow jobs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ExplorationError
+from .merge import MergeResult, merge_stores
+from .space import SearchSpace
+
+#: Bits of the sha256 fingerprint the range partition is computed over.
+SHARD_KEY_BITS = 64
+
+#: Exclusive upper bound of the shard key space.
+SHARD_KEY_SPACE = 1 << SHARD_KEY_BITS
+
+
+def shard_key(fingerprint: str) -> int:
+    """The 64-bit range key of a point fingerprint (its leading 16 hex digits)."""
+    if len(fingerprint) < SHARD_KEY_BITS // 4:
+        raise ExplorationError(
+            f"fingerprint {fingerprint!r} is too short for a shard key"
+        )
+    try:
+        return int(fingerprint[: SHARD_KEY_BITS // 4], 16)
+    except ValueError:
+        raise ExplorationError(f"fingerprint {fingerprint!r} is not hexadecimal")
+
+
+def shard_of(fingerprint: str, shard_count: int) -> int:
+    """Which of *shard_count* contiguous ranges *fingerprint* falls in.
+
+    Pure, stateless and stable across processes: ``floor(h * N / 2**64)``
+    for the 64-bit key *h*.  Every key lands in exactly one shard and the
+    shard boundaries are monotone in the key, so the N ranges partition the
+    fingerprint space for any N >= 1.
+    """
+    if shard_count < 1:
+        raise ExplorationError(f"shard count must be >= 1, got {shard_count}")
+    return (shard_key(fingerprint) * shard_count) >> SHARD_KEY_BITS
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of an N-way fingerprint-range partition."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ExplorationError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ExplorationError(
+                f"shard index {self.index} outside 0..{self.count - 1}"
+            )
+
+    def contains(self, fingerprint: str) -> bool:
+        """Whether *fingerprint* belongs to this shard's range."""
+        return shard_of(fingerprint, self.count) == self.index
+
+    def key_range(self) -> Tuple[int, int]:
+        """The half-open ``[low, high)`` 64-bit key range of this shard."""
+        low = -(-self.index * SHARD_KEY_SPACE // self.count)  # ceil division
+        high = -(-(self.index + 1) * SHARD_KEY_SPACE // self.count)
+        return low, high
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        low, high = self.key_range()
+        return (
+            f"shard {self.index + 1}/{self.count} "
+            f"(keys {low:#018x}..{high - 1:#018x})"
+        )
+
+
+def shard_store_path(
+    base: Union[str, Path], index: int, count: int
+) -> Path:
+    """The conventional shard-store path ``<store>.shard-<i>-of-<n>.jsonl``.
+
+    A ``.jsonl`` suffix on *base* is replaced, so ``run.jsonl`` shards to
+    ``run.shard-0-of-2.jsonl`` and friends next to it.
+    """
+    base = Path(base)
+    stem = base.name[: -len(".jsonl")] if base.name.endswith(".jsonl") else base.name
+    return base.with_name(f"{stem}.shard-{index}-of-{count}.jsonl")
+
+
+def shard_store_paths(base: Union[str, Path], count: int) -> List[Path]:
+    """Every shard-store path of an N-way run, in shard order."""
+    return [shard_store_path(base, index, count) for index in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# The parallel shard driver
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardRunSummary:
+    """What one shard worker did (the picklable cross-process report)."""
+
+    index: int
+    count: int
+    store_path: str
+    visited: int  # global trajectory positions consumed (same for all shards)
+    evaluated: int  # on-shard points this worker owned
+    off_shard: int  # trajectory points skipped as other shards' work
+    flow_evaluated: int  # flow jobs actually run (0 on a full resume)
+    store_hits: int
+    failures: int
+    wall_time: float
+
+
+@dataclass
+class ShardedExplorationResult:
+    """A whole N-way sharded exploration: per-shard work plus the merged front."""
+
+    space: SearchSpace
+    shard_count: int
+    merge: MergeResult
+    shards: List[ShardRunSummary] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def front(self):
+        """The merged union Pareto front."""
+        return self.merge.front
+
+    @property
+    def flow_evaluated(self) -> int:
+        """Flow jobs run across every shard."""
+        return sum(shard.flow_evaluated for shard in self.shards)
+
+    @property
+    def failures(self) -> int:
+        """Failed evaluations across every shard."""
+        return sum(shard.failures for shard in self.shards)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every evaluated point produced a finished design."""
+        return self.failures == 0
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        evaluated = sum(shard.evaluated for shard in self.shards)
+        return (
+            f"sharded exploration over {self.shard_count} shard(s): "
+            f"{evaluated} point(s) evaluated ({self.flow_evaluated} "
+            f"flow-evaluated, {self.failures} failed) in {self.wall_time:.2f} s; "
+            f"{self.front.describe()}"
+        )
+
+
+def _shard_worker(payload) -> ShardRunSummary:
+    """Run one shard's Explorer in this process (top level: picklable)."""
+    space, config, index, count, store_path, resume = payload
+    from .engine import Explorer
+    from .store import RunStore
+
+    # Shard processes ARE the parallelism: each worker keeps its flow
+    # engine in-process so N shards never nest N process pools.
+    config = replace(config, workers=0)
+    shard = ShardSpec(index, count)
+    with RunStore(
+        Path(store_path),
+        space.fingerprint(),
+        resume=resume,
+        context={"eval_blocks": config.eval_blocks},
+    ) as store:
+        result = Explorer(space, config=config, store=store, shard=shard).run()
+    return ShardRunSummary(
+        index=index,
+        count=count,
+        store_path=str(store_path),
+        visited=result.visited,
+        evaluated=result.visited - result.off_shard,
+        off_shard=result.off_shard,
+        flow_evaluated=result.flow_evaluated,
+        store_hits=result.store_hits,
+        failures=result.failures,
+        wall_time=result.wall_time,
+    )
+
+
+def run_sharded(
+    space: SearchSpace,
+    config,
+    shard_count: int,
+    store_base: Union[str, Path],
+    resume: bool = False,
+    objectives: Optional[Sequence[str]] = None,
+    max_parallel: Optional[int] = None,
+) -> ShardedExplorationResult:
+    """Explore *space* as *shard_count* parallel shard workers, then merge.
+
+    Each worker owns one fingerprint range, runs the full strategy
+    trajectory of *config* (evaluating only its own points) against its own
+    ``<store_base>.shard-<i>-of-<n>.jsonl`` store, and the shard stores are
+    folded into one union Pareto front.  Same seed + budget + shard count
+    is byte-deterministic: the merged front is identical regardless of
+    shard completion order, and identical to the unsharded run's front.
+    """
+    import time
+
+    from .engine import ExploreConfig
+    from .strategies import assert_shardable
+
+    if shard_count < 1:
+        raise ExplorationError(f"shard count must be >= 1, got {shard_count}")
+    if not isinstance(config, ExploreConfig):
+        raise ExplorationError("run_sharded needs an ExploreConfig")
+    assert_shardable(config.strategy)
+
+    start = time.perf_counter()
+    paths = shard_store_paths(store_base, shard_count)
+    payloads = [
+        (space, config, index, shard_count, str(path), resume)
+        for index, path in enumerate(paths)
+    ]
+    summaries: Dict[int, ShardRunSummary] = {}
+    if shard_count == 1:
+        summaries[0] = _shard_worker(payloads[0])
+    else:
+        workers = max_parallel or shard_count
+        with ProcessPoolExecutor(max_workers=min(workers, shard_count)) as pool:
+            for summary in pool.map(_shard_worker, payloads):
+                summaries[summary.index] = summary
+    merge = merge_stores(paths, objectives=objectives or config.objectives)
+    return ShardedExplorationResult(
+        space=space,
+        shard_count=shard_count,
+        merge=merge,
+        shards=[summaries[index] for index in range(shard_count)],
+        wall_time=time.perf_counter() - start,
+    )

@@ -18,7 +18,7 @@ import json
 import logging
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from ..errors import ExplorationError
 from .space import DesignPoint
@@ -108,6 +108,61 @@ class PointRecord:
             raise ExplorationError(f"malformed run-store record: {error}") from error
 
 
+def read_store(path: Union[str, Path]) -> Tuple[Dict[str, object], List[PointRecord]]:
+    """Read a run store **read-only**: its meta line plus every intact record.
+
+    This is the crash-tolerant loader the Pareto-merge fold uses on shard
+    stores, so it must never write: a live shard worker may still hold an
+    append handle on *path*.  A truncated trailing line (a worker killed
+    mid-append) is logged and dropped — the record is simply not there yet;
+    corrupt *complete* lines are logged and skipped; a schema-version
+    mismatch is an error (the records could not be interpreted).  Records
+    come back in file order, duplicates included — the fold is idempotent
+    by fingerprint, so callers need no dedup of their own.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as error:
+        raise ExplorationError(f"cannot read run store {path}: {error}") from error
+    if raw and not raw.endswith(b"\n"):
+        end = raw.rfind(b"\n") + 1
+        logger.warning(
+            "dropping partial trailing line of %s (interrupted write)", path
+        )
+        raw = raw[:end]
+    meta: Dict[str, object] = {}
+    records: List[PointRecord] = []
+    for number, line in enumerate(
+        raw.decode("utf-8", errors="replace").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError:
+            logger.warning("ignoring corrupt run-store line %d of %s", number, path)
+            continue
+        if data.get("kind") == "meta":
+            version = data.get("version")
+            if version != STORE_VERSION:
+                raise ExplorationError(
+                    f"run store {path} was written under schema version "
+                    f"{version}, this library expects {STORE_VERSION}"
+                )
+            meta = dict(data)
+            continue
+        try:
+            records.append(PointRecord.from_json_dict(data))
+        except ExplorationError as error:
+            logger.warning(
+                "ignoring malformed run-store line %d of %s (%s)",
+                number, path, error,
+            )
+    return meta, records
+
+
 class RunStore:
     """Append-only JSONL store of evaluated design points."""
 
@@ -163,31 +218,10 @@ class RunStore:
             )
             with self.path.open("r+b") as handle:
                 handle.truncate(end)
-            raw = raw[:end]
-        for number, line in enumerate(
-            raw.decode("utf-8", errors="replace").splitlines(), start=1
-        ):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                data = json.loads(line)
-            except ValueError:
-                logger.warning(
-                    "ignoring corrupt run-store line %d of %s", number, self.path
-                )
-                continue
-            if data.get("kind") == "meta":
-                self._check_meta(data)
-                continue
-            try:
-                record = PointRecord.from_json_dict(data)
-            except ExplorationError as error:
-                logger.warning(
-                    "ignoring malformed run-store line %d of %s (%s)",
-                    number, self.path, error,
-                )
-                continue
+        meta, records = read_store(self.path)
+        if meta:
+            self._check_meta(meta)
+        for record in records:
             if record.fingerprint not in self._records:
                 self._order.append(record.fingerprint)
             self._records[record.fingerprint] = record

@@ -81,6 +81,13 @@ class SearchStrategy:
 
     name = ""
 
+    #: Whether the strategy's proposal trajectory is independent of observed
+    #: *metrics* (it may still depend on which fingerprints were proposed).
+    #: Only such strategies can be sharded: a shard worker replays the full
+    #: trajectory while evaluating just its own fingerprint range, so any
+    #: metric-driven proposal would diverge without the off-shard outcomes.
+    shardable = False
+
     def __init__(
         self,
         space: SearchSpace,
@@ -128,6 +135,7 @@ class ExhaustiveSearch(SearchStrategy):
     """Deterministic full enumeration of the space, in index order."""
 
     name = "grid"
+    shardable = True  # the cursor walk never looks at outcomes
 
     def __init__(self, space, objectives, rng) -> None:
         super().__init__(space, objectives, rng)
@@ -144,6 +152,9 @@ class RandomSearch(SearchStrategy):
     """Seeded uniform sampling without replacement."""
 
     name = "random"
+    # Proposals consume only the seeded RNG and the set of proposed
+    # fingerprints — both identical under shard replay — never metrics.
+    shardable = True
 
     def propose(self, count: int) -> List[DesignPoint]:
         if len(self.seen) >= self.space.size:
@@ -281,6 +292,28 @@ for _cls in (ExhaustiveSearch, RandomSearch, GreedyHillClimb, SimulatedAnnealing
 def strategy_names() -> List[str]:
     """Sorted names of every registered strategy."""
     return sorted(SEARCH_STRATEGIES)
+
+
+def shardable_strategy_names() -> List[str]:
+    """Sorted names of the strategies whose trajectories can be sharded."""
+    return sorted(
+        name for name, cls in SEARCH_STRATEGIES.items() if cls.shardable
+    )
+
+
+def assert_shardable(name: str) -> None:
+    """Raise unless strategy *name* exists and supports shard replay."""
+    try:
+        cls = SEARCH_STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(strategy_names())
+        raise ExplorationError(f"unknown search strategy {name!r}; known: {known}")
+    if not cls.shardable:
+        raise ExplorationError(
+            f"strategy {name!r} cannot be sharded: its proposals depend on "
+            "observed metrics, which a shard worker does not have for other "
+            f"shards' points; shardable: {', '.join(shardable_strategy_names())}"
+        )
 
 
 def make_strategy(

@@ -290,3 +290,103 @@ class TestCommands:
         code = main(["partition", str(path), "--system", "custom", "--clbs", "100"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestShardedCli:
+    """``repro explore --shards`` and ``repro frontier --store`` end to end."""
+
+    def _explore_argv(self, store, extra=()):
+        return [
+            "explore", "--workload", "matmul_pipeline", "--strategy", "grid",
+            "--budget", "8", "--partitioners", "list,level", "--ct-sweep",
+            "1,5", "--store", str(store), "--format", "json",
+        ] + list(extra)
+
+    def test_sharded_merge_is_byte_identical_to_unsharded(self, tmp_path, capsys):
+        solo_out = tmp_path / "solo.json"
+        assert main(
+            self._explore_argv(tmp_path / "solo.jsonl")
+            + ["--output", str(solo_out)]
+        ) == 0
+        capsys.readouterr()
+        sharded_out = tmp_path / "sharded.json"
+        assert main(
+            self._explore_argv(tmp_path / "run.jsonl")
+            + ["--shards", "2", "--output", str(sharded_out)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "shard 1/2" in err and "shard 2/2" in err
+        assert solo_out.read_bytes() == sharded_out.read_bytes()
+        shard_stores = sorted(tmp_path.glob("run.shard-*-of-2.jsonl"))
+        assert [path.name for path in shard_stores] == [
+            "run.shard-0-of-2.jsonl", "run.shard-1-of-2.jsonl",
+        ]
+        # The merged union frontier of the shard stores, via the frontier
+        # command, is the same bytes again.
+        frontier_out = tmp_path / "frontier.json"
+        argv = ["frontier", "--format", "json", "--output", str(frontier_out)]
+        for path in shard_stores:
+            argv += ["--store", str(path)]
+        assert main(argv) == 0
+        assert "merged" in capsys.readouterr().err
+        assert frontier_out.read_bytes() == solo_out.read_bytes()
+
+    def test_shard_index_runs_one_shard_and_hints_the_merge(self, tmp_path, capsys):
+        assert main(
+            self._explore_argv(
+                tmp_path / "run.jsonl",
+                ["--shards", "2", "--shard-index", "0"],
+            )
+        ) in (0, 1)  # one shard's own front may be empty
+        err = capsys.readouterr().err
+        assert "shard 1/2" in err or "shard 0" in err.replace("1/2", "")
+        assert "repro frontier" in err and "--store" in err
+        assert (tmp_path / "run.shard-0-of-2.jsonl").exists()
+        assert not (tmp_path / "run.shard-1-of-2.jsonl").exists()
+
+    def test_sharded_refuses_existing_store_then_resumes(self, tmp_path, capsys):
+        argv = self._explore_argv(tmp_path / "run.jsonl", ["--shards", "2"])
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 2
+        assert "already exists" in capsys.readouterr().err
+        assert main(argv + ["--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "0 flow" in err
+
+    def test_sharded_rejects_adaptive_strategy(self, tmp_path, capsys):
+        code = main([
+            "explore", "--workload", "matmul_pipeline", "--strategy", "anneal",
+            "--budget", "4", "--partitioners", "list", "--ct-sweep", "1",
+            "--store", str(tmp_path / "run.jsonl"), "--shards", "2",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "cannot be sharded" in err
+
+    def test_shard_flag_validation(self, tmp_path, capsys):
+        base = [
+            "explore", "--workload", "matmul_pipeline", "--budget", "2",
+            "--partitioners", "list", "--ct-sweep", "1",
+            "--store", str(tmp_path / "run.jsonl"),
+        ]
+        assert main(base + ["--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert main(base + ["--shards", "2", "--shard-index", "2"]) == 2
+        assert "--shard-index" in capsys.readouterr().err
+
+    def test_frontier_store_rejects_mixed_contexts(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        assert main(self._explore_argv(a)) == 0
+        assert main(self._explore_argv(b, ["--eval-blocks", "999"])) == 0
+        capsys.readouterr()
+        code = main(["frontier", "--store", str(a), "--store", str(b)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "context" in err
+
+    def test_frontier_without_store_is_the_paper_report(self, capsys):
+        assert main(["frontier"]) == 0
+        out = capsys.readouterr().out
+        assert "frontier" in out.lower() or "Pareto" in out

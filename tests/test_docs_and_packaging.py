@@ -89,6 +89,7 @@ class TestExamples:
             "bench_engine_scaling.py",
             "bench_flow_scaling.py",
             "bench_explore.py",
+            "bench_explore_sharded.py",
             "bench_stage_cache.py",
         }
         assert expected <= names
@@ -96,7 +97,7 @@ class TestExamples:
 
 class TestPublicApi:
     def test_version_string(self):
-        assert repro.__version__ == "1.7.0"
+        assert repro.__version__ == "1.8.0"
 
     @pytest.mark.parametrize(
         "module_name",
