@@ -1,0 +1,269 @@
+"""Load + fault benchmark for the work-stealing shard scheduler.
+
+Drives an in-process scheduler daemon (:meth:`FlowServer.attach_schedule`)
+through real worker sessions (:func:`run_scheduled_worker`) and measures
+the three numbers the scheduler is accountable for:
+
+* **throughput** — a W-worker fleet draining an M-range schedule over a
+  pre-warmed flow cache: scheduled ranges/sec, i.e. pure protocol +
+  store-streaming overhead per range;
+* **steal latency** — one hoarder holds every lease; the p50/p99 wall time
+  of a ``steal`` request (revoke + re-grant) from another worker;
+* **recovery after SIGKILL** — a worker is shot while holding a lease
+  (stuck in the ``REPRO_SCHED_DELAY_S`` hook); wall time from the kill to
+  the whole schedule completing, re-issue included.
+
+Correctness rides along: the merged frontier of the scheduled run must be
+byte-identical to the unsharded reference run (``merged_equals_unsharded``
+is gated at zero tolerance in ``check_regression.py``).
+
+Environment knobs for constrained runners:
+
+* ``REPRO_BENCH_SCHED_RANGES`` — ranges in the throughput fleet (default 24);
+* ``REPRO_BENCH_SCHED_WORKERS`` — fleet size (default 4);
+* ``REPRO_BENCH_SCHED_STEALS`` — timed steal requests (default 8).
+
+Run standalone (``python benchmarks/bench_scheduler.py [--smoke]``) or
+under pytest; ``--smoke`` presets a small fleet.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from bench_utils import record
+
+from repro.explore import (
+    DELAY_ENV,
+    ExplorationPlan,
+    ExploreConfig,
+    Explorer,
+    SearchSpace,
+    merge_stores,
+    run_scheduled_worker,
+)
+from repro.serve import FlowServer, ServeConfig, start_in_background
+from repro.serve.client import FlowServiceClient
+from repro.units import ms
+
+RANGES = int(os.environ.get("REPRO_BENCH_SCHED_RANGES", "24"))
+WORKERS = int(os.environ.get("REPRO_BENCH_SCHED_WORKERS", "4"))
+STEALS = int(os.environ.get("REPRO_BENCH_SCHED_STEALS", "8"))
+
+SPACE = SearchSpace.for_workloads(
+    ["matmul_pipeline"],
+    ct_values=(ms(1), ms(5), ms(20)),
+    partitioners=("list", "level"),
+    sequencings=("fdh", "idh"),
+)
+
+TWO = ("latency", "throughput")
+
+#: A minimal but valid run-store body for protocol-only completions.
+EMPTY_STORE = '{"kind":"meta","version":1,"space":"","context":{}}\n'
+
+
+def _config() -> ExploreConfig:
+    return ExploreConfig(
+        strategy="grid", budget=SPACE.size, batch_size=4, objectives=TWO
+    )
+
+
+def _front_bytes(front) -> str:
+    return json.dumps(front.to_json_dict(), sort_keys=True)
+
+
+def _merged_front_bytes(plan: ExplorationPlan, scheduler) -> str:
+    paths = [
+        scheduler.store_paths()[index] for index in range(plan.range_count)
+    ]
+    return _front_bytes(merge_stores(paths, objectives=TWO).front)
+
+
+def _stuck_worker_main(url: str, work_dir: str) -> None:
+    os.environ[DELAY_ENV] = "60"
+    run_scheduled_worker(
+        url, worker_id="victim", work_dir=work_dir, timeout_s=120.0
+    )
+
+
+def _run_fleet(
+    url: str, base: Path, cache_dir: str, workers: int
+) -> Dict[str, object]:
+    results = {}
+
+    def pull(name: str) -> None:
+        results[name] = run_scheduled_worker(
+            url,
+            worker_id=name,
+            work_dir=str(base / name),
+            cache_dir=cache_dir,
+            range_delay_s=0.0,
+        )
+
+    threads = [
+        threading.Thread(target=pull, args=(f"w{index}",))
+        for index in range(workers)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+        assert not thread.is_alive(), "a fleet worker never finished"
+    wall = time.perf_counter() - start
+    return {"wall_s": wall, "results": results}
+
+
+def _percentile(sorted_ms: List[float], fraction: float) -> float:
+    index = min(len(sorted_ms) - 1, int(fraction * len(sorted_ms)))
+    return sorted_ms[index]
+
+
+def test_scheduler_throughput_steal_and_recovery():
+    print()
+    print(
+        f"scheduler: {RANGES} ranges, {WORKERS} workers, "
+        f"{STEALS} timed steals, {os.cpu_count()} CPU(s)"
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-sched-") as tmp:
+        base = Path(tmp)
+        cache_dir = str(base / "cache")
+
+        # Unsharded reference (also warms the shared flow cache, so the
+        # fleet measures scheduling overhead, not solve time).
+        solo = Explorer(
+            SPACE,
+            config=ExploreConfig(
+                strategy="grid", budget=SPACE.size, batch_size=4,
+                objectives=TWO, cache_dir=cache_dir,
+            ),
+        ).run()
+        solo_bytes = _front_bytes(solo.front)
+
+        # --------------------------------------------------------------
+        # Throughput: a W-worker fleet drains M ranges.
+        # --------------------------------------------------------------
+        plan = ExplorationPlan.from_config(SPACE, _config(), RANGES)
+        server = FlowServer(ServeConfig(workers=0))
+        server.attach_schedule(plan, base / "fleet.jsonl", lease_timeout=30.0)
+        with start_in_background(server=server) as handle:
+            fleet = _run_fleet(handle.url, base, cache_dir, WORKERS)
+            scheduler = server.schedule.scheduler
+            assert scheduler.done
+            merged_bytes = _merged_front_bytes(plan, scheduler)
+        ranges_per_sec = RANGES / fleet["wall_s"]
+        merged_ok = merged_bytes == solo_bytes
+        print(
+            f"  fleet: {RANGES} ranges in {fleet['wall_s']:.2f} s "
+            f"-> {ranges_per_sec:.1f} ranges/s, "
+            f"merged == unsharded: {merged_ok}"
+        )
+
+        # --------------------------------------------------------------
+        # Steal latency: revoke + re-grant under one roundtrip.
+        # --------------------------------------------------------------
+        plan_s = ExplorationPlan.from_config(SPACE, _config(), STEALS)
+        server = FlowServer(ServeConfig(workers=0))
+        server.attach_schedule(plan_s, base / "steal.jsonl",
+                               lease_timeout=600.0)
+        steal_ms: List[float] = []
+        with start_in_background(server=server) as handle:
+            hoarder = FlowServiceClient(handle.url)
+            thief = FlowServiceClient(handle.url)
+            for _ in range(STEALS):
+                assert hoarder.scheduler_lease("hoarder")["granted"]
+            for _ in range(STEALS):
+                start = time.perf_counter()
+                ack = thief.scheduler_steal("thief")
+                steal_ms.append((time.perf_counter() - start) * 1e3)
+                assert ack["granted"] and ack["stolen_from"] == "hoarder"
+                thief.scheduler_complete(
+                    ack["lease_id"], store_data=EMPTY_STORE
+                )
+            assert server.schedule.scheduler.done
+        steal_ms.sort()
+        steal_p50 = _percentile(steal_ms, 0.50)
+        steal_p99 = _percentile(steal_ms, 0.99)
+        print(
+            f"  steal: p50 {steal_p50:.2f} ms   p99 {steal_p99:.2f} ms "
+            f"({STEALS} revoke+regrant roundtrips)"
+        )
+
+        # --------------------------------------------------------------
+        # Recovery: SIGKILL a lease holder, time until schedule done.
+        # --------------------------------------------------------------
+        plan_k = ExplorationPlan.from_config(SPACE, _config(), 4)
+        server = FlowServer(ServeConfig(workers=0))
+        server.attach_schedule(plan_k, base / "kill.jsonl", lease_timeout=0.5)
+        with start_in_background(server=server) as handle:
+            scheduler = server.schedule.scheduler
+            victim = multiprocessing.get_context("spawn").Process(
+                target=_stuck_worker_main,
+                args=(handle.url, str(base / "victim")),
+            )
+            victim.start()
+            deadline = time.monotonic() + 60.0
+            while not scheduler.live_leases():
+                assert time.monotonic() < deadline, "victim never leased"
+                time.sleep(0.02)
+            os.kill(victim.pid, signal.SIGKILL)
+            killed_at = time.perf_counter()
+            victim.join(timeout=10.0)
+            run_scheduled_worker(
+                handle.url,
+                worker_id="medic",
+                work_dir=str(base / "medic"),
+                cache_dir=cache_dir,
+                range_delay_s=0.0,
+            )
+            recovery_s = time.perf_counter() - killed_at
+            assert scheduler.done
+            assert scheduler.reissued + scheduler.stolen >= 1
+        print(
+            f"  recovery: schedule done {recovery_s:.2f} s after SIGKILL "
+            f"(lease timeout 0.5 s)"
+        )
+
+    record(
+        "scheduler",
+        ranges=RANGES,
+        workers=WORKERS,
+        fleet_wall_s=fleet["wall_s"],
+        ranges_per_sec=ranges_per_sec,
+        merged_equals_unsharded=merged_ok,
+        steal_requests=STEALS,
+        steal_latency_ms_p50=steal_p50,
+        steal_latency_ms_p99=steal_p99,
+        recovery_after_kill_s=recovery_s,
+    )
+    assert merged_ok, "scheduled merge diverged from the unsharded frontier"
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fleet for CI smoke runs")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        os.environ.setdefault("REPRO_BENCH_SCHED_RANGES", "8")
+        os.environ.setdefault("REPRO_BENCH_SCHED_WORKERS", "2")
+        os.environ.setdefault("REPRO_BENCH_SCHED_STEALS", "4")
+    import pytest
+
+    return pytest.main([__file__, "-x", "-q", "-s"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,24 @@ GATES: Dict[str, List[Gate]] = {
         # Absolute serial solve throughput (scipy MILP per job).
         Gate("serial_jobs_per_sec", "min", ABSOLUTE_TOLERANCE),
     ],
+    "scheduler": [
+        # The scheduled + merged frontier must be byte-identical to the
+        # unsharded run — any divergence is a correctness bug, so zero
+        # tolerance on this boolean.
+        Gate("merged_equals_unsharded", "min", 0.0),
+        # Absolute fleet throughput: protocol + store-streaming overhead
+        # per scheduled range on a warm cache.
+        Gate("ranges_per_sec", "min", ABSOLUTE_TOLERANCE),
+        # Revoke + re-grant is one roundtrip of work; these are sub-ms,
+        # so timer noise needs a wide band — a 10x ceiling still catches
+        # the steal path picking up accidental sleeps or scans.
+        Gate("steal_latency_ms_p50", "max", 9.0),
+        # Wall time from SIGKILL to a fully drained schedule.  Stealing
+        # makes this tens of milliseconds; if workers ever have to sit out
+        # the 0.5 s lease expiry the value jumps past 10x baseline, so the
+        # wide band keeps discrimination while absorbing runner noise.
+        Gate("recovery_after_kill_s", "max", 9.0),
+    ],
     "serve": [
         # Same-machine warm/cold ratio of the service daemon.  The warm
         # side is ~1-2 ms of pure service overhead, so timer noise moves

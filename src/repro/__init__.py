@@ -58,7 +58,7 @@ from .runtime import EngineConfig, PartitionEngine
 from .synth import DesignFlow, FlowEngine, FlowJob, FlowOptions
 from .workloads import get_workload, register_workload, workload_names
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "DesignFlow",

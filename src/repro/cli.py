@@ -478,15 +478,9 @@ def _parse_csv_list(text: str, what: str) -> List[str]:
     return items
 
 
-def cmd_explore(args: argparse.Namespace) -> int:
-    from .explore import (
-        ExploreConfig,
-        Explorer,
-        RunStore,
-        SearchSpace,
-        default_store_path,
-        resolve_objectives,
-    )
+def _explore_space_and_config(args: argparse.Namespace, workers: int = 0):
+    """Build the (space, config) pair an exploration invocation names."""
+    from .explore import ExploreConfig, SearchSpace, resolve_objectives
     from .workloads import workload_names
 
     # Resolved once, before a run store is even created: fail fast.
@@ -514,9 +508,19 @@ def cmd_explore(args: argparse.Namespace) -> int:
         seed=args.seed,
         objectives=objectives,
         eval_blocks=args.eval_blocks,
-        workers=args.workers,
+        workers=workers,
         cache_dir=args.cache_dir,
     )
+    return space, config
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from .explore import Explorer, RunStore, default_store_path
+
+    if args.scheduler:
+        return _explore_scheduled_worker(args)
+
+    space, config = _explore_space_and_config(args, workers=args.workers)
     if args.resume and args.fresh:
         raise ReproError("pass either --resume or --fresh, not both")
     if args.shards < 1:
@@ -639,6 +643,92 @@ def _explore_sharded(args: argparse.Namespace, space, config, store_base) -> int
     print(result.merge.describe(), file=sys.stderr)
     print(result.describe(), file=sys.stderr)
     return 0 if len(result.front) else 1
+
+
+def _explore_scheduled_worker(args: argparse.Namespace) -> int:
+    """``repro explore --scheduler URL``: pull ranges until the run is done."""
+    from .explore import run_scheduled_worker
+
+    result = run_scheduled_worker(
+        args.scheduler,
+        worker_id=args.worker_id,
+        cache_dir=args.cache_dir,
+        shared_store=args.shared_store,
+        max_ranges=args.max_ranges,
+    )
+    print(result.describe(), file=sys.stderr)
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from .explore import (
+        ExplorationPlan,
+        default_store_path,
+        merge_stores,
+    )
+    from .serve import FlowServer, ServeConfig
+
+    space, config = _explore_space_and_config(args)
+    plan = ExplorationPlan.from_config(space, config, range_count=args.ranges)
+    store_base = Path(args.store or default_store_path(space))
+    server = FlowServer(ServeConfig(
+        host=args.host, port=args.port, workers=args.flow_workers
+    ))
+    state = server.attach_schedule(
+        plan, store_base, lease_timeout=args.lease_timeout
+    )
+
+    async def main() -> bool:
+        await server.start()
+        host, port = server.address
+        print(
+            f"repro schedule: listening on http://{host}:{port} — "
+            f"{plan.describe()} (lease timeout {args.lease_timeout:g} s); "
+            f"point workers at it with: repro explore --scheduler "
+            f"http://{host}:{port}",
+            file=sys.stderr, flush=True,
+        )
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        done_task = asyncio.ensure_future(state.done.wait())
+        await asyncio.wait(
+            (serve_task, done_task),
+            timeout=args.timeout,
+            return_when=asyncio.FIRST_COMPLETED,
+        )
+        finished = state.done.is_set()
+        for task in (serve_task, done_task):
+            task.cancel()
+        await server.shutdown()
+        return finished
+
+    try:
+        finished = asyncio.run(main())
+    except KeyboardInterrupt:
+        finished = state.done.is_set()
+    if not finished:
+        raise ReproError(
+            "the schedule did not complete "
+            f"({state.scheduler.describe()}); the shard stores that did "
+            "arrive are still merge-able with 'repro frontier --store ...'"
+        )
+    paths = [
+        state.scheduler.store_paths()[index]
+        for index in range(plan.range_count)
+    ]
+    merged = merge_stores(paths, objectives=config.objectives)
+    rows = merged.front.rows()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8", newline="") as stream:
+            _format_explore_rows(rows, args.format, stream)
+    else:
+        _format_explore_rows(rows, args.format, sys.stdout)
+    print(space.describe(), file=sys.stderr)
+    print(state.scheduler.describe(), file=sys.stderr)
+    print(merged.describe(), file=sys.stderr)
+    return 0 if len(merged.front) else 1
 
 
 def _format_rows(rows: List[dict], fmt: str, stream, title: str, empty: str) -> None:
@@ -1127,10 +1217,105 @@ def build_parser() -> argparse.ArgumentParser:
                               "process (for spreading shards across machines); "
                               "merge afterwards with 'repro frontier --store "
                               "...' over the shard stores")
+    explore.add_argument("--scheduler", default=None, metavar="URL",
+                         help="pull-worker mode: fetch the plan from a "
+                              "'repro schedule' daemon at URL and lease "
+                              "fingerprint ranges until the whole run is "
+                              "done (the space/strategy arguments above are "
+                              "ignored — the daemon's plan wins)")
+    explore.add_argument("--worker-id", default=None,
+                         help="with --scheduler: worker identity shown in "
+                              "the scheduler's accounting "
+                              "(default: <hostname>-<pid>)")
+    explore.add_argument("--shared-store", default=None, metavar="BASE",
+                         help="with --scheduler: write shard stores under "
+                              "this store base on a filesystem the daemon "
+                              "shares, and register paths instead of "
+                              "streaming store bytes back")
+    explore.add_argument("--max-ranges", type=int, default=None,
+                         help="with --scheduler: stop after completing N "
+                              "ranges (default: run until the schedule is "
+                              "done)")
     explore.add_argument("--format", default="table", choices=["table", "json", "csv"])
     explore.add_argument("--output", default=None,
                          help="write the Pareto front to this file instead of stdout")
     explore.set_defaults(handler=cmd_explore)
+
+    from .explore import shardable_strategy_names
+
+    schedule = subparsers.add_parser(
+        "schedule",
+        help="run a work-stealing shard scheduler daemon: cut the design "
+             "space into M fingerprint ranges, lease them to 'repro explore "
+             "--scheduler' workers with timeouts/re-issue/stealing, then "
+             "Pareto-merge the returned shard stores (byte-identical to the "
+             "unsharded run)",
+    )
+    schedule.add_argument("--workload", default="jpeg_dct",
+                          help="registered workload name, or 'all' "
+                               "(default: jpeg_dct)")
+    schedule.add_argument("--variants", action="store_true",
+                          help="expand each workload's deterministic "
+                               "parameter sweep")
+    schedule.add_argument("--strategy", default="grid",
+                          choices=shardable_strategy_names(),
+                          help="search strategy (shardable strategies only; "
+                               "default: grid)")
+    schedule.add_argument("--budget", type=int, default=64,
+                          help="maximum design points to visit (default: 64)")
+    schedule.add_argument("--batch-size", type=int, default=8,
+                          help="points proposed per round (default: 8)")
+    schedule.add_argument("--seed", type=int, default=0,
+                          help="RNG seed; same seed + budget = identical "
+                               "trajectory on every worker")
+    schedule.add_argument("--objectives", default="latency,throughput",
+                          help="comma-separated objectives (known: "
+                               f"{','.join(objective_names())})")
+    schedule.add_argument("--eval-blocks", type=int, default=16384,
+                          help="loop iterations the overhead/throughput "
+                               "objectives are evaluated at (default: 16384)")
+    schedule.add_argument("--systems", default="workload-default",
+                          help="comma-separated system presets to sweep")
+    schedule.add_argument("--ct-sweep", default="1,5,10,50,100",
+                          help="comma-separated reconfiguration times in ms")
+    schedule.add_argument("--partitioners", default="ilp,list,level",
+                          help="comma-separated partitioners to sweep")
+    schedule.add_argument("--sequencing", default="fdh,idh",
+                          help="comma-separated sequencing strategies to sweep")
+    schedule.add_argument("--cache-dir", default=None,
+                          help="unused by the daemon itself (workers carry "
+                               "their own caches); accepted for symmetry")
+    schedule.add_argument("--ranges", type=int, default=16,
+                          help="fine partition size M — make it several "
+                               "times the worker count so stealing has "
+                               "slack (default: 16)")
+    schedule.add_argument("--lease-timeout", type=float, default=30.0,
+                          help="seconds before an unrenewed lease is "
+                               "reclaimed and its range re-issued "
+                               "(default: 30)")
+    schedule.add_argument("--host", default="127.0.0.1",
+                          help="interface to bind (default: 127.0.0.1)")
+    schedule.add_argument("--port", type=int, default=8788,
+                          help="port to bind; 0 picks a free port "
+                               "(default: 8788)")
+    schedule.add_argument("--flow-workers", type=int, default=0,
+                          help="flow-engine workers for ordinary job "
+                               "submissions on the same daemon (default: 0 "
+                               "= scheduler-only)")
+    schedule.add_argument("--store", default=None,
+                          help="store base the returned shard stores land "
+                               "next to (default: "
+                               ".repro-explore/run-<space>.jsonl)")
+    schedule.add_argument("--timeout", type=float, default=None,
+                          help="give up if the schedule has not completed "
+                               "after this many seconds (default: wait "
+                               "forever)")
+    schedule.add_argument("--format", default="table",
+                          choices=["table", "json", "csv"])
+    schedule.add_argument("--output", default=None,
+                          help="write the merged Pareto front to this file "
+                               "instead of stdout")
+    schedule.set_defaults(handler=cmd_schedule)
 
     verify = subparsers.add_parser(
         "verify",

@@ -23,7 +23,11 @@ automates that loop as a subsystem:
   shard workers replaying one trajectory over disjoint slices of the space,
   each with its own ``<store>.shard-<i>-of-<n>.jsonl`` store;
 * :mod:`repro.explore.merge` — the Pareto-merge fold that unions shard (or
-  any) run stores into one front, order-invariantly and idempotently.
+  any) run stores into one front, order-invariantly and idempotently;
+* :mod:`repro.explore.scheduler` — the work-stealing shard scheduler:
+  a fine M-way range partition handed out dynamically over ``repro serve``
+  with lease timeouts, re-issue and stealing, fault-tolerant because range
+  evaluation is idempotent.
 
 Quickstart::
 
@@ -56,8 +60,25 @@ from .objectives import (
     objective_vector,
     resolve_objectives,
 )
-from .merge import MergeResult, merge_fronts, merge_records, merge_stores
+from .merge import (
+    MergeResult,
+    describe_context_mismatch,
+    merge_fronts,
+    merge_records,
+    merge_stores,
+)
 from .pareto import FrontEntry, ParetoFront, dominates
+from .scheduler import (
+    DELAY_ENV,
+    Completion,
+    ExplorationPlan,
+    Lease,
+    ScheduledWorkerResult,
+    SchedulerError,
+    ShardScheduler,
+    default_worker_id,
+    run_scheduled_worker,
+)
 from .shard import (
     ShardRunSummary,
     ShardSpec,
@@ -86,14 +107,18 @@ from .strategies import (
 )
 
 __all__ = [
+    "Completion",
     "DEFAULT_EVAL_BLOCKS",
+    "DELAY_ENV",
     "DesignPoint",
     "ExhaustiveSearch",
+    "ExplorationPlan",
     "ExplorationResult",
     "ExploreConfig",
     "Explorer",
     "FrontEntry",
     "GreedyHillClimb",
+    "Lease",
     "MergeResult",
     "OBJECTIVES",
     "Objective",
@@ -103,15 +128,20 @@ __all__ = [
     "RunStore",
     "SEARCH_STRATEGIES",
     "Scalariser",
+    "ScheduledWorkerResult",
+    "SchedulerError",
     "SearchSpace",
     "SearchStrategy",
     "ShardRunSummary",
+    "ShardScheduler",
     "ShardSpec",
     "ShardedExplorationResult",
     "SimulatedAnnealing",
     "WORKLOAD_DEFAULT_SYSTEM",
     "assert_shardable",
     "default_store_path",
+    "default_worker_id",
+    "describe_context_mismatch",
     "dominates",
     "evaluate_report",
     "explore",
@@ -125,6 +155,7 @@ __all__ = [
     "read_store",
     "register_strategy",
     "resolve_objectives",
+    "run_scheduled_worker",
     "run_sharded",
     "shard_key",
     "shard_of",

@@ -54,6 +54,29 @@ class MergeResult:
         )
 
 
+def describe_context_mismatch(
+    stored: Dict[str, object], expected: Dict[str, object]
+) -> str:
+    """Name every context field the two evaluation contexts disagree on.
+
+    Renders ``field: stored != expected`` per mismatching field (absent
+    fields show as ``<absent>``), so the error pinpoints *which* knob —
+    e.g. ``eval_blocks`` — differs instead of dumping two dicts.
+    """
+    def render(values: Dict[str, object], name: str) -> str:
+        return repr(values[name]) if name in values else "<absent>"
+
+    mismatched = sorted(
+        name
+        for name in set(stored) | set(expected)
+        if stored.get(name) != expected.get(name)
+    )
+    return ", ".join(
+        f"{name}: {render(stored, name)} != {render(expected, name)}"
+        for name in mismatched
+    ) or "none"
+
+
 def merge_records(
     records: Sequence[PointRecord],
     objectives: Sequence[str] = ("latency", "throughput"),
@@ -119,9 +142,11 @@ def merge_stores(
             context, context_path = stored_context, path
         elif stored_context != context:
             raise ExplorationError(
-                f"run store {path} was recorded under evaluation context "
-                f"{stored_context}, but {context_path} used {context}; their "
-                "metrics are not comparable — merge stores from one context"
+                f"run store {path} was recorded under a different "
+                f"evaluation context than {context_path} — mismatching "
+                f"field(s): {describe_context_mismatch(stored_context, context)}; "
+                "their metrics are not comparable — merge stores from one "
+                "context"
             )
         result.sources[str(path)] = len(records)
         for record in records:

@@ -371,6 +371,54 @@ class SearchSpace:
         )
         return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """Plain-JSON form of the space (round-trips via :meth:`from_json_dict`).
+
+        Unlike :meth:`canonical_dict` (fingerprint material, floats as hex)
+        this keeps values as native JSON so a remote worker can rebuild the
+        exact space — Python's JSON float round-trip is exact, so the
+        rebuilt space has an identical :meth:`fingerprint`.
+        """
+        return {
+            "workloads": [
+                [name, [[key, value] for key, value in params]]
+                for name, params in self.workloads
+            ],
+            "systems": list(self.systems),
+            "ct_values": list(self.ct_values),
+            "partitioners": list(self.partitioners),
+            "sequencings": list(self.sequencings),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, object]) -> "SearchSpace":
+        """Rebuild a space from its :meth:`to_json_dict` form."""
+        try:
+            return cls(
+                workloads=tuple(
+                    (
+                        str(name),
+                        tuple((str(key), value) for key, value in params),
+                    )
+                    for name, params in data["workloads"]  # type: ignore[union-attr]
+                ),
+                systems=tuple(str(system) for system in data["systems"]),  # type: ignore[union-attr]
+                ct_values=tuple(
+                    None if ct is None else float(ct)
+                    for ct in data["ct_values"]  # type: ignore[union-attr]
+                ),
+                partitioners=tuple(
+                    str(name) for name in data["partitioners"]  # type: ignore[union-attr]
+                ),
+                sequencings=tuple(
+                    str(name) for name in data["sequencings"]  # type: ignore[union-attr]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ExplorationError(
+                f"malformed search-space record: {error}"
+            ) from error
+
     def describe(self) -> str:
         """One-line human readable summary."""
         return (

@@ -246,13 +246,16 @@ class RunStore:
                 "records are still keyed by point fingerprint and stay valid",
                 self.path,
             )
-        stored_context = data.get("context") or {}
+        stored_context = dict(data.get("context") or {})
         if self.context and stored_context and stored_context != self.context:
+            from .merge import describe_context_mismatch
+
             raise ExplorationError(
-                f"run store {self.path} was recorded under evaluation context "
-                f"{stored_context}, this run uses {self.context}; resuming "
-                "would silently serve stale metrics — match the context or "
-                "start a fresh store"
+                f"run store {self.path} was recorded under a different "
+                "evaluation context than this run — mismatching field(s): "
+                f"{describe_context_mismatch(stored_context, self.context)}; "
+                "resuming would silently serve stale metrics — match the "
+                "context or start a fresh store"
             )
 
     def _write_line(self, data: Dict[str, object]) -> None:

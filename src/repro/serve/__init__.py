@@ -20,7 +20,13 @@ from .protocol import (
     encode_result,
 )
 from .queue import JobQueue, QueueClosedError, QueueFullError, SolveEntry
-from .server import FlowServer, ServeConfig, ServerHandle, start_in_background
+from .server import (
+    FlowServer,
+    ScheduleState,
+    ServeConfig,
+    ServerHandle,
+    start_in_background,
+)
 from .workers import WorkerPool, build_flow_job
 
 __all__ = [
@@ -33,6 +39,7 @@ __all__ = [
     "ProtocolError",
     "QueueClosedError",
     "QueueFullError",
+    "ScheduleState",
     "ServeClientError",
     "ServeConfig",
     "ServerHandle",

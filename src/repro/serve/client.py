@@ -183,6 +183,53 @@ class FlowServiceClient:
         return self._request("POST", "/admin/shutdown")
 
     # ------------------------------------------------------------------
+    # Work-stealing shard scheduler (repro schedule daemons)
+    # ------------------------------------------------------------------
+
+    def scheduler_plan(self) -> Dict[str, object]:
+        """``GET /v1/scheduler/plan`` — the published exploration plan."""
+        return self._request("GET", "/scheduler/plan")
+
+    def scheduler_status(self) -> Dict[str, object]:
+        """``GET /v1/scheduler/status`` — lease/range counters."""
+        return self._request("GET", "/scheduler/status")
+
+    def scheduler_snapshot(self) -> Dict[str, object]:
+        """``GET /v1/scheduler/snapshot`` — the full scheduler state."""
+        return self._request("GET", "/scheduler/snapshot")
+
+    def scheduler_lease(self, worker: str) -> Dict[str, object]:
+        """``POST /v1/scheduler/lease`` — ask for the next pending range."""
+        return self._request("POST", "/scheduler/lease", {"worker": worker})
+
+    def scheduler_steal(self, worker: str) -> Dict[str, object]:
+        """``POST /v1/scheduler/steal`` — steal a straggler's range."""
+        return self._request("POST", "/scheduler/steal", {"worker": worker})
+
+    def scheduler_renew(self, lease_id: str) -> Dict[str, object]:
+        """``POST /v1/scheduler/renew`` — extend a live lease."""
+        return self._request("POST", "/scheduler/renew", {"lease_id": lease_id})
+
+    def scheduler_complete(
+        self,
+        lease_id: str,
+        store_data: Optional[str] = None,
+        store_path: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """``POST /v1/scheduler/complete`` — return one range's shard store.
+
+        Pass the store contents as *store_data* to stream them back, or a
+        *store_path* visible to the daemon (shared filesystem) to register
+        the store in place.
+        """
+        body: Dict[str, object] = {"lease_id": lease_id}
+        if store_data is not None:
+            body["store_data"] = store_data
+        if store_path is not None:
+            body["store_path"] = store_path
+        return self._request("POST", "/scheduler/complete", body)
+
+    # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
 

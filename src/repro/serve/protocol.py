@@ -34,6 +34,22 @@ POST      ``/v1/jobs/<id>/cancel``    cancel a still-queued job
 POST      ``/v1/admin/shutdown``      graceful drain + exit (202)
 ========  ==========================  =======================================
 
+When a daemon is started with an exploration schedule (``repro schedule``),
+the work-stealing shard scheduler of
+:mod:`~repro.explore.scheduler` adds (404 ``no-schedule`` otherwise):
+
+========  ============================  =====================================
+method    path                          meaning
+========  ============================  =====================================
+GET       ``/v1/scheduler/plan``        the published :class:`ExplorationPlan`
+GET       ``/v1/scheduler/status``      lease/range counters
+GET       ``/v1/scheduler/snapshot``    full scheduler state (JSON snapshot)
+POST      ``/v1/scheduler/lease``       lease the next pending range
+POST      ``/v1/scheduler/steal``       steal a straggler's range
+POST      ``/v1/scheduler/renew``       extend a live lease
+POST      ``/v1/scheduler/complete``    return one range's shard store
+========  ============================  =====================================
+
 Error responses are ``{"error": {"code": ..., "message": ..., ...}}`` with
 the HTTP status carrying the class: 400 malformed request, 404 unknown
 workload/job/route, 405 wrong method, 409 result not ready, 413 oversized
@@ -62,6 +78,10 @@ API_PREFIX = "/v1"
 #: Upper bound on accepted request bodies (a submission is a few hundred
 #: bytes; anything near this is a client bug, not a bigger job).
 MAX_BODY_BYTES = 1 << 20
+
+#: Upper bound for ``/v1/scheduler/`` bodies: a ``complete`` streams a whole
+#: shard store (one JSON line per evaluated point) back to the daemon.
+SCHEDULER_MAX_BODY_BYTES = 32 << 20
 
 
 class ProtocolError(ReproError):
@@ -228,11 +248,16 @@ def error_body(code: str, message: str, **extra: object) -> Dict[str, object]:
     return {"error": payload}
 
 
-def parse_json_body(body: bytes) -> object:
-    """Decode a request body, mapping bad bytes/JSON onto a 400."""
-    if len(body) > MAX_BODY_BYTES:
+def parse_json_body(body: bytes, limit: int = MAX_BODY_BYTES) -> object:
+    """Decode a request body, mapping bad bytes/JSON onto a 400.
+
+    *limit* defaults to the ordinary submission bound; scheduler endpoints
+    pass :data:`SCHEDULER_MAX_BODY_BYTES` because a range completion
+    carries a whole shard store.
+    """
+    if len(body) > limit:
         raise ProtocolError(
-            f"request body exceeds {MAX_BODY_BYTES} bytes",
+            f"request body exceeds {limit} bytes",
             status=413, code="body-too-large",
         )
     try:

@@ -23,12 +23,15 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import tempfile
 import threading
 import time
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Set, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
@@ -37,6 +40,7 @@ from .protocol import (
     API_PREFIX,
     MAX_BODY_BYTES,
     PROTOCOL_VERSION,
+    SCHEDULER_MAX_BODY_BYTES,
     JobSpec,
     JobState,
     ProtocolError,
@@ -76,10 +80,28 @@ class ServeConfig:
     job_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.workers < 1:
-            raise ReproError("serve workers must be at least 1")
+        # 0 workers is a scheduler-only daemon (``repro schedule``): it
+        # hands out exploration ranges but never runs flow jobs itself.
+        if self.workers < 0:
+            raise ReproError("serve workers must not be negative")
         if self.queue_depth < 1:
             raise ReproError("queue depth must be at least 1")
+
+
+@dataclass
+class ScheduleState:
+    """One attached exploration schedule: the plan, its scheduler, its stores.
+
+    ``done`` fires (in the server's event loop) when the last range
+    completes — ``repro schedule`` awaits it before running the final
+    Pareto-merge fold.
+    """
+
+    plan: object  # ExplorationPlan (typed loosely to keep the import lazy)
+    scheduler: object  # ShardScheduler
+    store_base: Path
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+    workers_seen: Set[str] = field(default_factory=set)
 
 
 class FlowServer:
@@ -104,6 +126,9 @@ class FlowServer:
         self._stopped = asyncio.Event()
         self._draining = False
         self._started_at = 0.0
+        #: Attached work-stealing exploration schedule (``repro schedule``);
+        #: ``None`` on an ordinary flow daemon.
+        self.schedule: Optional["ScheduleState"] = None
 
     # ------------------------------------------------------------------
     # Life cycle
@@ -242,13 +267,20 @@ class FlowServer:
             raise ProtocolError(f"bad Content-Length {length_text!r}")
         if length < 0:
             raise ProtocolError(f"bad Content-Length {length_text!r}")
-        if length > MAX_BODY_BYTES:
+        split = urlsplit(target)
+        # A range completion streams a whole shard store back, so the
+        # scheduler endpoints get a (much) higher body bound.
+        limit = (
+            SCHEDULER_MAX_BODY_BYTES
+            if split.path.startswith(API_PREFIX + "/scheduler/")
+            else MAX_BODY_BYTES
+        )
+        if length > limit:
             raise ProtocolError(
-                f"request body exceeds {MAX_BODY_BYTES} bytes",
+                f"request body exceeds {limit} bytes",
                 status=413, code="body-too-large",
             )
         body = await reader.readexactly(length) if length else b""
-        split = urlsplit(target)
         query = {
             key: values[-1] for key, values in parse_qs(split.query).items()
         }
@@ -288,6 +320,13 @@ class FlowServer:
             ("GET", ("jobs", "stream")): self._handle_job_stream,
             ("POST", ("jobs", "cancel")): self._handle_job_cancel,
             ("POST", ("admin", "shutdown")): self._handle_shutdown,
+            ("GET", ("scheduler", "plan")): self._handle_scheduler_plan,
+            ("GET", ("scheduler", "status")): self._handle_scheduler_status,
+            ("GET", ("scheduler", "snapshot")): self._handle_scheduler_snapshot,
+            ("POST", ("scheduler", "lease")): self._handle_scheduler_lease,
+            ("POST", ("scheduler", "steal")): self._handle_scheduler_steal,
+            ("POST", ("scheduler", "renew")): self._handle_scheduler_renew,
+            ("POST", ("scheduler", "complete")): self._handle_scheduler_complete,
         }
         handler = handlers.get((method, route))
         if handler is None:
@@ -301,7 +340,12 @@ class FlowServer:
             )
         # Submission-shaped handlers take (writer, body); job-shaped ones
         # take (writer, job_id, query).
-        if route in (("jobs",), ("batch",)) and method == "POST":
+        if route[0] == "scheduler":
+            if method == "POST":
+                await handler(writer, body)
+            else:
+                await handler(writer)
+        elif route in (("jobs",), ("batch",)) and method == "POST":
             await handler(writer, body)
         elif route in (("health",), ("stats",)):
             await handler(writer)
@@ -455,6 +499,157 @@ class FlowServer:
         asyncio.ensure_future(self.shutdown())
 
     # ------------------------------------------------------------------
+    # Work-stealing exploration schedule
+    # ------------------------------------------------------------------
+
+    def attach_schedule(
+        self, plan, store_base, lease_timeout: float = 30.0
+    ) -> "ScheduleState":
+        """Attach a work-stealing exploration schedule to this daemon.
+
+        *plan* is an :class:`~repro.explore.scheduler.ExplorationPlan`;
+        completed ranges land as shard stores next to *store_base* (the
+        ``<store>.shard-<i>-of-<n>.jsonl`` convention).  Call before
+        :meth:`start` so workers never observe a daemon without a plan.
+        """
+        from ..explore.scheduler import ShardScheduler
+
+        self.schedule = ScheduleState(
+            plan=plan,
+            scheduler=ShardScheduler(plan.range_count, lease_timeout),
+            store_base=Path(store_base),
+        )
+        return self.schedule
+
+    def _schedule_state(self) -> "ScheduleState":
+        if self.schedule is None:
+            raise ProtocolError(
+                "this daemon has no exploration schedule attached "
+                "(start one with 'repro schedule')",
+                status=404, code="no-schedule",
+            )
+        return self.schedule
+
+    @staticmethod
+    def _body_string(payload: object, name: str) -> str:
+        if (
+            not isinstance(payload, dict)
+            or not isinstance(payload.get(name), str)
+            or not payload[name]
+        ):
+            raise ProtocolError(f"'{name}' must be a non-empty string")
+        return payload[name]
+
+    def _grant_payload(self, state: "ScheduleState", lease, now: float):
+        if lease is None:
+            return {
+                "granted": False,
+                "all_done": state.scheduler.done,
+                "retry_after_s": min(1.0, state.scheduler.lease_timeout / 4.0),
+            }
+        return {
+            "granted": True,
+            "lease_id": lease.lease_id,
+            "range_index": lease.range_index,
+            "range_count": state.plan.range_count,
+            "lease_timeout_s": state.scheduler.lease_timeout,
+            "deadline_in_s": round(lease.deadline - now, 3),
+            "stolen_from": lease.stolen_from,
+            "all_done": False,
+        }
+
+    async def _handle_scheduler_plan(self, writer) -> None:
+        state = self._schedule_state()
+        await self._respond(writer, 200, {
+            "plan": state.plan.to_json_dict(),
+            "lease_timeout_s": state.scheduler.lease_timeout,
+            "store_base": str(state.store_base),
+        })
+
+    async def _handle_scheduler_status(self, writer) -> None:
+        state = self._schedule_state()
+        state.scheduler.expire(time.monotonic())
+        payload = state.scheduler.progress()
+        payload["workers_seen"] = sorted(state.workers_seen)
+        await self._respond(writer, 200, payload)
+
+    async def _handle_scheduler_snapshot(self, writer) -> None:
+        state = self._schedule_state()
+        state.scheduler.expire(time.monotonic())
+        await self._respond(writer, 200, state.scheduler.to_json_dict())
+
+    async def _handle_scheduler_lease(self, writer, body: bytes) -> None:
+        state = self._schedule_state()
+        worker = self._body_string(
+            parse_json_body(body, limit=SCHEDULER_MAX_BODY_BYTES), "worker"
+        )
+        state.workers_seen.add(worker)
+        now = time.monotonic()
+        lease = state.scheduler.lease(worker, now)
+        await self._respond(writer, 200, self._grant_payload(state, lease, now))
+
+    async def _handle_scheduler_steal(self, writer, body: bytes) -> None:
+        state = self._schedule_state()
+        worker = self._body_string(
+            parse_json_body(body, limit=SCHEDULER_MAX_BODY_BYTES), "worker"
+        )
+        state.workers_seen.add(worker)
+        now = time.monotonic()
+        lease = state.scheduler.steal(worker, now)
+        await self._respond(writer, 200, self._grant_payload(state, lease, now))
+
+    async def _handle_scheduler_renew(self, writer, body: bytes) -> None:
+        state = self._schedule_state()
+        lease_id = self._body_string(
+            parse_json_body(body, limit=SCHEDULER_MAX_BODY_BYTES), "lease_id"
+        )
+        live = state.scheduler.renew(lease_id, time.monotonic())
+        await self._respond(writer, 200, {"lease_id": lease_id, "live": live})
+
+    async def _handle_scheduler_complete(self, writer, body: bytes) -> None:
+        from ..explore.shard import shard_store_path
+
+        state = self._schedule_state()
+        payload = parse_json_body(body, limit=SCHEDULER_MAX_BODY_BYTES)
+        lease_id = self._body_string(payload, "lease_id")
+        store_data = payload.get("store_data") if isinstance(payload, dict) else None
+        shared_path = payload.get("store_path") if isinstance(payload, dict) else None
+        if (store_data is None) == (shared_path is None):
+            raise ProtocolError(
+                "a completion must carry exactly one of 'store_data' "
+                "(inline shard store) or 'store_path' (shared filesystem)"
+            )
+        lease = state.scheduler.lease_info(lease_id)
+        if shared_path is not None:
+            path = str(shared_path)
+        else:
+            path = str(shard_store_path(
+                state.store_base, lease.range_index, state.plan.range_count
+            ))
+        disposition = state.scheduler.complete(
+            lease_id, time.monotonic(), store_path=path
+        )
+        if store_data is not None and disposition != "duplicate":
+            if not isinstance(store_data, str):
+                raise ProtocolError("'store_data' must be a string")
+            # Atomic publish: a crashed write never leaves a torn store
+            # (and a duplicate completion is byte-identical anyway).
+            target = Path(path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            tmp = target.with_name(f"{target.name}.{lease_id}.tmp")
+            tmp.write_text(store_data, encoding="utf-8")
+            os.replace(tmp, target)
+        if state.scheduler.done:
+            state.done.set()
+        await self._respond(writer, 200, {
+            "lease_id": lease_id,
+            "range_index": lease.range_index,
+            "disposition": disposition,
+            "store_path": path,
+            "all_done": state.scheduler.done,
+        })
+
+    # ------------------------------------------------------------------
     # Response writing
     # ------------------------------------------------------------------
 
@@ -504,6 +699,25 @@ class ServerHandle:
         """Base URL of the running daemon."""
         return self.server.url
 
+    def wait_schedule_done(self, timeout: Optional[float] = None) -> bool:
+        """Block until the attached schedule's last range completes.
+
+        Returns ``False`` on timeout (the schedule is still running).
+        Raises when the daemon has no schedule attached.
+        """
+        state = self.server.schedule
+        if state is None:
+            raise ReproError("this daemon has no exploration schedule attached")
+        future = asyncio.run_coroutine_threadsafe(
+            state.done.wait(), self._loop
+        )
+        try:
+            future.result(timeout)
+            return True
+        except FuturesTimeoutError:
+            future.cancel()
+            return False
+
     def shutdown(self, timeout: float = 60.0) -> None:
         """Gracefully drain the daemon and join its thread."""
         if self._thread.is_alive():
@@ -522,10 +736,19 @@ class ServerHandle:
 
 
 def start_in_background(
-    config: Optional[ServeConfig] = None, ready_timeout: float = 30.0
+    config: Optional[ServeConfig] = None,
+    ready_timeout: float = 30.0,
+    server: Optional[FlowServer] = None,
 ) -> ServerHandle:
-    """Start a :class:`FlowServer` on a background thread and wait for it."""
-    server = FlowServer(config)
+    """Start a :class:`FlowServer` on a background thread and wait for it.
+
+    Pass a prepared *server* (e.g. one with an exploration schedule already
+    attached) to start that instance instead of building one from *config*.
+    """
+    if server is None:
+        server = FlowServer(config)
+    elif config is not None:
+        raise ReproError("pass either a config or a prepared server, not both")
     ready = threading.Event()
     loop_box: Dict[str, asyncio.AbstractEventLoop] = {}
     failure: Dict[str, BaseException] = {}

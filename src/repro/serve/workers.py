@@ -79,8 +79,11 @@ class WorkerPool:
         job_timeout: Optional[float] = None,
         lru_capacity: int = 256,
     ) -> None:
-        if workers < 1:
-            raise ReproError("the worker pool needs at least 1 worker")
+        # ``workers=0`` is a valid pool for a scheduler-only daemon
+        # (``repro schedule``): exploration workers evaluate their own flow
+        # jobs remotely, so the daemon never solves anything itself.
+        if workers < 0:
+            raise ReproError("the worker pool size must not be negative")
         if job_timeout is not None and job_timeout <= 0:
             raise ReproError("job_timeout must be positive")
         self.queue = queue

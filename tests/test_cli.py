@@ -270,6 +270,7 @@ class TestCommands:
         assert code == 2
         err = capsys.readouterr().err
         assert "error:" in err and "context" in err
+        assert "mismatching field(s)" in err and "eval_blocks" in err
 
     def test_verify_rejects_zero_scenarios(self, capsys):
         assert main(["verify", "--scenarios", "0"]) == 2
@@ -385,8 +386,46 @@ class TestShardedCli:
         assert code == 2
         err = capsys.readouterr().err
         assert "error:" in err and "context" in err
+        # The refusal names exactly which context field disagrees, with
+        # both values, so a two-machine operator can see what to fix.
+        assert "mismatching field(s)" in err
+        assert "eval_blocks" in err and "999" in err
 
     def test_frontier_without_store_is_the_paper_report(self, capsys):
         assert main(["frontier"]) == 0
         out = capsys.readouterr().out
         assert "frontier" in out.lower() or "Pareto" in out
+
+
+class TestSchedulerCli:
+    """Argument handling of ``repro schedule`` / ``repro explore --scheduler``."""
+
+    def test_schedule_defaults(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.ranges == 16
+        assert args.lease_timeout == 30.0
+        assert args.port == 8788
+        assert args.flow_workers == 0
+
+    def test_schedule_rejects_adaptive_strategies_at_the_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--strategy", "anneal"])
+
+    def test_schedule_rejects_zero_ranges(self, tmp_path, capsys):
+        code = main([
+            "schedule", "--workload", "matmul_pipeline", "--budget", "2",
+            "--partitioners", "list", "--ct-sweep", "1",
+            "--store", str(tmp_path / "run.jsonl"), "--ranges", "0",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "range" in err
+
+    def test_worker_reports_an_unreachable_scheduler_cleanly(self, capsys):
+        # Nothing listens on this port: the worker must exit 2 with a
+        # readable transport error, not a traceback.
+        code = main([
+            "explore", "--scheduler", "http://127.0.0.1:9/",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

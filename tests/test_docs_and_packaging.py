@@ -97,7 +97,7 @@ class TestExamples:
 
 class TestPublicApi:
     def test_version_string(self):
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"
 
     @pytest.mark.parametrize(
         "module_name",

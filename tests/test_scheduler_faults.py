@@ -1,0 +1,318 @@
+"""Fault injection for the work-stealing shard scheduler.
+
+The scheduler's whole claim is that failure is boring: a shard range's
+store bytes are a pure function of (space, config, range index, range
+count), so killed workers, expired leases, steals, late completions and
+torn writes can at worst cause *re-evaluation*, never wrong results.
+This battery attacks that claim directly:
+
+* SIGKILL a worker that holds a lease — the range must be re-issued and
+  the final merged frontier must be byte-identical to the unsharded run;
+* tear the trailing line of a shard store the way a killed writer does —
+  ``read_store`` healing must recover the exact intact record set;
+* slow one of four workers 10x (through the ``REPRO_SCHED_DELAY_S`` hook)
+  — stealing must keep the makespan within 2x of the fair-share optimum
+  and at least 2x ahead of static contiguous range assignment.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+from repro.explore import (
+    ExplorationPlan,
+    ExploreConfig,
+    Explorer,
+    ParetoFront,
+    RunStore,
+    SearchSpace,
+    ShardSpec,
+    merge_stores,
+    read_store,
+    run_scheduled_worker,
+    shard_store_path,
+)
+from repro.explore.scheduler import DELAY_ENV
+from repro.serve import FlowServer, ServeConfig, start_in_background
+from repro.units import ms
+
+CHEAP_SPACE = SearchSpace.for_workloads(
+    ["matmul_pipeline"],
+    ct_values=(ms(1), ms(5), ms(20)),
+    partitioners=("list", "level"),
+    sequencings=("fdh", "idh"),
+)
+
+TWO = ("latency", "throughput")
+
+
+def cheap_config(**overrides) -> ExploreConfig:
+    defaults = dict(
+        strategy="grid", budget=CHEAP_SPACE.size, batch_size=4, objectives=TWO
+    )
+    defaults.update(overrides)
+    return ExploreConfig(**defaults)
+
+
+def front_bytes(front: ParetoFront) -> str:
+    return json.dumps(front.to_json_dict(), sort_keys=True)
+
+
+def _solo_front_bytes(cache_dir: str) -> str:
+    """The unsharded reference frontier every faulted run must reproduce."""
+    result = Explorer(
+        CHEAP_SPACE, config=cheap_config(cache_dir=cache_dir)
+    ).run()
+    return front_bytes(result.front)
+
+
+def _merged_front_bytes(plan: ExplorationPlan, scheduler) -> str:
+    paths = [
+        scheduler.store_paths()[index] for index in range(plan.range_count)
+    ]
+    merged = merge_stores(paths, objectives=TWO)
+    return front_bytes(merged.front)
+
+
+def _blocked_worker_main(url: str, work_dir: str) -> None:
+    """Worker that leases a range, then hangs in the delay hook until shot."""
+    os.environ[DELAY_ENV] = "60"  # exercises the env-var path of the hook
+    run_scheduled_worker(
+        url, worker_id="victim", work_dir=work_dir, timeout_s=120.0
+    )
+
+
+class TestWorkerDeath:
+    def test_sigkill_mid_lease_reissues_and_merges_byte_identically(
+        self, tmp_path
+    ):
+        plan = ExplorationPlan.from_config(
+            CHEAP_SPACE, cheap_config(), range_count=6
+        )
+        cache_dir = str(tmp_path / "cache")
+        server = FlowServer(ServeConfig(workers=0))
+        server.attach_schedule(plan, tmp_path / "run.jsonl", lease_timeout=1.0)
+        with start_in_background(server=server) as handle:
+            scheduler = server.schedule.scheduler
+            victim = multiprocessing.get_context("spawn").Process(
+                target=_blocked_worker_main,
+                args=(handle.url, str(tmp_path / "victim")),
+            )
+            victim.start()
+            try:
+                deadline = time.monotonic() + 60.0
+                while not scheduler.live_leases():
+                    assert time.monotonic() < deadline, "victim never leased"
+                    time.sleep(0.02)
+                [lease] = scheduler.live_leases()
+                victim_range = lease.range_index
+                assert lease.worker == "victim"
+                os.kill(victim.pid, signal.SIGKILL)
+                victim.join(timeout=10.0)
+                assert victim.exitcode == -signal.SIGKILL
+            finally:
+                if victim.is_alive():  # pragma: no cover - cleanup only
+                    victim.kill()
+                    victim.join()
+
+            # A healthy worker drains the whole schedule, including the
+            # dead worker's range once its 1 s lease expires.
+            result = run_scheduled_worker(
+                handle.url,
+                worker_id="healthy",
+                work_dir=str(tmp_path / "healthy"),
+                cache_dir=cache_dir,
+                range_delay_s=0.0,
+            )
+            assert result.ranges_completed == plan.range_count
+            assert scheduler.done
+            # The victim's range was granted twice: once to the victim,
+            # once (after expiry or a steal) to the healthy worker.
+            assert scheduler.grants_of(victim_range) == 2
+            assert scheduler.reissued + scheduler.stolen >= 1
+            merged = _merged_front_bytes(plan, scheduler)
+        assert merged == _solo_front_bytes(cache_dir)
+
+
+class TestTornStore:
+    def test_torn_trailing_line_heals_to_exact_record_set(self, tmp_path):
+        plan = ExplorationPlan.from_config(
+            CHEAP_SPACE, cheap_config(), range_count=2
+        )
+        config = plan.explore_config(cache_dir=str(tmp_path / "cache"))
+        paths = []
+        for index in range(plan.range_count):
+            path = shard_store_path(
+                tmp_path / "run.jsonl", index, plan.range_count
+            )
+            with RunStore(
+                path,
+                CHEAP_SPACE.fingerprint(),
+                resume=False,
+                context={"eval_blocks": config.eval_blocks},
+            ) as store:
+                Explorer(
+                    CHEAP_SPACE,
+                    config=config,
+                    store=store,
+                    shard=ShardSpec(index, plan.range_count),
+                ).run()
+            paths.append(path)
+        intact = merge_stores(paths, objectives=TWO)
+        _, before = read_store(paths[0])
+        assert before, "shard 0 should hold some of the 12 points"
+
+        # Tear the store the way a SIGKILLed writer does: a partial
+        # record with no trailing newline.
+        with paths[0].open("a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "dead-beef", "point": {"wor')
+
+        _, after = read_store(paths[0])
+        assert [record.to_json_dict() for record in after] == [
+            record.to_json_dict() for record in before
+        ]
+        torn = merge_stores(paths, objectives=TWO)
+        assert front_bytes(torn.front) == front_bytes(intact.front)
+
+    def test_returned_store_torn_after_streaming_still_merges(self, tmp_path):
+        """Tearing the *scheduler-side* copy after completion heals too."""
+        plan = ExplorationPlan.from_config(
+            CHEAP_SPACE, cheap_config(), range_count=3
+        )
+        cache_dir = str(tmp_path / "cache")
+        server = FlowServer(ServeConfig(workers=0))
+        server.attach_schedule(plan, tmp_path / "run.jsonl")
+        with start_in_background(server=server) as handle:
+            run_scheduled_worker(
+                handle.url,
+                worker_id="w0",
+                work_dir=str(tmp_path / "w0"),
+                cache_dir=cache_dir,
+            )
+            scheduler = server.schedule.scheduler
+            assert scheduler.done
+            reference = _merged_front_bytes(plan, scheduler)
+            first = Path(scheduler.store_paths()[0])
+            with first.open("a", encoding="utf-8") as handle_:
+                handle_.write('{"kind": "torn mid-wri')
+            assert _merged_front_bytes(plan, scheduler) == reference
+        assert reference == _solo_front_bytes(cache_dir)
+
+
+class TestStraggler:
+    def test_stealing_beats_static_assignment_with_one_slow_worker(
+        self, tmp_path
+    ):
+        ranges, fast_delay = 20, 0.15
+        slow_delay = 10 * fast_delay
+        plan = ExplorationPlan.from_config(
+            CHEAP_SPACE, cheap_config(), range_count=ranges
+        )
+        cache_dir = str(tmp_path / "cache")
+        # Warm the flow disk cache first so wall time is delay-dominated
+        # and the timing assertions are robust.
+        solo = _solo_front_bytes(cache_dir)
+
+        server = FlowServer(ServeConfig(workers=0))
+        server.attach_schedule(plan, tmp_path / "dyn.jsonl", lease_timeout=30.0)
+        results = {}
+
+        def pull(name: str, delay: float) -> None:
+            results[name] = run_scheduled_worker(
+                server_url,
+                worker_id=name,
+                work_dir=str(tmp_path / name),
+                cache_dir=cache_dir,
+                range_delay_s=delay,
+            )
+
+        with start_in_background(server=server) as handle:
+            server_url = handle.url
+            threads = [
+                threading.Thread(target=pull, args=(f"fast{i}", fast_delay))
+                for i in range(3)
+            ]
+            threads.append(
+                threading.Thread(target=pull, args=("slow", slow_delay))
+            )
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+                assert not thread.is_alive()
+            dynamic_wall = time.perf_counter() - start
+            scheduler = server.schedule.scheduler
+            assert scheduler.done
+            merged = _merged_front_bytes(plan, scheduler)
+
+        # Work was actually rebalanced off the straggler: at least one
+        # steal happened and the slow worker finished well under its
+        # static quarter of the ranges.
+        assert scheduler.stolen >= 1
+        slow_done = (
+            results["slow"].ranges_completed
+            - results["slow"].ranges_duplicate
+        )
+        assert slow_done < ranges // 4
+
+        # The makespan is within 2x of the fair-share optimum, i.e. the
+        # delay-weighted lower bound with perfect rebalancing.
+        optimum = ranges / (3 / fast_delay + 1 / slow_delay)
+        assert dynamic_wall <= 2.0 * optimum, (
+            f"dynamic {dynamic_wall:.2f}s vs optimum {optimum:.2f}s"
+        )
+
+        # And at least 2x ahead of no-stealing static contiguous blocks,
+        # whose makespan is pinned to the straggler's whole block.
+        static_wall = self._static_baseline(
+            plan, tmp_path / "static.jsonl", cache_dir,
+            [fast_delay, fast_delay, fast_delay, slow_delay],
+        )
+        assert static_wall >= 2.0 * dynamic_wall, (
+            f"static {static_wall:.2f}s vs dynamic {dynamic_wall:.2f}s"
+        )
+
+        # Correctness was never on the table: byte-identical frontier.
+        assert merged == solo
+
+    @staticmethod
+    def _static_baseline(plan, store_base, cache_dir, delays) -> float:
+        """No-stealing baseline: fixed contiguous range block per worker."""
+        config = plan.explore_config(cache_dir=cache_dir)
+        block = plan.range_count // len(delays)
+
+        def run_block(worker: int, delay: float) -> None:
+            for index in range(worker * block, (worker + 1) * block):
+                time.sleep(delay)
+                path = shard_store_path(store_base, index, plan.range_count)
+                with RunStore(
+                    path,
+                    plan.space.fingerprint(),
+                    resume=False,
+                    context={"eval_blocks": config.eval_blocks},
+                ) as store:
+                    Explorer(
+                        plan.space,
+                        config=config,
+                        store=store,
+                        shard=ShardSpec(index, plan.range_count),
+                    ).run()
+
+        threads = [
+            threading.Thread(target=run_block, args=(worker, delay))
+            for worker, delay in enumerate(delays)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=240.0)
+            assert not thread.is_alive()
+        return time.perf_counter() - start

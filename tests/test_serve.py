@@ -562,8 +562,11 @@ class TestServeDeterminism:
 
 
 def test_serve_config_validation():
+    # workers=0 is legal since the scheduler: a lease-only daemon that
+    # runs no flow jobs of its own.  Negative counts stay errors.
+    assert ServeConfig(workers=0).workers == 0
     with pytest.raises(ReproError):
-        ServeConfig(workers=0)
+        ServeConfig(workers=-1)
     with pytest.raises(ReproError):
         ServeConfig(queue_depth=0)
 
